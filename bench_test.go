@@ -1,0 +1,349 @@
+// Benchmarks mirroring the paper's evaluation: one bench per table/figure
+// (wrapping internal/experiments, which persona-bench also uses) plus
+// microbenchmarks of the core kernels. Absolute numbers are machine-local;
+// EXPERIMENTS.md records paper-vs-measured shapes.
+package persona_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+
+	"persona"
+	"persona/internal/agd"
+	"persona/internal/align"
+	"persona/internal/align/bwa"
+	"persona/internal/align/snap"
+	"persona/internal/experiments"
+	"persona/internal/formats/fastq"
+	"persona/internal/genome"
+	"persona/internal/reads"
+	"persona/internal/simulate"
+	"persona/internal/tco"
+	"persona/internal/testutil"
+)
+
+// benchScale keeps the measured benchmarks fast enough for -bench=. runs.
+func benchScale() experiments.Scale {
+	return experiments.Scale{GenomeSize: 200_000, NumReads: 2000, ReadLen: 101, ChunkSize: 250, DupFrac: 0.15, Seed: 4}
+}
+
+// --- Table 1: single-server alignment, SNAP row-oriented vs Persona AGD ---
+
+func BenchmarkTable1_Modeled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.Table1(simulate.DefaultPaperParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_MeasuredPersonaAGD(b *testing.B) {
+	store := agd.NewMemStore()
+	f, err := testutil.BuildE(store, "ds", testutil.Config{
+		GenomeSize: 200_000, NumReads: 2000, ReadLen: 101, ChunkSize: 250, Seed: 4, SkipAlign: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fresh := agd.NewMemStore()
+		if err := copyStore(store, fresh); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, _, err := persona.Align(context.Background(), fresh, "ds", f.Index, persona.AlignOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func copyStore(src, dst agd.BlobStore, prefixes ...string) error {
+	names, err := src.List("")
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		blob, err := src.Get(n)
+		if err != nil {
+			return err
+		}
+		if err := dst.Put(n, blob); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Table 2: sorting ---
+
+func BenchmarkTable2_Sorts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable2(io.Discard, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 3: TCO model ---
+
+func BenchmarkTable3_TCO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tco.Default().Evaluate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 5: CPU utilization traces ---
+
+func BenchmarkFig5_UtilizationTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.Fig5(simulate.DefaultPaperParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 6: thread scaling ---
+
+func BenchmarkFig6_Model(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		simulate.Fig6(simulate.DefaultPaperParams())
+	}
+}
+
+func BenchmarkFig6_MeasuredThreadSweep(b *testing.B) {
+	sc := benchScale()
+	sc.NumReads = 800
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6Measured(io.Discard, sc, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: cluster scaling ---
+
+func BenchmarkFig7_DES(b *testing.B) {
+	counts := []int{1, 8, 32, 60, 100}
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.Fig7(simulate.DefaultPaperParams(), counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7_MeasuredCluster(b *testing.B) {
+	sc := benchScale()
+	sc.NumReads = 800
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig7Measured(io.Discard, sc, []int{2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 8: workload analysis ---
+
+func BenchmarkFig8_Profiles(b *testing.B) {
+	sc := benchScale()
+	sc.NumReads = 500
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(io.Discard, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §5.6 duplicate marking and §5.7 conversion ---
+
+func BenchmarkDupmark_Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunDupmark(io.Discard, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConversion_ImportExport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunConversion(io.Discard, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Kernel microbenchmarks ---
+
+func benchGenome(b *testing.B, size int) *genome.Genome {
+	b.Helper()
+	g, err := genome.Synthesize(genome.DefaultSyntheticConfig(size, 9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkKernel_LandauVishkin(b *testing.B) {
+	g := benchGenome(b, 50_000)
+	read, _ := g.Slice(1000, 101)
+	window, _ := g.Slice(1000, 113)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.LandauVishkin(read, window, 12)
+	}
+}
+
+func BenchmarkKernel_SmithWaterman(b *testing.B) {
+	g := benchGenome(b, 50_000)
+	read, _ := g.Slice(2000, 101)
+	window, _ := g.Slice(1984, 133)
+	sc := align.DefaultScoring()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.SmithWaterman(read, window, sc)
+	}
+}
+
+func BenchmarkKernel_SNAPAlignRead(b *testing.B) {
+	g := benchGenome(b, 400_000)
+	idx, err := snap.BuildIndex(g, snap.IndexConfig{SeedLen: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := snap.NewAligner(idx, snap.Config{MaxDist: 10})
+	sim, err := reads.NewSimulator(g, reads.SimConfig{Seed: 10, N: 256, ReadLen: 101, ErrorRate: 0.003})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, _ := sim.All()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.AlignRead(rs[i%len(rs)].Bases)
+	}
+	b.SetBytes(101)
+}
+
+func BenchmarkKernel_BWAAlignRead(b *testing.B) {
+	g := benchGenome(b, 400_000)
+	idx, err := bwa.NewFMIndex(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := bwa.NewAligner(idx, g, bwa.Config{})
+	sim, err := reads.NewSimulator(g, reads.SimConfig{Seed: 11, N: 256, ReadLen: 101, ErrorRate: 0.003})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, _ := sim.All()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.AlignRead(rs[i%len(rs)].Bases)
+	}
+	b.SetBytes(101)
+}
+
+func BenchmarkKernel_BaseCompaction(b *testing.B) {
+	g := benchGenome(b, 10_000)
+	bases, _ := g.Slice(0, 101)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = agd.CompactBases(buf[:0], bases)
+	}
+	b.SetBytes(101)
+}
+
+func BenchmarkKernel_ChunkEncodeDecode(b *testing.B) {
+	g := benchGenome(b, 200_000)
+	builder := agd.NewChunkBuilder(agd.TypeCompactBases, 0)
+	for pos := int64(0); pos < 100_000; pos += 101 {
+		bases, _ := g.Slice(pos, 101)
+		builder.AppendBases(bases)
+	}
+	chunk := builder.Chunk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := agd.EncodeChunk(chunk, agd.CompressGzip)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := agd.DecodeChunk(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernel_FASTQParse(b *testing.B) {
+	g := benchGenome(b, 50_000)
+	sim, err := reads.NewSimulator(g, reads.SimConfig{Seed: 12, N: 1000, ReadLen: 101})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, _ := sim.All()
+	var buf bytes.Buffer
+	w := fastq.NewWriter(&buf)
+	for i := range rs {
+		if err := w.Write(&rs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	text := buf.String()
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := fastq.NewScanner(strings.NewReader(text))
+		n := 0
+		for sc.Scan() {
+			n++
+		}
+		if sc.Err() != nil || n != len(rs) {
+			b.Fatalf("parsed %d, err %v", n, sc.Err())
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §6 design choices) ---
+
+func BenchmarkAblation_ChunkSize(b *testing.B) {
+	sc := benchScale()
+	sc.NumReads = 1000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunChunkSizeAblation(io.Discard, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Compression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCompressionAblation(io.Discard, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Subchunks(b *testing.B) {
+	sc := benchScale()
+	sc.NumReads = 1000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSubchunkAblation(io.Discard, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,455 @@
+// Command persona is the command-line front end of the framework: dataset
+// import/export, alignment (single-server or distributed), sorting,
+// duplicate marking and dataset inspection over AGD datasets in a local
+// directory store.
+//
+// Usage:
+//
+//	persona import  -store DIR -name DS [-fastq FILE|-] [-gz] [-chunk N]
+//	persona index   -store DIR -genome-size N -seed S        (synthetic reference)
+//	persona align   -store DIR -name DS [-nodes N] [-threads N]
+//	persona sort    -store DIR -name DS [-by location|metadata] [-out DS2]
+//	persona markdup -store DIR -name DS
+//	persona filter  -store DIR -name DS [-minmapq N] [-dedup] [-out DS2]
+//	persona varcall -store DIR -name DS [-o FILE|-]
+//	persona import-sam -store DIR -name DS [-sam FILE|-]
+//	persona export  -store DIR -name DS -format sam|bam|fastq [-o FILE|-]
+//	persona info    -store DIR -name DS
+//
+// The synthetic reference substitutes for hg19 (DESIGN.md §3); `persona
+// index` persists it in the store so later commands can rebuild the seed
+// index deterministically.
+package main
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"persona"
+	"persona/internal/agd"
+	"persona/internal/genome"
+)
+
+// gzipReader wraps a reader with gzip decompression.
+func gzipReader(r io.Reader) (*gzip.Reader, error) { return gzip.NewReader(r) }
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "import":
+		err = cmdImport(args)
+	case "index":
+		err = cmdIndex(args)
+	case "align":
+		err = cmdAlign(args)
+	case "sort":
+		err = cmdSort(args)
+	case "markdup":
+		err = cmdMarkdup(args)
+	case "export":
+		err = cmdExport(args)
+	case "info":
+		err = cmdInfo(args)
+	case "import-sam":
+		err = cmdImportSAM(args)
+	case "filter":
+		err = cmdFilter(args)
+	case "varcall":
+		err = cmdVarcall(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "persona %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: persona <import|import-sam|index|align|sort|markdup|filter|varcall|export|info> [flags]")
+	fmt.Fprintln(os.Stderr, "run 'persona <command> -h' for command flags")
+}
+
+// refMeta is the synthetic-reference descriptor `persona index` stores.
+type refMeta struct {
+	GenomeSize int   `json:"genome_size"`
+	Seed       int64 `json:"seed"`
+}
+
+const refMetaBlob = "_reference/meta.json"
+
+func openStore(dir string) (persona.Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("missing -store")
+	}
+	return persona.NewLocalStore(dir)
+}
+
+func loadReference(store persona.Store) (*genome.Genome, error) {
+	blob, err := store.Get(refMetaBlob)
+	if err != nil {
+		return nil, fmt.Errorf("no reference in store (run 'persona index' first): %w", err)
+	}
+	var meta refMeta
+	if err := json.Unmarshal(blob, &meta); err != nil {
+		return nil, err
+	}
+	return persona.SynthesizeGenome(meta.GenomeSize, meta.Seed)
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	size := fs.Int("genome-size", 8_000_000, "synthetic reference size in bases")
+	seed := fs.Int64("seed", 42, "synthetic reference seed")
+	fs.Parse(args)
+	store, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	meta, err := json.Marshal(refMeta{GenomeSize: *size, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if err := store.Put(refMetaBlob, meta); err != nil {
+		return err
+	}
+	g, err := persona.SynthesizeGenome(*size, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reference: %s\n", g)
+	return nil
+}
+
+func cmdImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	name := fs.String("name", "", "dataset name")
+	fastqPath := fs.String("fastq", "-", "FASTQ input file ('-' for stdin)")
+	gz := fs.Bool("gz", false, "input is gzip-compressed")
+	chunk := fs.Int("chunk", agd.DefaultChunkSize, "records per AGD chunk")
+	fs.Parse(args)
+	store, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -name")
+	}
+
+	var in io.Reader = os.Stdin
+	if *fastqPath != "-" {
+		f, err := os.Open(*fastqPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	if *gz {
+		// fastq.NewGzipScanner handles decompression inside Import when
+		// wrapped here.
+		zr, err := gzipReader(in)
+		if err != nil {
+			return err
+		}
+		defer zr.Close()
+		in = zr
+	}
+
+	var refs []agd.RefSeq
+	if g, err := loadReference(store); err == nil {
+		refs = persona.RefSeqs(g)
+	}
+	m, n, err := persona.ImportFASTQ(store, *name, in, refs, *chunk)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("imported %d reads into %q (%d chunks)\n", n, m.Name, len(m.Chunks))
+	return nil
+}
+
+func cmdAlign(args []string) error {
+	fs := flag.NewFlagSet("align", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	name := fs.String("name", "", "dataset name")
+	nodes := fs.Int("nodes", 0, "distributed worker nodes (0 = single-server pipeline)")
+	threads := fs.Int("threads", 2, "executor threads (per node when distributed)")
+	fs.Parse(args)
+	store, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -name")
+	}
+	g, err := loadReference(store)
+	if err != nil {
+		return err
+	}
+	idx, err := persona.BuildIndex(g)
+	if err != nil {
+		return err
+	}
+	if *nodes > 0 {
+		report, _, err := persona.AlignDistributed(store, *name, idx, *nodes, *threads)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("aligned %d reads (%d bases) on %d nodes in %s: %.2f Mbases/s, imbalance %.1f%%\n",
+			report.TotalReads, report.TotalBases, *nodes, report.Elapsed,
+			report.BasesPerSec/1e6, report.Imbalance*100)
+		return nil
+	}
+	report, _, err := persona.Align(context.Background(), store, *name, idx, persona.AlignOptions{ExecutorThreads: *threads})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aligned %d reads (%d bases) in %s: %.2f Mbases/s\n",
+		report.Reads, report.Bases, report.Elapsed, report.BasesPerSec/1e6)
+	return nil
+}
+
+func cmdSort(args []string) error {
+	fs := flag.NewFlagSet("sort", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	name := fs.String("name", "", "dataset name")
+	by := fs.String("by", "location", "sort key: location or metadata")
+	out := fs.String("out", "", "output dataset name (default <name>.sorted)")
+	fs.Parse(args)
+	store, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -name")
+	}
+	key := persona.ByLocation
+	if *by == "metadata" {
+		key = persona.ByMetadata
+	} else if *by != "location" {
+		return fmt.Errorf("unknown sort key %q", *by)
+	}
+	m, err := persona.Sort(store, *name, key, *out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sorted %d records into %q (by %s)\n", m.NumRecords(), m.Name, m.SortedBy)
+	return nil
+}
+
+func cmdMarkdup(args []string) error {
+	fs := flag.NewFlagSet("markdup", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	name := fs.String("name", "", "dataset name")
+	fs.Parse(args)
+	store, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -name")
+	}
+	stats, err := persona.MarkDuplicates(store, *name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("marked %d duplicates among %d reads (%.2f%%)\n",
+		stats.Duplicates, stats.Reads, 100*float64(stats.Duplicates)/float64(stats.Reads))
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	name := fs.String("name", "", "dataset name")
+	format := fs.String("format", "sam", "output format: sam, bam or fastq")
+	outPath := fs.String("o", "-", "output file ('-' for stdout)")
+	fs.Parse(args)
+	store, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -name")
+	}
+	var out io.Writer = os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	var n uint64
+	switch *format {
+	case "sam":
+		n, err = persona.ExportSAM(store, *name, out)
+	case "bam":
+		n, err = persona.ExportBAM(store, *name, out)
+	case "fastq":
+		n, err = persona.ExportFASTQ(store, *name, out)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "exported %d records as %s\n", n, *format)
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	name := fs.String("name", "", "dataset name")
+	fs.Parse(args)
+	store, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -name")
+	}
+	ds, err := persona.OpenDataset(store, *name)
+	if err != nil {
+		return err
+	}
+	m := ds.Manifest
+	fmt.Printf("dataset:  %s\n", m.Name)
+	fmt.Printf("records:  %d in %d chunks\n", m.NumRecords(), len(m.Chunks))
+	fmt.Printf("columns:  %v\n", m.Columns)
+	if m.SortedBy != "" {
+		fmt.Printf("sorted:   by %s\n", m.SortedBy)
+	}
+	if len(m.RefSeqs) > 0 {
+		fmt.Printf("refs:     ")
+		for i, r := range m.RefSeqs {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s(%d)", r.Name, r.Length)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdImportSAM(args []string) error {
+	fs := flag.NewFlagSet("import-sam", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	name := fs.String("name", "", "dataset name")
+	samPath := fs.String("sam", "-", "SAM input file ('-' for stdin)")
+	chunk := fs.Int("chunk", agd.DefaultChunkSize, "records per AGD chunk")
+	fs.Parse(args)
+	store, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -name")
+	}
+	var in io.Reader = os.Stdin
+	if *samPath != "-" {
+		f, err := os.Open(*samPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	m, n, err := persona.ImportSAM(store, *name, in, *chunk)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("imported %d aligned records into %q (%d chunks, columns %v)\n",
+		n, m.Name, len(m.Chunks), m.Columns)
+	return nil
+}
+
+func cmdFilter(args []string) error {
+	fs := flag.NewFlagSet("filter", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	name := fs.String("name", "", "dataset name")
+	out := fs.String("out", "", "output dataset name (default <name>.filtered)")
+	minMapQ := fs.Int("minmapq", 0, "keep reads with at least this mapping quality")
+	mapped := fs.Bool("mapped", false, "keep only mapped reads")
+	dedup := fs.Bool("dedup", false, "drop duplicate-flagged reads (run markdup first)")
+	fs.Parse(args)
+	store, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -name")
+	}
+	var preds []persona.FilterPredicate
+	if *minMapQ > 0 {
+		preds = append(preds, persona.FilterMinMapQ(uint8(*minMapQ)))
+	}
+	if *mapped {
+		preds = append(preds, persona.FilterMappedOnly())
+	}
+	if *dedup {
+		preds = append(preds, persona.FilterDropDuplicates())
+	}
+	if len(preds) == 0 {
+		return fmt.Errorf("no predicate: pass -minmapq, -mapped and/or -dedup")
+	}
+	m, stats, err := persona.Filter(store, *name, persona.FilterAnd(preds...), *out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kept %d/%d records into %q\n", stats.Kept, stats.In, m.Name)
+	return nil
+}
+
+func cmdVarcall(args []string) error {
+	fs := flag.NewFlagSet("varcall", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	name := fs.String("name", "", "dataset name")
+	outPath := fs.String("o", "-", "VCF output file ('-' for stdout)")
+	fs.Parse(args)
+	store, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -name")
+	}
+	ref, err := loadReference(store)
+	if err != nil {
+		return err
+	}
+	variants, err := persona.CallVariants(store, *name, ref)
+	if err != nil {
+		return err
+	}
+	var out io.Writer = os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := persona.WriteVCF(out, ref, variants); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "called %d variants\n", len(variants))
+	return nil
+}

@@ -1,0 +1,100 @@
+// Quickstart: the smallest end-to-end Persona run — import reads, align
+// them against a reference, and look at the results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"persona"
+	"persona/internal/formats/fastq"
+	"persona/internal/reads"
+)
+
+func main() {
+	// A deterministic synthetic reference stands in for hg19 (the real
+	// reference cannot ship with the repository; see DESIGN.md §3).
+	ref, err := persona.SynthesizeGenome(500_000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reference:", ref)
+
+	// Simulate a sequencer run. In production this would be the FASTQ file
+	// coming off the machine; the simulator is internal scaffolding.
+	sim, err := reads.NewSimulator(ref, reads.SimConfig{Seed: 1, N: 5000, ReadLen: 101})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, _ := sim.All()
+	var fq bytes.Buffer
+	w := fastq.NewWriter(&fq)
+	for i := range rs {
+		if err := w.Write(&rs[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Import FASTQ into the AGD column store.
+	store := persona.NewMemStore()
+	manifest, n, err := persona.ImportFASTQ(store, "patient", strings.NewReader(fq.String()),
+		persona.RefSeqs(ref), 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("imported:  %d reads in %d AGD chunks (columns %v)\n",
+		n, len(manifest.Chunks), manifest.Columns)
+
+	// 2. Build the seed index and align.
+	idx, err := persona.BuildIndex(ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, _, err := persona.Align(context.Background(), store, "patient", idx, persona.AlignOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aligned:   %d reads (%d bases) in %s — %.2f Mbases/s\n",
+		report.Reads, report.Bases, report.Elapsed.Round(1000_000), report.BasesPerSec/1e6)
+
+	// 3. Inspect a few results.
+	ds, err := persona.OpenDataset(store, "patient")
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := ds.ReadAllResults()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapped := 0
+	for _, r := range results {
+		if !r.IsUnmapped() {
+			mapped++
+		}
+	}
+	fmt.Printf("mapped:    %d/%d (%.1f%%)\n", mapped, len(results), 100*float64(mapped)/float64(len(results)))
+	fmt.Println("first results:")
+	for i := 0; i < 3; i++ {
+		r := results[i]
+		fmt.Printf("  read %d: loc=%d mapq=%d cigar=%s\n", i, r.Location, r.MapQ, r.Cigar)
+	}
+
+	// 4. Export to SAM for downstream tools.
+	var sam bytes.Buffer
+	if _, err := persona.ExportSAM(store, "patient", &sam); err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.SplitN(sam.String(), "\n", 6)
+	fmt.Println("SAM head:")
+	for _, line := range lines[:5] {
+		fmt.Println(" ", line)
+	}
+}

@@ -1,0 +1,111 @@
+// Package agd implements the Aggregate Genomic Data format (§3 of the
+// paper): an extensible, indexed column store for genomic data.
+//
+// An AGD dataset is a relational table of records. Fields are stored by
+// column; columns are divided into large-granularity chunks that live in
+// separate blobs ("files"). A JSON manifest describes the columns, chunks
+// and record counts, plus reference-genome metadata. Chunk blobs carry a
+// fixed header, a relative index (per-record lengths, from which absolute
+// offsets are computed by summation — or materialized on the fly for random
+// access), and a compressed data block.
+//
+// Two size optimizations from the paper are implemented: per-column block
+// compression (gzip; the compression byte in the header leaves room for
+// other codecs) and base compaction, which packs base letters 3 bits each,
+// 21 bases to a 64-bit word.
+//
+// The standard columns are "bases", "qual", "metadata" and (after
+// alignment) "results"; new columns can be added freely — they are just new
+// blobs plus manifest entries (§3: "AGD is extensible").
+package agd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Standard column names used by Persona.
+const (
+	ColBases    = "bases"
+	ColQual     = "qual"
+	ColMetadata = "metadata"
+	ColResults  = "results"
+)
+
+// RecordType tells applications how to parse the records of a chunk (§3:
+// "AGD specifies the record type in the chunk header").
+type RecordType uint8
+
+const (
+	// TypeRaw records are opaque byte strings (qualities, metadata).
+	TypeRaw RecordType = iota
+	// TypeCompactBases records are 3-bit packed base strings.
+	TypeCompactBases
+	// TypeResults records are encoded alignment Results.
+	TypeResults
+)
+
+func (t RecordType) String() string {
+	switch t {
+	case TypeRaw:
+		return "raw"
+	case TypeCompactBases:
+		return "bases"
+	case TypeResults:
+		return "results"
+	default:
+		return fmt.Sprintf("RecordType(%d)", uint8(t))
+	}
+}
+
+// Compression identifies the block compression applied to a chunk's data
+// block. It is selectable column-by-column (§3).
+type Compression uint8
+
+const (
+	// CompressNone stores the data block raw.
+	CompressNone Compression = iota
+	// CompressGzip applies stdlib gzip; the paper's deployment choice.
+	CompressGzip
+)
+
+func (c Compression) String() string {
+	switch c {
+	case CompressNone:
+		return "none"
+	case CompressGzip:
+		return "gzip"
+	default:
+		return fmt.Sprintf("Compression(%d)", uint8(c))
+	}
+}
+
+// DefaultChunkSize is the number of records per chunk used throughout the
+// paper's evaluation (§5.2).
+const DefaultChunkSize = 100_000
+
+// Errors shared across the package.
+var (
+	ErrBadMagic   = errors.New("agd: bad chunk magic")
+	ErrCorrupt    = errors.New("agd: corrupt chunk")
+	ErrNoColumn   = errors.New("agd: no such column")
+	ErrNoChunk    = errors.New("agd: no such chunk")
+	ErrRowGroup   = errors.New("agd: column chunking misaligned (not row-grouped)")
+	ErrNotFound   = errors.New("agd: blob not found")
+	ErrOutOfRange = errors.New("agd: record index out of range")
+)
+
+// BlobStore abstracts the storage system a dataset lives in. Local
+// filesystems and the Ceph-like object store both implement it; the AGD API
+// simply layers on top (§7: "The AGD API ... can simply be layered on top of
+// different storage or file systems").
+type BlobStore interface {
+	// Put stores data under name, replacing any previous blob.
+	Put(name string, data []byte) error
+	// Get retrieves the blob stored under name, or ErrNotFound.
+	Get(name string) ([]byte, error)
+	// Delete removes the blob if present.
+	Delete(name string) error
+	// List returns the names of blobs with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+}

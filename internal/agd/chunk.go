@@ -1,0 +1,275 @@
+package agd
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// gzip writers and readers carry megabyte-scale internal state; pooling
+// them keeps chunk encode/decode allocation-free in steady state, which
+// matters for the many-small-chunks regimes of sorting and marking.
+var gzWriterPool = sync.Pool{
+	New: func() any {
+		w, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+		return w
+	},
+}
+
+var gzReaderPool = sync.Pool{New: func() any { return new(gzip.Reader) }}
+
+// Chunk file layout (all integers little-endian):
+//
+//	offset size field
+//	0      4    magic "AGD1"
+//	4      1    version (1)
+//	5      1    record type
+//	6      1    compression
+//	7      1    reserved
+//	8      4    record count
+//	12     8    first record ordinal in the dataset
+//	20     8    index block size in bytes
+//	28     8    data block size in bytes (compressed)
+//	36     4    CRC-32 (IEEE) of the uncompressed data block
+//	40     ...  index block: uvarint length per record (the relative index)
+//	...    ...  data block (possibly compressed)
+
+const (
+	chunkMagic      = "AGD1"
+	chunkVersion    = 1
+	chunkHeaderSize = 40
+)
+
+// Chunk is an in-memory, parsed AGD chunk: the "chunk object" that flows
+// through Persona's queues after the AGD parser stage.
+type Chunk struct {
+	Type         RecordType
+	FirstOrdinal uint64
+
+	// lengths is the relative index: the byte length of each record within
+	// Data. offsets is the absolute index, materialized lazily (§3: "an
+	// absolute index can be generated on the fly") and exactly once —
+	// executor subchunk tasks access one chunk concurrently.
+	lengths     []uint32
+	offsets     []uint64
+	offsetsOnce sync.Once
+
+	// Data holds the concatenated, uncompressed record bytes.
+	Data []byte
+}
+
+// NumRecords returns the record count.
+func (c *Chunk) NumRecords() int { return len(c.lengths) }
+
+// Lengths exposes the relative index. Callers must not mutate it.
+func (c *Chunk) Lengths() []uint32 { return c.lengths }
+
+// absIndex materializes the absolute index by summing the relative index.
+func (c *Chunk) absIndex() []uint64 {
+	c.offsetsOnce.Do(func() {
+		offsets := make([]uint64, len(c.lengths)+1)
+		var sum uint64
+		for i, l := range c.lengths {
+			offsets[i] = sum
+			sum += uint64(l)
+		}
+		offsets[len(c.lengths)] = sum
+		c.offsets = offsets
+	})
+	return c.offsets
+}
+
+// Record returns the raw bytes of record i (no copy).
+func (c *Chunk) Record(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.lengths) {
+		return nil, ErrOutOfRange
+	}
+	off := c.absIndex()
+	return c.Data[off[i]:off[i+1]], nil
+}
+
+// ChunkBuilder accumulates records for one column chunk.
+type ChunkBuilder struct {
+	typ          RecordType
+	firstOrdinal uint64
+	lengths      []uint32
+	data         []byte
+}
+
+// NewChunkBuilder returns a builder for a chunk whose first record has the
+// given dataset-wide ordinal.
+func NewChunkBuilder(typ RecordType, firstOrdinal uint64) *ChunkBuilder {
+	return &ChunkBuilder{typ: typ, firstOrdinal: firstOrdinal}
+}
+
+// Append adds one record.
+func (b *ChunkBuilder) Append(record []byte) {
+	b.lengths = append(b.lengths, uint32(len(record)))
+	b.data = append(b.data, record...)
+}
+
+// AppendBases adds one record of base letters, applying base compaction.
+func (b *ChunkBuilder) AppendBases(bases []byte) {
+	before := len(b.data)
+	b.data = CompactBases(b.data, bases)
+	b.lengths = append(b.lengths, uint32(len(b.data)-before))
+}
+
+// NumRecords returns how many records have been appended.
+func (b *ChunkBuilder) NumRecords() int { return len(b.lengths) }
+
+// DataLen returns the current uncompressed data size.
+func (b *ChunkBuilder) DataLen() int { return len(b.data) }
+
+// Chunk returns the accumulated records as an in-memory Chunk (no copy).
+func (b *ChunkBuilder) Chunk() *Chunk {
+	return &Chunk{
+		Type:         b.typ,
+		FirstOrdinal: b.firstOrdinal,
+		lengths:      b.lengths,
+		Data:         b.data,
+	}
+}
+
+// EncodeChunk serializes a chunk to the on-disk format.
+func EncodeChunk(c *Chunk, comp Compression) ([]byte, error) {
+	var index bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	for _, l := range c.lengths {
+		n := binary.PutUvarint(tmp[:], uint64(l))
+		index.Write(tmp[:n])
+	}
+
+	data := c.Data
+	crc := crc32.ChecksumIEEE(data)
+	switch comp {
+	case CompressNone:
+	case CompressGzip:
+		var zbuf bytes.Buffer
+		zw := gzWriterPool.Get().(*gzip.Writer)
+		zw.Reset(&zbuf)
+		if _, err := zw.Write(data); err != nil {
+			gzWriterPool.Put(zw)
+			return nil, err
+		}
+		if err := zw.Close(); err != nil {
+			gzWriterPool.Put(zw)
+			return nil, err
+		}
+		gzWriterPool.Put(zw)
+		data = zbuf.Bytes()
+	default:
+		return nil, fmt.Errorf("agd: unknown compression %d", comp)
+	}
+
+	out := make([]byte, chunkHeaderSize, chunkHeaderSize+index.Len()+len(data))
+	copy(out[0:4], chunkMagic)
+	out[4] = chunkVersion
+	out[5] = byte(c.Type)
+	out[6] = byte(comp)
+	binary.LittleEndian.PutUint32(out[8:12], uint32(len(c.lengths)))
+	binary.LittleEndian.PutUint64(out[12:20], c.FirstOrdinal)
+	binary.LittleEndian.PutUint64(out[20:28], uint64(index.Len()))
+	binary.LittleEndian.PutUint64(out[28:36], uint64(len(data)))
+	binary.LittleEndian.PutUint32(out[36:40], crc)
+	out = append(out, index.Bytes()...)
+	out = append(out, data...)
+	return out, nil
+}
+
+// DecodeChunk parses an on-disk chunk blob, decompressing the data block.
+func DecodeChunk(blob []byte) (*Chunk, error) {
+	if len(blob) < chunkHeaderSize {
+		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(blob))
+	}
+	if string(blob[0:4]) != chunkMagic {
+		return nil, ErrBadMagic
+	}
+	if blob[4] != chunkVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, blob[4])
+	}
+	typ := RecordType(blob[5])
+	comp := Compression(blob[6])
+	records := binary.LittleEndian.Uint32(blob[8:12])
+	firstOrdinal := binary.LittleEndian.Uint64(blob[12:20])
+	indexSize := binary.LittleEndian.Uint64(blob[20:28])
+	dataSize := binary.LittleEndian.Uint64(blob[28:36])
+	wantCRC := binary.LittleEndian.Uint32(blob[36:40])
+
+	if uint64(len(blob)) != chunkHeaderSize+indexSize+dataSize {
+		return nil, fmt.Errorf("%w: size mismatch (header says %d, blob is %d)",
+			ErrCorrupt, chunkHeaderSize+indexSize+dataSize, len(blob))
+	}
+	indexBlock := blob[chunkHeaderSize : chunkHeaderSize+indexSize]
+	dataBlock := blob[chunkHeaderSize+indexSize:]
+
+	lengths := make([]uint32, 0, records)
+	var total uint64
+	for len(indexBlock) > 0 {
+		l, n := binary.Uvarint(indexBlock)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad index varint", ErrCorrupt)
+		}
+		lengths = append(lengths, uint32(l))
+		total += l
+		indexBlock = indexBlock[n:]
+	}
+	if uint32(len(lengths)) != records {
+		return nil, fmt.Errorf("%w: index has %d entries, header says %d", ErrCorrupt, len(lengths), records)
+	}
+
+	var data []byte
+	switch comp {
+	case CompressNone:
+		data = dataBlock
+	case CompressGzip:
+		zr := gzReaderPool.Get().(*gzip.Reader)
+		if err := zr.Reset(bytes.NewReader(dataBlock)); err != nil {
+			gzReaderPool.Put(zr)
+			return nil, fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+		}
+		data = make([]byte, 0, total)
+		buf := bytes.NewBuffer(data)
+		if _, err := io.Copy(buf, zr); err != nil { //nolint:gosec // bounded by chunk size
+			gzReaderPool.Put(zr)
+			return nil, fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+		}
+		if err := zr.Close(); err != nil {
+			gzReaderPool.Put(zr)
+			return nil, fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+		}
+		gzReaderPool.Put(zr)
+		data = buf.Bytes()
+	default:
+		return nil, fmt.Errorf("%w: unknown compression %d", ErrCorrupt, comp)
+	}
+
+	if uint64(len(data)) != total {
+		return nil, fmt.Errorf("%w: data block is %d bytes, index sums to %d", ErrCorrupt, len(data), total)
+	}
+	if crc32.ChecksumIEEE(data) != wantCRC {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+
+	return &Chunk{
+		Type:         typ,
+		FirstOrdinal: firstOrdinal,
+		lengths:      lengths,
+		Data:         data,
+	}, nil
+}
+
+// ExpandBasesRecord decodes record i of a TypeCompactBases chunk into base
+// letters, appending to dst.
+func (c *Chunk) ExpandBasesRecord(dst []byte, i int) ([]byte, error) {
+	rec, err := c.Record(i)
+	if err != nil {
+		return dst, err
+	}
+	out, _, err := ExpandBases(dst, rec)
+	return out, err
+}

@@ -1,0 +1,100 @@
+package agd
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"persona/internal/genome"
+)
+
+func TestCompactRoundTripBasic(t *testing.T) {
+	cases := [][]byte{
+		[]byte(""),
+		[]byte("A"),
+		[]byte("ACGTN"),
+		[]byte("ACGTACGTACGTACGTACGTA"),  // exactly 21
+		[]byte("ACGTACGTACGTACGTACGTAC"), // 22: spills into 2nd word
+		bytes.Repeat([]byte("ACGTN"), 100),
+	}
+	for _, bases := range cases {
+		enc := CompactBases(nil, bases)
+		if len(enc) != CompactedSize(len(bases)) {
+			t.Errorf("CompactedSize(%d) = %d, encoding is %d bytes",
+				len(bases), CompactedSize(len(bases)), len(enc))
+		}
+		dec, n, err := ExpandBases(nil, enc)
+		if err != nil {
+			t.Fatalf("ExpandBases(%q): %v", bases, err)
+		}
+		if n != len(enc) {
+			t.Errorf("consumed %d bytes, encoded %d", n, len(enc))
+		}
+		if !bytes.Equal(dec, bases) {
+			t.Errorf("round trip: got %q, want %q", dec, bases)
+		}
+	}
+}
+
+func TestCompact21BasesPerWord(t *testing.T) {
+	// 21 bases must pack into exactly one 64-bit word (plus 1 length byte).
+	enc := CompactBases(nil, bytes.Repeat([]byte("A"), 21))
+	if len(enc) != 1+8 {
+		t.Fatalf("21 bases encoded to %d bytes, want 9", len(enc))
+	}
+	// The paper's ratio: 101 bases → 1 varint byte + 5 words = 41 bytes,
+	// versus 101 raw.
+	enc101 := CompactBases(nil, bytes.Repeat([]byte("G"), 101))
+	if len(enc101) != 1+5*8 {
+		t.Fatalf("101 bases encoded to %d bytes, want 41", len(enc101))
+	}
+}
+
+func TestCompactRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		bases := make([]byte, len(raw))
+		for i, b := range raw {
+			bases[i] = genome.Letter(b % 5)
+		}
+		dec, _, err := ExpandBases(nil, CompactBases(nil, bases))
+		return err == nil && bytes.Equal(dec, bases)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactConcatenatedRecords(t *testing.T) {
+	// Multiple compacted records back to back decode sequentially via the
+	// consumed-byte count.
+	recs := [][]byte{[]byte("ACGT"), []byte(""), bytes.Repeat([]byte("TTTTA"), 30)}
+	var enc []byte
+	for _, r := range recs {
+		enc = CompactBases(enc, r)
+	}
+	off := 0
+	for i, want := range recs {
+		dec, n, err := ExpandBases(nil, enc[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, want) {
+			t.Fatalf("record %d: got %q want %q", i, dec, want)
+		}
+		off += n
+	}
+	if off != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", off, len(enc))
+	}
+}
+
+func TestExpandBasesCorrupt(t *testing.T) {
+	if _, _, err := ExpandBases(nil, []byte{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Valid count but missing words.
+	enc := CompactBases(nil, []byte("ACGTACGTACGT"))
+	if _, _, err := ExpandBases(nil, enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}

@@ -1,0 +1,292 @@
+package agd
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// writeTestDataset builds a small 3-column dataset with n records and chunk
+// size cs.
+func writeTestDataset(t *testing.T, store BlobStore, name string, n, cs int) *Manifest {
+	t.Helper()
+	w, err := NewWriter(store, name, StandardReadColumns(), WriterOptions{
+		ChunkSize: cs,
+		RefSeqs:   []RefSeq{{Name: "chr1", Length: 1000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		bases := []byte("ACGTACGTAC")
+		qual := bytes.Repeat([]byte("I"), len(bases))
+		meta := []byte(fmt.Sprintf("read.%d", i))
+		if err := w.Append(bases, qual, meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDatasetWriteRead(t *testing.T) {
+	store := NewMemStore()
+	m := writeTestDataset(t, store, "ds", 25, 10)
+	if len(m.Chunks) != 3 { // 10+10+5
+		t.Fatalf("chunks = %d, want 3", len(m.Chunks))
+	}
+	if m.NumRecords() != 25 {
+		t.Fatalf("NumRecords = %d, want 25", m.NumRecords())
+	}
+
+	ds, err := Open(store, "ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases, err := ds.ReadAllBases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bases) != 25 {
+		t.Fatalf("bases = %d records", len(bases))
+	}
+	for _, b := range bases {
+		if string(b) != "ACGTACGTAC" {
+			t.Fatalf("bases = %q", b)
+		}
+	}
+	metas, err := ds.ReadAllColumn(ColMetadata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, meta := range metas {
+		if string(meta) != fmt.Sprintf("read.%d", i) {
+			t.Fatalf("meta[%d] = %q", i, meta)
+		}
+	}
+	if ds.Manifest.RefSeqs[0].Name != "chr1" {
+		t.Fatal("ref seqs not preserved")
+	}
+}
+
+func TestDatasetSelectiveColumnAccess(t *testing.T) {
+	// Reading one column must not touch the other columns' blobs: count Get
+	// calls through a spying store.
+	spy := &spyStore{BlobStore: NewMemStore()}
+	writeTestDataset(t, spy, "ds", 10, 10)
+	spy.gets = nil
+	ds, err := Open(spy, "ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.ReadChunk(ColQual, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range spy.gets {
+		if bytes.Contains([]byte(name), []byte(".bases")) || bytes.Contains([]byte(name), []byte(".metadata")) {
+			t.Fatalf("reading qual touched %q", name)
+		}
+	}
+}
+
+type spyStore struct {
+	BlobStore
+	gets []string
+}
+
+func (s *spyStore) Get(name string) ([]byte, error) {
+	s.gets = append(s.gets, name)
+	return s.BlobStore.Get(name)
+}
+
+func TestDatasetErrors(t *testing.T) {
+	store := NewMemStore()
+	writeTestDataset(t, store, "ds", 5, 10)
+	ds, err := Open(store, "ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.ReadChunk("nope", 0); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := ds.ReadChunk(ColBases, 99); err == nil {
+		t.Fatal("unknown chunk accepted")
+	}
+	if _, err := Open(store, "missing"); err == nil {
+		t.Fatal("missing dataset opened")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	store := NewMemStore()
+	if _, err := NewWriter(store, "", StandardReadColumns(), WriterOptions{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewWriter(store, "x", nil, WriterOptions{}); err == nil {
+		t.Fatal("no columns accepted")
+	}
+	dupCols := []ColumnSpec{{Name: "a"}, {Name: "a"}}
+	if _, err := NewWriter(store, "x", dupCols, WriterOptions{}); err == nil {
+		t.Fatal("duplicate columns accepted")
+	}
+	w, err := NewWriter(store, "x", StandardReadColumns(), WriterOptions{ChunkSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("AC")); err == nil {
+		t.Fatal("wrong field count accepted")
+	}
+	if _, err := w.Close(); err == nil {
+		t.Fatal("empty dataset close succeeded")
+	}
+}
+
+func TestAppendColumnRowGrouped(t *testing.T) {
+	store := NewMemStore()
+	m := writeTestDataset(t, store, "ds", 25, 10)
+
+	results := make([]Result, 25)
+	for i := range results {
+		results[i] = Result{Location: int64(i * 100), MapQ: 60, Cigar: "10M"}
+	}
+	m2, err := AppendColumn(store, m, ColumnSpec{Name: ColResults, Type: TypeResults},
+		func(chunkIdx int) ([][]byte, error) {
+			entry := m.Chunks[chunkIdx]
+			var recs [][]byte
+			for r := uint64(0); r < uint64(entry.Records); r++ {
+				recs = append(recs, EncodeResult(nil, &results[entry.First+r]))
+			}
+			return recs, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.HasColumn(ColResults) {
+		t.Fatal("results column missing after append")
+	}
+
+	ds, err := Open(store, "ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadAllResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 25 {
+		t.Fatalf("results = %d", len(got))
+	}
+	for i, r := range got {
+		if r.Location != int64(i*100) {
+			t.Fatalf("result %d location = %d", i, r.Location)
+		}
+	}
+
+	// Appending a misaligned column must fail.
+	_, err = AppendColumn(store, m2, ColumnSpec{Name: "extra"}, func(int) ([][]byte, error) {
+		return [][]byte{[]byte("only-one")}, nil
+	})
+	if err == nil {
+		t.Fatal("misaligned column accepted")
+	}
+	// Duplicate column name must fail.
+	_, err = AppendColumn(store, m2, ColumnSpec{Name: ColResults}, nil)
+	if err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestReconstructManifest(t *testing.T) {
+	store := NewMemStore()
+	orig := writeTestDataset(t, store, "ds", 25, 10)
+	// Lose the manifest; reconstruct from chunk blobs.
+	if err := store.Delete("ds/manifest.json"); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReconstructManifest(store, "ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NumRecords() != orig.NumRecords() {
+		t.Fatalf("reconstructed records = %d, want %d", rec.NumRecords(), orig.NumRecords())
+	}
+	if len(rec.Chunks) != len(orig.Chunks) {
+		t.Fatalf("reconstructed chunks = %d, want %d", len(rec.Chunks), len(orig.Chunks))
+	}
+	if len(rec.Columns) != len(orig.Columns) {
+		t.Fatalf("reconstructed columns = %v, want %v", rec.Columns, orig.Columns)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	bad := &Manifest{Name: "x", Columns: []string{"a"}, Chunks: []ChunkEntry{
+		{Path: "x/chunk-0", First: 0, Records: 10},
+		{Path: "x/chunk-1", First: 99, Records: 10}, // gap
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("gap in ordinals accepted")
+	}
+}
+
+func TestDeleteDataset(t *testing.T) {
+	store := NewMemStore()
+	writeTestDataset(t, store, "ds", 5, 10)
+	if err := Delete(store, "ds"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := store.List("ds/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("blobs remain after delete: %v", names)
+	}
+}
+
+func TestDirStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeTestDataset(t, store, "ds", 12, 5)
+	ds, err := Open(store, "ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases, err := ds.ReadAllBases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bases) != 12 {
+		t.Fatalf("bases = %d", len(bases))
+	}
+	if _, err := store.Get("nope"); err == nil {
+		t.Fatal("missing blob fetched")
+	}
+	if err := store.Delete("nope"); err != nil {
+		t.Fatalf("Delete of missing blob: %v", err)
+	}
+}
+
+func TestMemStoreIsolation(t *testing.T) {
+	store := NewMemStore()
+	data := []byte("abc")
+	if err := store.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X' // caller mutation must not affect stored blob
+	got, err := store.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("stored blob mutated: %q", got)
+	}
+	if store.Size() != 3 {
+		t.Fatalf("Size = %d", store.Size())
+	}
+}

@@ -1,0 +1,149 @@
+package agd
+
+import (
+	"fmt"
+)
+
+// Dataset provides read access to an AGD dataset in a blob store.
+type Dataset struct {
+	Manifest *Manifest
+	store    BlobStore
+}
+
+// Open loads a dataset's manifest and returns a reader for it.
+func Open(store BlobStore, name string) (*Dataset, error) {
+	m, err := ReadManifest(store, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Manifest: m, store: store}, nil
+}
+
+// OpenManifest wraps an already-loaded manifest.
+func OpenManifest(store BlobStore, m *Manifest) *Dataset {
+	return &Dataset{Manifest: m, store: store}
+}
+
+// Store returns the underlying blob store.
+func (d *Dataset) Store() BlobStore { return d.store }
+
+// NumChunks returns the number of row-group chunks.
+func (d *Dataset) NumChunks() int { return len(d.Manifest.Chunks) }
+
+// NumRecords returns the total record count.
+func (d *Dataset) NumRecords() uint64 { return d.Manifest.NumRecords() }
+
+// ChunkBlobName returns the blob name of column col of chunk i, so callers
+// (e.g. the cluster runtime) can fetch raw blobs themselves.
+func (d *Dataset) ChunkBlobName(col string, i int) (string, error) {
+	if !d.Manifest.HasColumn(col) {
+		return "", fmt.Errorf("%w: %q", ErrNoColumn, col)
+	}
+	if i < 0 || i >= len(d.Manifest.Chunks) {
+		return "", fmt.Errorf("%w: %d", ErrNoChunk, i)
+	}
+	return chunkPath(d.Manifest.Chunks[i], col), nil
+}
+
+// ReadChunk fetches and decodes column col of chunk i. Only the requested
+// column's blob is touched — the selective-field-access property that
+// motivates AGD's column orientation.
+func (d *Dataset) ReadChunk(col string, i int) (*Chunk, error) {
+	name, err := d.ChunkBlobName(col, i)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := d.store.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := DecodeChunk(blob)
+	if err != nil {
+		return nil, fmt.Errorf("agd: chunk %q: %w", name, err)
+	}
+	if int(d.Manifest.Chunks[i].Records) != c.NumRecords() {
+		return nil, fmt.Errorf("%w: chunk %q has %d records, manifest says %d",
+			ErrCorrupt, name, c.NumRecords(), d.Manifest.Chunks[i].Records)
+	}
+	return c, nil
+}
+
+// ReadAllColumn decodes every record of a column across all chunks, copying
+// each record. Intended for tests and small datasets; the pipeline operates
+// chunk-wise.
+func (d *Dataset) ReadAllColumn(col string) ([][]byte, error) {
+	var out [][]byte
+	for i := range d.Manifest.Chunks {
+		c, err := d.ReadChunk(col, i)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < c.NumRecords(); r++ {
+			rec, err := c.Record(r)
+			if err != nil {
+				return nil, err
+			}
+			cp := make([]byte, len(rec))
+			copy(cp, rec)
+			out = append(out, cp)
+		}
+	}
+	return out, nil
+}
+
+// ReadAllBases decodes the bases column across all chunks into base-letter
+// strings.
+func (d *Dataset) ReadAllBases() ([][]byte, error) {
+	var out [][]byte
+	for i := range d.Manifest.Chunks {
+		c, err := d.ReadChunk(ColBases, i)
+		if err != nil {
+			return nil, err
+		}
+		if c.Type != TypeCompactBases {
+			return nil, fmt.Errorf("agd: bases column has type %v", c.Type)
+		}
+		for r := 0; r < c.NumRecords(); r++ {
+			bases, err := c.ExpandBasesRecord(nil, r)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bases)
+		}
+	}
+	return out, nil
+}
+
+// ReadAllResults decodes the results column across all chunks.
+func (d *Dataset) ReadAllResults() ([]Result, error) {
+	var out []Result
+	for i := range d.Manifest.Chunks {
+		c, err := d.ReadChunk(ColResults, i)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < c.NumRecords(); r++ {
+			res, err := c.DecodeResultRecord(r)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// Delete removes every blob of the dataset (all column chunks plus the
+// manifest).
+func Delete(store BlobStore, name string) error {
+	names, err := store.List(name + "/")
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := store.Delete(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

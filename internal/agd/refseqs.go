@@ -1,0 +1,15 @@
+package agd
+
+import "persona/internal/genome"
+
+// RefSeqsFromGenome derives manifest reference-sequence entries from a
+// genome, preserving contig order so global coordinates in results columns
+// stay translatable.
+func RefSeqsFromGenome(g *genome.Genome) []RefSeq {
+	contigs := g.Contigs()
+	out := make([]RefSeq, len(contigs))
+	for i := range contigs {
+		out[i] = RefSeq{Name: contigs[i].Name, Length: int64(contigs[i].Len())}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package agd
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SAM-compatible flag bits used in Result.Flags.
+const (
+	FlagPaired       = 0x1
+	FlagProperPair   = 0x2
+	FlagUnmapped     = 0x4
+	FlagMateUnmapped = 0x8
+	FlagReverse      = 0x10
+	FlagMateReverse  = 0x20
+	FlagFirstInPair  = 0x40
+	FlagSecondInPair = 0x80
+	FlagSecondary    = 0x100
+	FlagQCFail       = 0x200
+	FlagDuplicate    = 0x400
+	FlagSupplement   = 0x800
+)
+
+// UnmappedLocation marks an unaligned read in Result.Location.
+const UnmappedLocation = int64(-1)
+
+// Result is one record of the "results" column: the outcome of aligning one
+// read. Locations are global genome coordinates (contig offsets are resolved
+// through the manifest's reference info, the way the paper's manifest stores
+// "names and sizes of contiguous reference sequences").
+type Result struct {
+	// Location is the global position of the leftmost aligned base, or
+	// UnmappedLocation.
+	Location int64
+	// MateLocation is the pair mate's location (paired-end), or
+	// UnmappedLocation.
+	MateLocation int64
+	// TemplateLen is the signed observed template length (SAM TLEN).
+	TemplateLen int32
+	// Score is the aligner's internal score (edit distance for SNAP-style
+	// aligners, Smith-Waterman score for BWA-style).
+	Score int32
+	// MapQ is the Phred-scaled mapping quality.
+	MapQ uint8
+	// Flags holds SAM-compatible flag bits.
+	Flags uint16
+	// Cigar is the alignment CIGAR string (empty for unmapped reads).
+	Cigar string
+}
+
+// IsUnmapped reports whether the read failed to align.
+func (r *Result) IsUnmapped() bool { return r.Flags&FlagUnmapped != 0 || r.Location < 0 }
+
+// IsReverse reports whether the read aligned to the reverse strand.
+func (r *Result) IsReverse() bool { return r.Flags&FlagReverse != 0 }
+
+// IsDuplicate reports whether the read is marked as a PCR duplicate.
+func (r *Result) IsDuplicate() bool { return r.Flags&FlagDuplicate != 0 }
+
+// EncodeResult appends the binary encoding of r to dst.
+func EncodeResult(dst []byte, r *Result) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		dst = append(dst, tmp[:n]...)
+	}
+	putU := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		dst = append(dst, tmp[:n]...)
+	}
+	put(r.Location)
+	put(r.MateLocation)
+	put(int64(r.TemplateLen))
+	put(int64(r.Score))
+	putU(uint64(r.MapQ))
+	putU(uint64(r.Flags))
+	putU(uint64(len(r.Cigar)))
+	dst = append(dst, r.Cigar...)
+	return dst
+}
+
+// DecodeResult parses one encoded Result from src.
+func DecodeResult(src []byte) (Result, error) {
+	var r Result
+	off := 0
+	get := func() (int64, error) {
+		v, n := binary.Varint(src[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: bad result varint", ErrCorrupt)
+		}
+		off += n
+		return v, nil
+	}
+	getU := func() (uint64, error) {
+		v, n := binary.Uvarint(src[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: bad result uvarint", ErrCorrupt)
+		}
+		off += n
+		return v, nil
+	}
+	var err error
+	if r.Location, err = get(); err != nil {
+		return r, err
+	}
+	if r.MateLocation, err = get(); err != nil {
+		return r, err
+	}
+	v, err := get()
+	if err != nil {
+		return r, err
+	}
+	r.TemplateLen = int32(v)
+	if v, err = get(); err != nil {
+		return r, err
+	}
+	r.Score = int32(v)
+	u, err := getU()
+	if err != nil {
+		return r, err
+	}
+	r.MapQ = uint8(u)
+	if u, err = getU(); err != nil {
+		return r, err
+	}
+	r.Flags = uint16(u)
+	if u, err = getU(); err != nil {
+		return r, err
+	}
+	if off+int(u) > len(src) {
+		return r, fmt.Errorf("%w: result CIGAR truncated", ErrCorrupt)
+	}
+	r.Cigar = string(src[off : off+int(u)])
+	return r, nil
+}
+
+// DecodeResultRecord decodes record i of a TypeResults chunk.
+func (c *Chunk) DecodeResultRecord(i int) (Result, error) {
+	rec, err := c.Record(i)
+	if err != nil {
+		return Result{}, err
+	}
+	return DecodeResult(rec)
+}

@@ -1,0 +1,145 @@
+package agd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemStore is an in-memory BlobStore, used by tests and as the backing for
+// the simulated object store.
+type MemStore struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{blobs: make(map[string][]byte)}
+}
+
+// Put implements BlobStore.
+func (s *MemStore) Put(name string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.blobs[name] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements BlobStore.
+func (s *MemStore) Get(name string) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.blobs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return data, nil
+}
+
+// Delete implements BlobStore.
+func (s *MemStore) Delete(name string) error {
+	s.mu.Lock()
+	delete(s.blobs, name)
+	s.mu.Unlock()
+	return nil
+}
+
+// List implements BlobStore.
+func (s *MemStore) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	var names []string
+	for name := range s.blobs {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names, nil
+}
+
+// Size returns the total bytes stored.
+func (s *MemStore) Size() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, b := range s.blobs {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// DirStore is a BlobStore over a local directory; blob names map to file
+// paths ('/' separators become directories).
+type DirStore struct {
+	root string
+}
+
+// NewDirStore returns a store rooted at dir, creating it if needed.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{root: dir}, nil
+}
+
+func (s *DirStore) path(name string) string {
+	return filepath.Join(s.root, filepath.FromSlash(name))
+}
+
+// Put implements BlobStore.
+func (s *DirStore) Put(name string, data []byte) error {
+	p := s.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(p, data, 0o644)
+}
+
+// Get implements BlobStore.
+func (s *DirStore) Get(name string) ([]byte, error) {
+	data, err := os.ReadFile(s.path(name))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return data, err
+}
+
+// Delete implements BlobStore.
+func (s *DirStore) Delete(name string) error {
+	err := os.Remove(s.path(name))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// List implements BlobStore.
+func (s *DirStore) List(prefix string) ([]string, error) {
+	var names []string
+	err := filepath.Walk(s.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(s.root, path)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}

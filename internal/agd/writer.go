@@ -1,0 +1,302 @@
+package agd
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ColumnSpec declares one column of a dataset under construction.
+type ColumnSpec struct {
+	Name string
+	Type RecordType
+	// Compression for this column's chunks; the zero value selects gzip,
+	// matching the paper's deployment. (The per-column choice is the
+	// flexibility knob §3 describes.)
+	Compression Compression
+	compSet     bool
+}
+
+// WithCompression returns the spec with an explicit compression choice.
+func (c ColumnSpec) WithCompression(comp Compression) ColumnSpec {
+	c.Compression = comp
+	c.compSet = true
+	return c
+}
+
+func (c ColumnSpec) compression() Compression {
+	if !c.compSet && c.Compression == CompressNone {
+		return CompressGzip
+	}
+	return c.Compression
+}
+
+// StandardReadColumns returns the specs of the three sequencer-read columns
+// (bases, qual, metadata).
+func StandardReadColumns() []ColumnSpec {
+	return []ColumnSpec{
+		{Name: ColBases, Type: TypeCompactBases},
+		{Name: ColQual, Type: TypeRaw},
+		{Name: ColMetadata, Type: TypeRaw},
+	}
+}
+
+// Writer builds an AGD dataset chunk by chunk. Records are appended row-wise
+// (one field per column); the writer splits columns into row-grouped chunks
+// of ChunkSize records and writes each column chunk as its own blob.
+// With ParallelFlush > 1, chunk encoding and compression run on background
+// workers so ingest keeps all cores busy — how the paper's importer reaches
+// 360 MB/s (§5.7).
+type Writer struct {
+	store     BlobStore
+	name      string
+	cols      []ColumnSpec
+	chunkSize int
+	refSeqs   []RefSeq
+	sortedBy  string
+
+	builders []*ChunkBuilder
+	ordinal  uint64
+	chunkIdx int
+	entries  []ChunkEntry
+	closed   bool
+
+	flushers  chan struct{} // semaphore; nil means synchronous
+	flushWG   sync.WaitGroup
+	flushErrs chan error
+}
+
+// WriterOptions configures a dataset writer.
+type WriterOptions struct {
+	// ChunkSize is records per chunk; default DefaultChunkSize.
+	ChunkSize int
+	// RefSeqs is recorded in the manifest (may be nil for unaligned data).
+	RefSeqs []RefSeq
+	// SortedBy is recorded in the manifest ("", "location", "metadata").
+	SortedBy string
+	// ParallelFlush > 1 compresses and stores completed chunks on that many
+	// background workers.
+	ParallelFlush int
+}
+
+// NewWriter creates a dataset writer. The dataset's manifest is written on
+// Close.
+func NewWriter(store BlobStore, name string, cols []ColumnSpec, opts WriterOptions) (*Writer, error) {
+	if name == "" {
+		return nil, fmt.Errorf("agd: empty dataset name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("agd: no columns")
+	}
+	seen := make(map[string]bool)
+	for _, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("agd: column with empty name")
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("agd: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = DefaultChunkSize
+	}
+	w := &Writer{
+		store:     store,
+		name:      name,
+		cols:      cols,
+		chunkSize: opts.ChunkSize,
+		refSeqs:   opts.RefSeqs,
+		sortedBy:  opts.SortedBy,
+	}
+	if opts.ParallelFlush > 1 {
+		w.flushers = make(chan struct{}, opts.ParallelFlush)
+		w.flushErrs = make(chan error, opts.ParallelFlush)
+	}
+	w.startChunk()
+	return w, nil
+}
+
+func (w *Writer) startChunk() {
+	w.builders = make([]*ChunkBuilder, len(w.cols))
+	for i, c := range w.cols {
+		w.builders[i] = NewChunkBuilder(c.Type, w.ordinal)
+	}
+}
+
+// Append adds one record; fields must match the writer's columns in order.
+// Bases columns (TypeCompactBases) receive raw base letters and are
+// compacted here.
+func (w *Writer) Append(fields ...[]byte) error {
+	if w.closed {
+		return fmt.Errorf("agd: writer for %q is closed", w.name)
+	}
+	if len(fields) != len(w.cols) {
+		return fmt.Errorf("agd: Append got %d fields, want %d", len(fields), len(w.cols))
+	}
+	for i, f := range fields {
+		if w.cols[i].Type == TypeCompactBases {
+			w.builders[i].AppendBases(f)
+		} else {
+			w.builders[i].Append(f)
+		}
+	}
+	w.ordinal++
+	if w.builders[0].NumRecords() >= w.chunkSize {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+// AppendResult is a convenience for results-only datasets/columns.
+func (w *Writer) AppendResult(r *Result) error {
+	return w.Append(EncodeResult(nil, r))
+}
+
+// AppendStored adds one record whose fields are already in stored
+// representation (e.g. bases already compacted) — the zero-copy path used
+// by the external merge sort, which never expands what it only reorders.
+func (w *Writer) AppendStored(fields ...[]byte) error {
+	if w.closed {
+		return fmt.Errorf("agd: writer for %q is closed", w.name)
+	}
+	if len(fields) != len(w.cols) {
+		return fmt.Errorf("agd: AppendStored got %d fields, want %d", len(fields), len(w.cols))
+	}
+	for i, f := range fields {
+		w.builders[i].Append(f)
+	}
+	w.ordinal++
+	if w.builders[0].NumRecords() >= w.chunkSize {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+func (w *Writer) flushChunk() error {
+	n := w.builders[0].NumRecords()
+	if n == 0 {
+		return nil
+	}
+	entry := ChunkEntry{
+		Path:    fmt.Sprintf("%s/chunk-%06d", w.name, w.chunkIdx),
+		First:   w.builders[0].Chunk().FirstOrdinal,
+		Records: uint32(n),
+	}
+	w.entries = append(w.entries, entry)
+	w.chunkIdx++
+	builders := w.builders
+	w.startChunk()
+
+	if w.flushers == nil {
+		return w.encodeAndStore(entry, builders)
+	}
+	// Drain any async error first so failures surface promptly.
+	select {
+	case err := <-w.flushErrs:
+		return err
+	default:
+	}
+	w.flushers <- struct{}{}
+	w.flushWG.Add(1)
+	go func() {
+		defer w.flushWG.Done()
+		defer func() { <-w.flushers }()
+		if err := w.encodeAndStore(entry, builders); err != nil {
+			select {
+			case w.flushErrs <- err:
+			default:
+			}
+		}
+	}()
+	return nil
+}
+
+// encodeAndStore compresses and stores every column chunk of one row group.
+func (w *Writer) encodeAndStore(entry ChunkEntry, builders []*ChunkBuilder) error {
+	for i, c := range w.cols {
+		blob, err := EncodeChunk(builders[i].Chunk(), c.compression())
+		if err != nil {
+			return err
+		}
+		if err := w.store.Put(chunkPath(entry, c.Name), blob); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumRecords returns how many records have been appended so far.
+func (w *Writer) NumRecords() uint64 { return w.ordinal }
+
+// Close flushes the final partial chunk and writes the manifest. It returns
+// the completed manifest.
+func (w *Writer) Close() (*Manifest, error) {
+	if w.closed {
+		return nil, fmt.Errorf("agd: writer for %q already closed", w.name)
+	}
+	w.closed = true
+	if err := w.flushChunk(); err != nil {
+		return nil, err
+	}
+	w.flushWG.Wait()
+	if w.flushErrs != nil {
+		select {
+		case err := <-w.flushErrs:
+			return nil, err
+		default:
+		}
+	}
+	m := &Manifest{Name: w.name, Version: 1, Chunks: w.entries, RefSeqs: w.refSeqs, SortedBy: w.sortedBy}
+	for _, c := range w.cols {
+		m.Columns = append(m.Columns, c.Name)
+	}
+	if len(m.Chunks) == 0 {
+		return nil, fmt.Errorf("agd: dataset %q has no records", w.name)
+	}
+	if err := WriteManifest(w.store, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// AppendColumn adds a new column to an existing dataset, row-grouped with
+// the existing chunks: records must be supplied per chunk, matching each
+// chunk's record count. This is how Persona appends alignment results to a
+// dataset (§3: "a new record field ... can be easily added by writing the
+// column chunk files and adding appropriate entries to the metadata file").
+func AppendColumn(store BlobStore, m *Manifest, spec ColumnSpec, chunkRecords func(chunkIdx int) ([][]byte, error)) (*Manifest, error) {
+	if m.HasColumn(spec.Name) {
+		return nil, fmt.Errorf("agd: dataset %q already has column %q", m.Name, spec.Name)
+	}
+	for i, entry := range m.Chunks {
+		records, err := chunkRecords(i)
+		if err != nil {
+			return nil, err
+		}
+		if len(records) != int(entry.Records) {
+			return nil, fmt.Errorf("%w: chunk %d has %d records, column supplies %d",
+				ErrRowGroup, i, entry.Records, len(records))
+		}
+		b := NewChunkBuilder(spec.Type, entry.First)
+		for _, rec := range records {
+			if spec.Type == TypeCompactBases {
+				b.AppendBases(rec)
+			} else {
+				b.Append(rec)
+			}
+		}
+		blob, err := EncodeChunk(b.Chunk(), spec.compression())
+		if err != nil {
+			return nil, err
+		}
+		if err := store.Put(chunkPath(entry, spec.Name), blob); err != nil {
+			return nil, err
+		}
+	}
+	updated := *m
+	updated.Columns = append(append([]string{}, m.Columns...), spec.Name)
+	if err := WriteManifest(store, &updated); err != nil {
+		return nil, err
+	}
+	return &updated, nil
+}

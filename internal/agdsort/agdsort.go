@@ -1,0 +1,376 @@
+// Package agdsort sorts AGD datasets with an external merge sort (§4.3 of
+// the paper): several chunks at a time are sorted and merged into temporary
+// "superchunks"; a final merge stage streams the superchunks into the
+// sorted output dataset. Datasets can be sorted by aligned location or by
+// read ID (metadata), the two orders downstream tools need.
+package agdsort
+
+import (
+	"bytes"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"persona/internal/agd"
+)
+
+// Key selects the sort order.
+type Key int
+
+const (
+	// ByLocation sorts by aligned genome location (requires a results
+	// column). Unmapped reads sort last.
+	ByLocation Key = iota
+	// ByMetadata sorts lexicographically by read ID.
+	ByMetadata
+)
+
+func (k Key) String() string {
+	if k == ByLocation {
+		return "location"
+	}
+	return "metadata"
+}
+
+// Options configures a sort.
+type Options struct {
+	// By selects the sort key.
+	By Key
+	// ChunksPerSuperchunk is how many input chunks are loaded, sorted and
+	// merged into each temporary superchunk (default 8) — the knob that
+	// trades memory for merge fan-in.
+	ChunksPerSuperchunk int
+	// OutputName names the sorted dataset; default "<name>.sorted".
+	OutputName string
+	// OutputChunkSize is records per output chunk; default: same as input
+	// manifest's first chunk.
+	OutputChunkSize int
+}
+
+// row is one record across all columns plus its sort key.
+type row struct {
+	key    int64  // ByLocation
+	keyStr []byte // ByMetadata
+	fields [][]byte
+}
+
+// Sort externally sorts a dataset and writes a new sorted dataset,
+// returning its manifest.
+func Sort(store agd.BlobStore, name string, opts Options) (*agd.Manifest, error) {
+	ds, err := agd.Open(store, name)
+	if err != nil {
+		return nil, err
+	}
+	return SortDataset(ds, opts)
+}
+
+// SortDataset is Sort over an already-open dataset.
+func SortDataset(ds *agd.Dataset, opts Options) (*agd.Manifest, error) {
+	m := ds.Manifest
+	if opts.By == ByLocation && !m.HasColumn(agd.ColResults) {
+		return nil, fmt.Errorf("agdsort: dataset %q has no results column to sort by", m.Name)
+	}
+	if opts.By == ByMetadata && !m.HasColumn(agd.ColMetadata) {
+		return nil, fmt.Errorf("agdsort: dataset %q has no metadata column", m.Name)
+	}
+	if opts.ChunksPerSuperchunk <= 0 {
+		opts.ChunksPerSuperchunk = 8
+	}
+	if opts.OutputName == "" {
+		opts.OutputName = m.Name + ".sorted"
+	}
+	if opts.OutputChunkSize <= 0 {
+		if len(m.Chunks) > 0 {
+			opts.OutputChunkSize = int(m.Chunks[0].Records)
+		} else {
+			opts.OutputChunkSize = agd.DefaultChunkSize
+		}
+	}
+	store := ds.Store()
+
+	// Phase 1: produce sorted superchunks. Batches are independent, so
+	// they run in parallel across the machine's cores — the sort is where
+	// Persona's 48-thread servers earn the Table 2 advantage.
+	numBatches := (len(m.Chunks) + opts.ChunksPerSuperchunk - 1) / opts.ChunksPerSuperchunk
+	superNames := make([]string, numBatches)
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	errs := make(chan error, numBatches)
+	for b := 0; b < numBatches; b++ {
+		superNames[b] = fmt.Sprintf("%s/tmp/super-%06d", opts.OutputName, b)
+		start := b * opts.ChunksPerSuperchunk
+		end := start + opts.ChunksPerSuperchunk
+		if end > len(m.Chunks) {
+			end = len(m.Chunks)
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(b, start, end int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rows, err := loadRows(ds, start, end, opts.By)
+			if err != nil {
+				errs <- err
+				return
+			}
+			sortRows(rows, opts.By)
+			if err := writeSuperchunk(store, superNames[b], rows); err != nil {
+				errs <- err
+			}
+		}(b, start, end)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	// Phase 2: k-way merge of superchunks into the output dataset.
+	manifest, err := mergeSuperchunks(store, superNames, ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Drop temporaries.
+	for _, sn := range superNames {
+		if err := store.Delete(sn); err != nil {
+			return nil, err
+		}
+	}
+	return manifest, nil
+}
+
+// loadRows materializes rows for chunks [start, end).
+func loadRows(ds *agd.Dataset, start, end int, by Key) ([]row, error) {
+	m := ds.Manifest
+	var rows []row
+	for ci := start; ci < end; ci++ {
+		chunks := make([]*agd.Chunk, len(m.Columns))
+		for col := range m.Columns {
+			c, err := ds.ReadChunk(m.Columns[col], ci)
+			if err != nil {
+				return nil, err
+			}
+			chunks[col] = c
+		}
+		n := chunks[0].NumRecords()
+		for r := 0; r < n; r++ {
+			fields := make([][]byte, len(chunks))
+			for col, c := range chunks {
+				rec, err := c.Record(r)
+				if err != nil {
+					return nil, err
+				}
+				fields[col] = rec
+			}
+			rw := row{fields: fields}
+			if err := fillKey(&rw, m.Columns, by); err != nil {
+				return nil, err
+			}
+			rows = append(rows, rw)
+		}
+	}
+	return rows, nil
+}
+
+// fillKey computes the sort key of a row.
+func fillKey(rw *row, columns []string, by Key) error {
+	for col, name := range columns {
+		switch {
+		case by == ByLocation && name == agd.ColResults:
+			res, err := agd.DecodeResult(rw.fields[col])
+			if err != nil {
+				return err
+			}
+			if res.IsUnmapped() {
+				rw.key = int64(1) << 62 // unmapped last
+			} else {
+				rw.key = res.Location
+			}
+			return nil
+		case by == ByMetadata && name == agd.ColMetadata:
+			rw.keyStr = rw.fields[col]
+			return nil
+		}
+	}
+	return fmt.Errorf("agdsort: key column missing")
+}
+
+// sortRows sorts in-memory rows; the paper notes Persona's in-memory phase
+// is "currently naive, using std::sort() across chunks" — sort.SliceStable
+// is the Go equivalent.
+func sortRows(rows []row, by Key) {
+	if by == ByLocation {
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	} else {
+		sort.SliceStable(rows, func(i, j int) bool { return bytes.Compare(rows[i].keyStr, rows[j].keyStr) < 0 })
+	}
+}
+
+// writeSuperchunk encodes sorted rows into one temporary blob: each record
+// is the concatenation of uvarint-length-prefixed fields. Temporaries are
+// deleted right after the merge, so they are stored uncompressed — paying
+// gzip twice on data that lives for seconds would only burn the cores the
+// merge needs.
+func writeSuperchunk(store agd.BlobStore, name string, rows []row) error {
+	b := agd.NewChunkBuilder(agd.TypeRaw, 0)
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	for i := range rows {
+		buf = buf[:0]
+		for _, f := range rows[i].fields {
+			n := binary.PutUvarint(tmp[:], uint64(len(f)))
+			buf = append(buf, tmp[:n]...)
+			buf = append(buf, f...)
+		}
+		b.Append(buf)
+	}
+	blob, err := agd.EncodeChunk(b.Chunk(), agd.CompressNone)
+	if err != nil {
+		return err
+	}
+	return store.Put(name, blob)
+}
+
+// superIter iterates rows of a superchunk.
+type superIter struct {
+	chunk *agd.Chunk
+	next  int
+	cols  int
+	by    Key
+
+	cur row
+}
+
+func openSuperchunk(store agd.BlobStore, name string, cols int, by Key) (*superIter, error) {
+	blob, err := store.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := agd.DecodeChunk(blob)
+	if err != nil {
+		return nil, err
+	}
+	return &superIter{chunk: c, cols: cols, by: by}, nil
+}
+
+// advance loads the next row; returns false at the end.
+func (it *superIter) advance(columns []string) (bool, error) {
+	if it.next >= it.chunk.NumRecords() {
+		return false, nil
+	}
+	rec, err := it.chunk.Record(it.next)
+	if err != nil {
+		return false, err
+	}
+	it.next++
+	fields := make([][]byte, it.cols)
+	off := 0
+	for c := 0; c < it.cols; c++ {
+		l, n := binary.Uvarint(rec[off:])
+		if n <= 0 {
+			return false, fmt.Errorf("agdsort: corrupt superchunk record")
+		}
+		off += n
+		fields[c] = rec[off : off+int(l)]
+		off += int(l)
+	}
+	it.cur = row{fields: fields}
+	if err := fillKey(&it.cur, columns, it.by); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// rowHeap is a min-heap of superchunk iterators keyed by current row.
+type rowHeap struct {
+	items []*superIter
+	by    Key
+}
+
+func (h *rowHeap) Len() int { return len(h.items) }
+func (h *rowHeap) Less(i, j int) bool {
+	a, b := &h.items[i].cur, &h.items[j].cur
+	if h.by == ByLocation {
+		return a.key < b.key
+	}
+	return bytes.Compare(a.keyStr, b.keyStr) < 0
+}
+func (h *rowHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *rowHeap) Push(x any)    { h.items = append(h.items, x.(*superIter)) }
+func (h *rowHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// mergeSuperchunks streams the heap-merge of all superchunks into the
+// output dataset.
+func mergeSuperchunks(store agd.BlobStore, superNames []string, ds *agd.Dataset, opts Options) (*agd.Manifest, error) {
+	m := ds.Manifest
+	cols := make([]agd.ColumnSpec, len(m.Columns))
+	for i, name := range m.Columns {
+		cols[i] = agd.ColumnSpec{Name: name, Type: columnType(name)}
+	}
+	w, err := agd.NewWriter(store, opts.OutputName, cols, agd.WriterOptions{
+		ChunkSize:     opts.OutputChunkSize,
+		RefSeqs:       m.RefSeqs,
+		SortedBy:      opts.By.String(),
+		ParallelFlush: runtime.NumCPU(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	h := &rowHeap{by: opts.By}
+	for _, sn := range superNames {
+		it, err := openSuperchunk(store, sn, len(m.Columns), opts.By)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := it.advance(m.Columns)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			h.items = append(h.items, it)
+		}
+	}
+	heap.Init(h)
+
+	// Superchunk rows hold every column in stored representation (bases
+	// stay compacted), so the merge moves bytes without re-encoding.
+	for h.Len() > 0 {
+		it := h.items[0]
+		if err := w.AppendStored(it.cur.fields...); err != nil {
+			return nil, err
+		}
+		ok, err := it.advance(m.Columns)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return w.Close()
+}
+
+// columnType returns the record type convention for a standard column name.
+func columnType(name string) agd.RecordType {
+	switch name {
+	case agd.ColBases:
+		return agd.TypeCompactBases
+	case agd.ColResults:
+		return agd.TypeResults
+	default:
+		return agd.TypeRaw
+	}
+}

@@ -1,0 +1,167 @@
+package bwa
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"persona/internal/genome"
+)
+
+// FM-index over the BWT of the encoded reference. The alphabet is
+// {0: sentinel, 1: A, 2: C, 3: G, 4: T}; ambiguous reference bases are
+// rewritten to a position-dependent deterministic base (as BWA does with a
+// random one) so they never create artificial repeat runs.
+
+const (
+	symSentinel = 0
+	numSymbols  = 5
+	occSample   = 64 // Occ checkpoint spacing
+)
+
+// FMIndex supports backward search over the reference.
+type FMIndex struct {
+	n    int    // text length including sentinel
+	bwt  []byte // BWT symbols
+	c    [numSymbols + 1]int32
+	occ  []int32 // checkpoints: occ[(i/occSample)*4 + (sym-1)]
+	sa   []int32 // full suffix array (locate)
+	text []byte  // encoded text, for seed re-checking
+
+	// Probes counts Occ rank lookups: the cache/TLB-hostile random accesses
+	// that make BWT aligners memory-bound (§6 of the paper). Atomic: the
+	// index is shared read-only across aligner workers, but this counter is
+	// written by all of them.
+	Probes atomic.Int64
+}
+
+// encodeRef rewrites the genome into the FM alphabet, replacing N with a
+// deterministic pseudo-random base derived from the position.
+func encodeRef(g *genome.Genome) []byte {
+	seq := g.Seq()
+	out := make([]byte, len(seq)+1)
+	for i, b := range seq {
+		code := genome.Code(b)
+		if code > 3 {
+			code = uint8((uint64(i)*2654435761 + 12345) & 3)
+		}
+		out[i] = code + 1
+	}
+	out[len(seq)] = symSentinel
+	return out
+}
+
+// NewFMIndex builds the index for a genome.
+func NewFMIndex(g *genome.Genome) (*FMIndex, error) {
+	if g.Len()+1 > 1<<31-1 {
+		return nil, fmt.Errorf("bwa: genome too large for int32 suffix array")
+	}
+	text := encodeRef(g)
+	sa := BuildSuffixArray(text)
+	n := len(text)
+
+	x := &FMIndex{n: n, sa: sa, text: text}
+	x.bwt = make([]byte, n)
+	for i := 0; i < n; i++ {
+		j := int(sa[i]) - 1
+		if j < 0 {
+			j = n - 1
+		}
+		x.bwt[i] = text[j]
+	}
+
+	// C array: for symbol s, number of text symbols < s.
+	var counts [numSymbols]int32
+	for _, s := range x.bwt {
+		counts[s]++
+	}
+	for s := 0; s < numSymbols; s++ {
+		x.c[s+1] = x.c[s] + counts[s]
+	}
+
+	// Occ checkpoints for the 4 base symbols.
+	blocks := (n + occSample) / occSample
+	x.occ = make([]int32, blocks*4)
+	var running [4]int32
+	for i := 0; i < n; i++ {
+		if i%occSample == 0 {
+			copy(x.occ[(i/occSample)*4:], running[:])
+		}
+		if s := x.bwt[i]; s >= 1 && s <= 4 {
+			running[s-1]++
+		}
+	}
+	return x, nil
+}
+
+// Len returns the indexed text length (genome + sentinel).
+func (x *FMIndex) Len() int { return x.n }
+
+// rank returns the number of occurrences of base symbol s (1..4) in
+// bwt[0:i).
+func (x *FMIndex) rank(s byte, i int32) int32 {
+	x.Probes.Add(1)
+	block := int(i) / occSample
+	r := x.occ[block*4+int(s-1)]
+	for j := block * occSample; j < int(i); j++ {
+		if x.bwt[j] == s {
+			r++
+		}
+	}
+	return r
+}
+
+// extend performs one backward-search step: given the interval [lo, hi) of
+// suffixes prefixed by pattern P, it returns the interval for sP.
+func (x *FMIndex) extend(lo, hi int32, s byte) (int32, int32) {
+	return x.c[s] + x.rank(s, lo), x.c[s] + x.rank(s, hi)
+}
+
+// Search returns the suffix-array interval [lo, hi) of exact occurrences of
+// the encoded pattern (symbols 1..4), or an empty interval.
+func (x *FMIndex) Search(pattern []byte) (int32, int32) {
+	lo, hi := int32(0), int32(x.n)
+	for i := len(pattern) - 1; i >= 0; i-- {
+		s := pattern[i]
+		if s < 1 || s > 4 {
+			return 0, 0
+		}
+		lo, hi = x.extend(lo, hi, s)
+		if lo >= hi {
+			return 0, 0
+		}
+	}
+	return lo, hi
+}
+
+// Locate returns up to max reference positions for an SA interval.
+func (x *FMIndex) Locate(lo, hi, max int32) []int32 {
+	if hi-lo > max {
+		hi = lo + max
+	}
+	out := make([]int32, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, x.sa[i])
+	}
+	return out
+}
+
+// Count returns the number of occurrences of the encoded pattern.
+func (x *FMIndex) Count(pattern []byte) int32 {
+	lo, hi := x.Search(pattern)
+	return hi - lo
+}
+
+// EncodeQuery converts base letters to FM symbols; ambiguous bases map to 0
+// (unsearchable).
+func EncodeQuery(bases []byte) []byte {
+	out := make([]byte, len(bases))
+	for i, b := range bases {
+		code := genome.Code(b)
+		if code > 3 {
+			out[i] = 0
+		} else {
+			out[i] = code + 1
+		}
+	}
+	return out
+}

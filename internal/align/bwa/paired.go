@@ -1,0 +1,244 @@
+package bwa
+
+import (
+	"math"
+	"sort"
+
+	"persona/internal/agd"
+	"persona/internal/align"
+)
+
+// InsertStats describes the inferred insert-size distribution.
+type InsertStats struct {
+	Mean, Std float64
+	// N is the number of high-confidence pairs the estimate is based on.
+	N int
+}
+
+// Bounds returns the accepted insert range (mean ± 4σ, floored at read
+// scale).
+func (s InsertStats) Bounds() (int64, int64) {
+	lo := int64(s.Mean - 4*s.Std)
+	hi := int64(s.Mean + 4*s.Std)
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// inferInsertStats is the single-threaded per-batch step the paper calls out
+// (§4.3): it scans the batch's unambiguous, opposite-strand candidate pairs
+// and estimates the insert-size distribution that pair selection then uses.
+func inferInsertStats(ext1, ext2 [][]extension, readLen int) InsertStats {
+	var inserts []float64
+	for i := range ext1 {
+		if len(ext1[i]) == 0 || len(ext2[i]) == 0 {
+			continue
+		}
+		e1, e2 := ext1[i][0], ext2[i][0]
+		// Only clearly-unique pairs participate.
+		if len(ext1[i]) > 1 && ext1[i][1].score == e1.score {
+			continue
+		}
+		if len(ext2[i]) > 1 && ext2[i][1].score == e2.score {
+			continue
+		}
+		if e1.rc == e2.rc {
+			continue
+		}
+		left, right := e1, e2
+		if e1.rc {
+			left, right = e2, e1
+		}
+		insert := right.pos + int64(readLen) - left.pos
+		if insert <= 0 || insert > 100_000 {
+			continue
+		}
+		inserts = append(inserts, float64(insert))
+	}
+	if len(inserts) < 8 {
+		return InsertStats{}
+	}
+	// Robust estimate: interquartile trim then moments.
+	sort.Float64s(inserts)
+	q := len(inserts) / 4
+	trimmed := inserts[q : len(inserts)-q]
+	if len(trimmed) == 0 {
+		trimmed = inserts
+	}
+	var sum float64
+	for _, v := range trimmed {
+		sum += v
+	}
+	mean := sum / float64(len(trimmed))
+	var ss float64
+	for _, v := range trimmed {
+		ss += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(ss / float64(len(trimmed)))
+	if std < 10 {
+		std = 10
+	}
+	return InsertStats{Mean: mean, Std: std, N: len(trimmed)}
+}
+
+// AlignPairBatch aligns a batch of read pairs. Candidate generation runs
+// per-pair (parallelizable by the caller across batches); the insert-size
+// inference in the middle is inherently single-threaded per batch, which is
+// why Persona's executor splits threads between these stages for BWA (§4.3).
+// It returns one result per read: 2*len(pairs1) results, interleaved
+// (pair 0 read 1, pair 0 read 2, pair 1 read 1, ...).
+func (a *Aligner) AlignPairBatch(pairs1, pairs2 [][]byte) ([]agd.Result, InsertStats) {
+	n := len(pairs1)
+	ext1 := make([][]extension, n)
+	ext2 := make([][]extension, n)
+	for i := 0; i < n; i++ {
+		a.counts.Reads += 2
+		ext1[i] = a.bestExtensions(pairs1[i])
+		ext2[i] = a.bestExtensions(pairs2[i])
+	}
+
+	readLen := 0
+	if n > 0 {
+		readLen = len(pairs2[0])
+	}
+	stats := inferInsertStats(ext1, ext2, readLen)
+	loIns, hiIns := int64(a.cfg.MinInsert), int64(a.cfg.MaxInsert)
+	if stats.N > 0 {
+		loIns, hiIns = stats.Bounds()
+	}
+
+	out := make([]agd.Result, 0, 2*n)
+	for i := 0; i < n; i++ {
+		r1, r2 := a.selectPair(pairs1[i], pairs2[i], ext1[i], ext2[i], loIns, hiIns)
+		out = append(out, r1, r2)
+	}
+	return out, stats
+}
+
+// pairBonus is the score bonus a properly-oriented in-range pair receives
+// during selection.
+const pairBonus = 15
+
+// selectPair picks the best combination of candidate extensions for a pair.
+func (a *Aligner) selectPair(b1, b2 []byte, e1s, e2s []extension, loIns, hiIns int64) (agd.Result, agd.Result) {
+	bestScore := int32(-1 << 30)
+	secondScore := int32(-1 << 30)
+	var best1, best2 *extension
+	for i := range e1s {
+		for j := range e2s {
+			e1, e2 := &e1s[i], &e2s[j]
+			combined := e1.score + e2.score
+			if e1.rc != e2.rc {
+				left, right := e1, e2
+				rlen := len(b2)
+				if e1.rc {
+					left, right = e2, e1
+					rlen = len(b1)
+				}
+				insert := right.pos + int64(rlen) - left.pos
+				if left.pos <= right.pos && insert >= loIns && insert <= hiIns {
+					combined += pairBonus
+				}
+			}
+			if combined > bestScore {
+				secondScore = bestScore
+				bestScore = combined
+				best1, best2 = e1, e2
+			} else if combined > secondScore {
+				secondScore = combined
+			}
+		}
+	}
+
+	if best1 == nil || best2 == nil {
+		// At least one end had no candidates: fall back to singles.
+		r1 := a.resultFromExts(b1, e1s)
+		r2 := a.resultFromExts(b2, e2s)
+		finalizePairFlags(&r1, &r2)
+		return r1, r2
+	}
+
+	a.counts.Aligned += 2
+	mapq := align.MapQFromScores(bestScore, secondScore, 1, a.cfg.Scoring.Match)
+	r1 := extToResult(best1, mapq)
+	r2 := extToResult(best2, mapq)
+
+	// Proper-pair determination mirrors the bonus test.
+	if best1.rc != best2.rc {
+		left, right := best1, best2
+		rlen := len(b2)
+		if best1.rc {
+			left, right = best2, best1
+			rlen = len(b1)
+		}
+		insert := right.pos + int64(rlen) - left.pos
+		if left.pos <= right.pos && insert >= loIns && insert <= hiIns {
+			r1.Flags |= agd.FlagProperPair
+			r2.Flags |= agd.FlagProperPair
+			tlen := int32(insert)
+			if best1.pos <= best2.pos {
+				r1.TemplateLen, r2.TemplateLen = tlen, -tlen
+			} else {
+				r1.TemplateLen, r2.TemplateLen = -tlen, tlen
+			}
+		}
+	}
+	r1.MateLocation, r2.MateLocation = r2.Location, r1.Location
+	finalizePairFlags(&r1, &r2)
+	return r1, r2
+}
+
+// resultFromExts builds a single-end result from an extension list.
+func (a *Aligner) resultFromExts(bases []byte, exts []extension) agd.Result {
+	if len(exts) == 0 {
+		return agd.Result{Location: agd.UnmappedLocation, MateLocation: agd.UnmappedLocation, Flags: agd.FlagUnmapped}
+	}
+	best := exts[0]
+	second := int32(-1 << 30)
+	bestCount := 1
+	for _, e := range exts[1:] {
+		if e.score == best.score {
+			bestCount++
+			second = e.score
+		} else if e.score > second {
+			second = e.score
+		}
+	}
+	return extToResult(&best, align.MapQFromScores(best.score, second, bestCount, a.cfg.Scoring.Match))
+}
+
+func extToResult(e *extension, mapq uint8) agd.Result {
+	var flags uint16
+	if e.rc {
+		flags |= agd.FlagReverse
+	}
+	return agd.Result{
+		Location:     e.pos,
+		MateLocation: agd.UnmappedLocation,
+		Score:        e.score,
+		MapQ:         mapq,
+		Flags:        flags,
+		Cigar:        e.cigar.String(),
+	}
+}
+
+// finalizePairFlags stamps the shared pair bookkeeping on both results.
+func finalizePairFlags(r1, r2 *agd.Result) {
+	r1.Flags |= agd.FlagPaired | agd.FlagFirstInPair
+	r2.Flags |= agd.FlagPaired | agd.FlagSecondInPair
+	if r2.IsUnmapped() {
+		r1.Flags |= agd.FlagMateUnmapped
+	} else if r2.IsReverse() {
+		r1.Flags |= agd.FlagMateReverse
+	}
+	if r1.IsUnmapped() {
+		r2.Flags |= agd.FlagMateUnmapped
+	} else if r1.IsReverse() {
+		r2.Flags |= agd.FlagMateReverse
+	}
+	if !r1.IsUnmapped() && !r2.IsUnmapped() {
+		r1.MateLocation = r2.Location
+		r2.MateLocation = r1.Location
+	}
+}

@@ -1,0 +1,144 @@
+// Package align provides the alignment core shared by Persona's aligners:
+// CIGAR strings, bounded edit distance (Landau-Vishkin, the verification
+// kernel SNAP uses), banded affine-gap Smith-Waterman (the extension kernel
+// BWA-MEM uses), and mapping-quality estimation.
+package align
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CigarOp is one CIGAR operation kind.
+type CigarOp byte
+
+// CIGAR operation kinds, in BAM numeric order.
+const (
+	CigarMatch    CigarOp = 'M' // alignment match or mismatch
+	CigarIns      CigarOp = 'I' // insertion to the reference
+	CigarDel      CigarOp = 'D' // deletion from the reference
+	CigarSkip     CigarOp = 'N'
+	CigarSoftClip CigarOp = 'S'
+	CigarHardClip CigarOp = 'H'
+	CigarPad      CigarOp = 'P'
+	CigarEqual    CigarOp = '='
+	CigarDiff     CigarOp = 'X'
+)
+
+// cigarOps lists operations in BAM numeric encoding order.
+var cigarOps = []CigarOp{CigarMatch, CigarIns, CigarDel, CigarSkip, CigarSoftClip, CigarHardClip, CigarPad, CigarEqual, CigarDiff}
+
+// BAMCode returns the BAM numeric encoding of the op (0..8), or -1.
+func (op CigarOp) BAMCode() int {
+	for i, o := range cigarOps {
+		if o == op {
+			return i
+		}
+	}
+	return -1
+}
+
+// CigarOpFromBAM maps a BAM numeric code back to the op.
+func CigarOpFromBAM(code int) (CigarOp, error) {
+	if code < 0 || code >= len(cigarOps) {
+		return 0, fmt.Errorf("align: bad BAM cigar code %d", code)
+	}
+	return cigarOps[code], nil
+}
+
+// CigarElem is one run-length element of a CIGAR.
+type CigarElem struct {
+	Len int
+	Op  CigarOp
+}
+
+// Cigar is a parsed CIGAR.
+type Cigar []CigarElem
+
+// String renders the CIGAR in SAM text form; empty renders as "*".
+func (c Cigar) String() string {
+	if len(c) == 0 {
+		return "*"
+	}
+	var sb strings.Builder
+	for _, e := range c {
+		sb.WriteString(strconv.Itoa(e.Len))
+		sb.WriteByte(byte(e.Op))
+	}
+	return sb.String()
+}
+
+// ParseCigar parses a SAM CIGAR string; "*" and "" parse to nil.
+func ParseCigar(s string) (Cigar, error) {
+	if s == "" || s == "*" {
+		return nil, nil
+	}
+	var c Cigar
+	n := 0
+	sawDigit := false
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if ch >= '0' && ch <= '9' {
+			n = n*10 + int(ch-'0')
+			sawDigit = true
+			continue
+		}
+		if !sawDigit || n == 0 {
+			return nil, fmt.Errorf("align: bad cigar %q: op %q without length", s, ch)
+		}
+		switch op := CigarOp(ch); op {
+		case CigarMatch, CigarIns, CigarDel, CigarSkip, CigarSoftClip, CigarHardClip, CigarPad, CigarEqual, CigarDiff:
+			c = append(c, CigarElem{Len: n, Op: op})
+		default:
+			return nil, fmt.Errorf("align: bad cigar %q: unknown op %q", s, ch)
+		}
+		n = 0
+		sawDigit = false
+	}
+	if sawDigit {
+		return nil, fmt.Errorf("align: bad cigar %q: trailing length", s)
+	}
+	return c, nil
+}
+
+// ReadLen returns the read bases consumed by the CIGAR (M/I/S/=/X).
+func (c Cigar) ReadLen() int {
+	n := 0
+	for _, e := range c {
+		switch e.Op {
+		case CigarMatch, CigarIns, CigarSoftClip, CigarEqual, CigarDiff:
+			n += e.Len
+		}
+	}
+	return n
+}
+
+// RefLen returns the reference bases consumed by the CIGAR (M/D/N/=/X).
+func (c Cigar) RefLen() int {
+	n := 0
+	for _, e := range c {
+		switch e.Op {
+		case CigarMatch, CigarDel, CigarSkip, CigarEqual, CigarDiff:
+			n += e.Len
+		}
+	}
+	return n
+}
+
+// Canonical merges adjacent elements with identical ops and drops
+// zero-length elements.
+func (c Cigar) Canonical() Cigar {
+	var out Cigar
+	for _, e := range c {
+		if e.Len == 0 {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].Op == e.Op {
+			out[len(out)-1].Len += e.Len
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package align
+
+// Edit-distance kernels. SNAP verifies each candidate location with a
+// bounded edit-distance computation — the "short but frequent calls to a
+// local alignment edit distance function" that make it core-bound (§6). The
+// hot path uses the Landau-Vishkin diagonal algorithm (distance only); the
+// winning candidate is re-aligned with a banded DP to recover the CIGAR.
+
+// EditDistance computes the unbounded Levenshtein distance between query
+// and ref with full dynamic programming. O(len(query)·len(ref)); used as
+// the reference implementation in tests and for tiny inputs.
+func EditDistance(query, ref []byte) int {
+	m, n := len(query), len(ref)
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = i
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if query[i-1] == ref[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if d := prev[j] + 1; d < best {
+				best = d
+			}
+			if d := cur[j-1] + 1; d < best {
+				best = d
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// LandauVishkin computes the edit distance between query and ref if it is
+// at most maxK, or -1 otherwise. The ref should be a window of at least
+// len(query) bases (len(query)+maxK to allow trailing deletions); trailing
+// unconsumed ref is free, i.e. the query is aligned globally against a ref
+// prefix. O((maxK+1)²) time beyond the furthest-reach scans.
+func LandauVishkin(query, ref []byte, maxK int) int {
+	dist, _ := LandauVishkinOps(query, ref, maxK)
+	return dist
+}
+
+// LandauVishkinOps is LandauVishkin plus a count of the serially dependent
+// operations performed (diagonal updates and exact-match extension
+// comparisons). The count feeds the Fig. 8 workload analysis: these short
+// data-dependent loops are what make SNAP core bound (§6).
+func LandauVishkinOps(query, ref []byte, maxK int) (dist, ops int) {
+	m := len(query)
+	if m == 0 {
+		return 0, 0
+	}
+	if maxK < 0 {
+		return -1, 0
+	}
+	// L[d] = furthest query index reached on diagonal d (ref index =
+	// query index + d) with the current number of edits. Diagonals are
+	// offset by maxK to index the slice.
+	size := 2*maxK + 1
+	cur := make([]int, size)
+	next := make([]int, size)
+	for i := range cur {
+		cur[i] = -2 // unreachable
+	}
+	// 0 edits: only diagonal 0, extend exact match.
+	reach := extend(query, ref, 0, 0)
+	ops += reach + 1
+	if reach == m {
+		return 0, ops
+	}
+	cur[maxK] = reach
+
+	for e := 1; e <= maxK; e++ {
+		lo, hi := -e, e
+		if lo < -maxK {
+			lo = -maxK
+		}
+		if hi > maxK {
+			hi = maxK
+		}
+		for d := lo; d <= hi; d++ {
+			// Best query index reachable on diagonal d with e edits:
+			// substitution from (d, e-1), insertion (query base consumed)
+			// from (d+1, e-1), deletion (ref base consumed) from (d-1, e-1).
+			best := -1
+			if v := get(cur, maxK, d); v >= 0 && v+1 > best {
+				best = v + 1
+			}
+			if v := get(cur, maxK, d+1); v >= 0 && v+1 > best {
+				best = v + 1
+			}
+			if v := get(cur, maxK, d-1); v >= 0 && v > best {
+				best = v
+			}
+			if best < 0 {
+				next[maxK+d] = -2 // diagonal still unreachable
+				continue
+			}
+			if best > m {
+				best = m
+			}
+			// Extend along the diagonal with free exact matches. The
+			// invariant best+d >= 0 holds inductively (j never goes
+			// negative along any edit path).
+			ext := extend(query[best:], ref, best+d, 0)
+			ops += ext + 3 // the extension scan plus the diagonal update
+			best += ext
+			if best >= m {
+				return e, ops
+			}
+			next[maxK+d] = best
+		}
+		cur, next = next, cur
+		for i := range next {
+			next[i] = -2
+		}
+	}
+	return -1, ops
+}
+
+// get fetches the furthest reach for diagonal d, or -2 when out of band.
+func get(row []int, maxK, d int) int {
+	if d < -maxK || d > maxK {
+		return -2
+	}
+	return row[maxK+d]
+}
+
+// extend counts exact matches of query[qi:] against ref[ri:].
+func extend(query, ref []byte, ri, qi int) int {
+	n := 0
+	for qi+n < len(query) && ri+n < len(ref) && query[qi+n] == ref[ri+n] {
+		n++
+	}
+	return n
+}
+
+// BoundedAlign aligns query globally against a prefix of ref with at most
+// maxK edits, returning the distance, the CIGAR and the number of reference
+// bases consumed. It returns dist = -1 if no alignment within maxK exists.
+// Banded DP, O(len(query)·(2maxK+1)) time and space.
+func BoundedAlign(query, ref []byte, maxK int) (dist int, cigar Cigar, refUsed int) {
+	m := len(query)
+	if m == 0 {
+		return 0, nil, 0
+	}
+	if maxK < 0 {
+		return -1, nil, 0
+	}
+	w := 2*maxK + 1
+	const inf = 1 << 29
+	// dp[i*w + (j-i+maxK)] = distance aligning query[:i] with ref[:j].
+	dp := make([]int32, (m+1)*w)
+	for i := range dp {
+		dp[i] = inf
+	}
+	at := func(i, j int) int32 {
+		d := j - i + maxK
+		if d < 0 || d >= w || j < 0 || j > len(ref) {
+			return inf
+		}
+		return dp[i*w+d]
+	}
+	set := func(i, j int, v int32) {
+		dp[i*w+(j-i+maxK)] = v
+	}
+	for j := 0; j <= maxK && j <= len(ref); j++ {
+		set(0, j, int32(j)) // leading deletions
+	}
+	for i := 1; i <= m; i++ {
+		lo, hi := i-maxK, i+maxK
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(ref) {
+			hi = len(ref)
+		}
+		for j := lo; j <= hi; j++ {
+			best := int32(inf)
+			if j > 0 {
+				cost := int32(1)
+				if query[i-1] == ref[j-1] {
+					cost = 0
+				}
+				if v := at(i-1, j-1) + cost; v < best {
+					best = v
+				}
+				if v := at(i, j-1) + 1; v < best { // deletion (ref consumed)
+					best = v
+				}
+			}
+			if v := at(i-1, j) + 1; v < best { // insertion (query consumed)
+				best = v
+			}
+			set(i, j, best)
+		}
+	}
+	// Answer: best dp[m][j] over the band; trailing ref is free.
+	bestJ, bestD := -1, int32(inf)
+	for j := m - maxK; j <= m+maxK; j++ {
+		if j < 0 || j > len(ref) {
+			continue
+		}
+		if v := at(m, j); v < bestD {
+			bestD, bestJ = v, j
+		}
+	}
+	if bestD > int32(maxK) {
+		return -1, nil, 0
+	}
+
+	// Traceback.
+	var rev Cigar
+	i, j := m, bestJ
+	for i > 0 || j > 0 {
+		v := at(i, j)
+		if i > 0 && j > 0 {
+			cost := int32(1)
+			if query[i-1] == ref[j-1] {
+				cost = 0
+			}
+			if at(i-1, j-1)+cost == v {
+				rev = append(rev, CigarElem{Len: 1, Op: CigarMatch})
+				i, j = i-1, j-1
+				continue
+			}
+		}
+		if i > 0 && at(i-1, j)+1 == v {
+			rev = append(rev, CigarElem{Len: 1, Op: CigarIns})
+			i--
+			continue
+		}
+		if j > 0 && at(i, j-1)+1 == v {
+			rev = append(rev, CigarElem{Len: 1, Op: CigarDel})
+			j--
+			continue
+		}
+		// Unreachable given a consistent DP table.
+		break
+	}
+	// Reverse and run-length merge.
+	out := make(Cigar, 0, len(rev))
+	for k := len(rev) - 1; k >= 0; k-- {
+		out = append(out, rev[k])
+	}
+	return int(bestD), out.Canonical(), bestJ
+}

@@ -1,0 +1,63 @@
+package align
+
+// Mapping-quality estimation. MAPQ is the Phred-scaled probability that the
+// reported location is wrong; like SNAP and BWA, we derive it from the gap
+// between the best and second-best candidate scores and the number of
+// equally good placements.
+
+// MapQ computes a mapping quality for an edit-distance aligner.
+//
+//	bestDist       edit distance of the reported alignment
+//	secondDist     edit distance of the best alternative (-1 if none found)
+//	bestCount      number of distinct locations achieving bestDist
+func MapQ(bestDist, secondDist, bestCount int) uint8 {
+	if bestCount > 1 {
+		// Multiple equally good placements: essentially a coin flip among
+		// them.
+		switch {
+		case bestCount >= 10:
+			return 0
+		case bestCount >= 4:
+			return 1
+		default:
+			return 3
+		}
+	}
+	if secondDist < 0 {
+		return 60 // unique: no competing placement at all
+	}
+	gap := secondDist - bestDist
+	if gap <= 0 {
+		return 3
+	}
+	// Each extra edit in the runner-up multiplies its likelihood down by
+	// roughly the per-base error odds; 10 Phred per edit, capped at 60.
+	q := 10 * gap
+	if q > 60 {
+		q = 60
+	}
+	return uint8(q)
+}
+
+// MapQFromScores computes a mapping quality for a score-based aligner
+// (Smith-Waterman scores, higher is better).
+func MapQFromScores(best, second int32, bestCount int, matchScore int32) uint8 {
+	if bestCount > 1 {
+		return MapQ(0, 0, bestCount)
+	}
+	if second <= 0 {
+		return 60
+	}
+	if matchScore <= 0 {
+		matchScore = 1
+	}
+	gap := (best - second) / matchScore
+	if gap <= 0 {
+		return 3
+	}
+	q := int32(10) * gap
+	if q > 60 {
+		q = 60
+	}
+	return uint8(q)
+}

@@ -1,0 +1,119 @@
+// Package snap implements a SNAP-style short-read aligner [Zaharia et al.,
+// CoRR 2011]: a hash-based index of fixed-length reference seeds, candidate
+// lookup at several read offsets, and Landau-Vishkin verification of each
+// candidate with best/second-best tracking. This is the high-throughput
+// aligner of the paper's evaluation (§4.3, §5); it is optimized for large
+// memory and many cores.
+package snap
+
+import (
+	"fmt"
+
+	"persona/internal/genome"
+)
+
+// IndexConfig parameterizes index construction.
+type IndexConfig struct {
+	// SeedLen is the seed length in bases (max 31). Real SNAP uses ~20 for
+	// a 3 Gbp genome; smaller synthetic genomes can use 16.
+	SeedLen int
+	// MaxSeedHits drops seeds occurring at more than this many locations
+	// (repeat masking); 0 means 300.
+	MaxSeedHits int
+}
+
+// Index is the hash-based seed index: seed value → reference locations (the
+// "Genome Index: Seed → Ref. Loc" of Fig. 3).
+type Index struct {
+	gen     *genome.Genome
+	seedLen int
+	maxHits int
+	table   map[uint64][]int32
+	seeds   int // distinct seeds retained
+}
+
+// BuildIndex indexes every seed of the genome. Seeds containing N are
+// skipped. Positions are stored as int32 (genomes beyond 2 Gb would need a
+// wider type; hg19 contigs fit individually and the paper's datasets do
+// too).
+func BuildIndex(g *genome.Genome, cfg IndexConfig) (*Index, error) {
+	if cfg.SeedLen <= 0 {
+		cfg.SeedLen = 16
+	}
+	if cfg.SeedLen > 31 {
+		return nil, fmt.Errorf("snap: seed length %d exceeds 31", cfg.SeedLen)
+	}
+	if cfg.MaxSeedHits <= 0 {
+		cfg.MaxSeedHits = 300
+	}
+	if g.Len() > 1<<31-1 {
+		return nil, fmt.Errorf("snap: genome too large for int32 locations (%d bases)", g.Len())
+	}
+	if int64(cfg.SeedLen) > g.Len() {
+		return nil, fmt.Errorf("snap: seed length %d exceeds genome length %d", cfg.SeedLen, g.Len())
+	}
+
+	idx := &Index{
+		gen:     g,
+		seedLen: cfg.SeedLen,
+		maxHits: cfg.MaxSeedHits,
+		table:   make(map[uint64][]int32, g.Len()/2),
+	}
+	seq := g.Seq()
+	var key uint64
+	mask := uint64(1)<<(2*uint(cfg.SeedLen)) - 1
+	valid := 0 // bases since last N
+	for i := 0; i < len(seq); i++ {
+		code := uint64(genome.Code(seq[i]))
+		if code > 3 {
+			valid = 0
+			key = 0
+			continue
+		}
+		key = (key<<2 | code) & mask
+		valid++
+		if valid < cfg.SeedLen {
+			continue
+		}
+		pos := int32(i - cfg.SeedLen + 1)
+		locs := idx.table[key]
+		if len(locs) >= cfg.MaxSeedHits {
+			continue // overflowing repeat seed: stop accumulating
+		}
+		idx.table[key] = append(locs, pos)
+	}
+	idx.seeds = len(idx.table)
+	return idx, nil
+}
+
+// SeedLen returns the configured seed length.
+func (x *Index) SeedLen() int { return x.seedLen }
+
+// Genome returns the indexed genome.
+func (x *Index) Genome() *genome.Genome { return x.gen }
+
+// NumSeeds returns the number of distinct seeds retained.
+func (x *Index) NumSeeds() int { return x.seeds }
+
+// seedKey packs bases[i:i+seedLen] into a 2-bit key; ok is false when the
+// window contains an ambiguous base.
+func (x *Index) seedKey(bases []byte, i int) (key uint64, ok bool) {
+	for j := 0; j < x.seedLen; j++ {
+		code := uint64(genome.Code(bases[i+j]))
+		if code > 3 {
+			return 0, false
+		}
+		key = key<<2 | code
+	}
+	return key, true
+}
+
+// Lookup returns the reference locations of the seed at bases[i:i+seedLen].
+// The returned slice is shared with the index; callers must not mutate it.
+func (x *Index) Lookup(bases []byte, i int) []int32 {
+	key, ok := x.seedKey(bases, i)
+	if !ok {
+		return nil
+	}
+	return x.table[key]
+}

@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"io"
+
+	"persona/internal/agd"
+	"persona/internal/align"
+	"persona/internal/formats/sam"
+)
+
+// dupSig is the Samblaster duplicate signature over SAM rows.
+type dupSig struct {
+	ref     string
+	pos     int64
+	reverse bool
+	matePos int64
+}
+
+// DupStats reports a duplicate-marking pass.
+type DupStats struct {
+	Reads      int64
+	Duplicates int64
+}
+
+// SamblasterMark models Samblaster: it streams SAM text, computes each
+// read's unclipped-position signature, flags duplicates, and writes SAM
+// back out. Unlike Persona's results-column marking (§5.6), every row must
+// be fully parsed and re-serialized.
+func SamblasterMark(in io.Reader, out io.Writer, refs []agd.RefSeq) (DupStats, error) {
+	sc := sam.NewScanner(in)
+	w, err := sam.NewWriter(out, refs, "")
+	if err != nil {
+		return DupStats{}, errRecordf("samblaster", err)
+	}
+	seen := make(map[dupSig]struct{})
+	var stats DupStats
+	for sc.Scan() {
+		rec := sc.Record()
+		stats.Reads++
+		if rec.Flags&agd.FlagUnmapped == 0 {
+			sig, err := samSignature(&rec)
+			if err != nil {
+				return stats, errRecordf("samblaster", err)
+			}
+			if _, dup := seen[sig]; dup {
+				rec.Flags |= agd.FlagDuplicate
+				stats.Duplicates++
+			} else {
+				seen[sig] = struct{}{}
+			}
+		}
+		if err := w.Write(&rec); err != nil {
+			return stats, errRecordf("samblaster", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return stats, errRecordf("samblaster", err)
+	}
+	return stats, w.Flush()
+}
+
+// samSignature computes the unclipped 5' signature of a SAM row.
+func samSignature(rec *sam.Record) (dupSig, error) {
+	cigar, err := align.ParseCigar(rec.Cigar)
+	if err != nil {
+		return dupSig{}, err
+	}
+	reverse := rec.Flags&agd.FlagReverse != 0
+	pos := rec.Pos
+	if !reverse {
+		if len(cigar) > 0 && (cigar[0].Op == align.CigarSoftClip || cigar[0].Op == align.CigarHardClip) {
+			pos -= int64(cigar[0].Len)
+		}
+	} else {
+		pos += int64(cigar.RefLen())
+		if n := len(cigar); n > 0 && (cigar[n-1].Op == align.CigarSoftClip || cigar[n-1].Op == align.CigarHardClip) {
+			pos += int64(cigar[n-1].Len)
+		}
+		pos--
+	}
+	sig := dupSig{ref: rec.Ref, pos: pos, reverse: reverse, matePos: -1}
+	if rec.Flags&agd.FlagPaired != 0 && rec.PNext > 0 {
+		sig.matePos = rec.PNext
+	}
+	return sig, nil
+}

@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"persona/internal/agd"
+	"persona/internal/align/snap"
+	"persona/internal/dataflow"
+	"persona/internal/storage"
+)
+
+// Config parameterizes a cluster alignment run.
+type Config struct {
+	// Nodes is the number of worker nodes (paper: up to 32).
+	Nodes int
+	// ThreadsPerNode sizes each node's executor (paper: 47 aligner
+	// threads per 48-core server). Defaults to 2 for the test machines.
+	ThreadsPerNode int
+	// Subchunks is the fine-grain split of each AGD chunk fed to the
+	// executor (Fig. 4). Default 8.
+	Subchunks int
+	// Aligner tunes the SNAP algorithm.
+	Aligner snap.Config
+}
+
+// NodeReport describes one worker's run.
+type NodeReport struct {
+	Node    int
+	Chunks  int
+	Reads   int64
+	Bases   int64
+	Elapsed time.Duration
+}
+
+// Report describes a cluster run: the §5.5 measurements.
+type Report struct {
+	Nodes       []NodeReport
+	Elapsed     time.Duration
+	TotalBases  int64
+	TotalReads  int64
+	BasesPerSec float64
+	// Imbalance is (max node elapsed - min node elapsed) / mean: the
+	// "completion-time imbalance" the paper reports as unmeasurable.
+	Imbalance float64
+}
+
+// Align runs a distributed alignment of a dataset: every node pulls chunk
+// indices from the manifest server, reads bases from shared storage, aligns
+// them on its executor, and writes a results-column chunk back. The results
+// column is registered in the manifest at the end.
+func Align(store storage.Store, datasetName string, idx *snap.Index, cfg Config) (*Report, *agd.Manifest, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.ThreadsPerNode <= 0 {
+		cfg.ThreadsPerNode = 2
+	}
+	if cfg.Subchunks <= 0 {
+		cfg.Subchunks = 8
+	}
+
+	ds, err := agd.Open(store, datasetName)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := ds.Manifest
+	if m.HasColumn(agd.ColResults) {
+		return nil, nil, fmt.Errorf("cluster: dataset %q already aligned", datasetName)
+	}
+
+	srv, err := NewManifestServer(len(m.Chunks))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer srv.Close()
+
+	report := &Report{Nodes: make([]NodeReport, cfg.Nodes)}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			rep, err := runNode(node, srv.Addr(), store, ds, idx, cfg)
+			if err != nil {
+				errs <- fmt.Errorf("cluster: node %d: %w", node, err)
+				return
+			}
+			report.Nodes[node] = rep
+		}(n)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, nil, err
+	}
+	report.Elapsed = time.Since(start)
+
+	var minE, maxE, sumE time.Duration
+	for i, nr := range report.Nodes {
+		report.TotalBases += nr.Bases
+		report.TotalReads += nr.Reads
+		if i == 0 || nr.Elapsed < minE {
+			minE = nr.Elapsed
+		}
+		if nr.Elapsed > maxE {
+			maxE = nr.Elapsed
+		}
+		sumE += nr.Elapsed
+	}
+	if report.Elapsed > 0 {
+		report.BasesPerSec = float64(report.TotalBases) / report.Elapsed.Seconds()
+	}
+	if mean := sumE / time.Duration(len(report.Nodes)); mean > 0 {
+		report.Imbalance = float64(maxE-minE) / float64(mean)
+	}
+
+	updated, err := agd.RegisterColumn(store, m, agd.ColResults)
+	if err != nil {
+		return nil, nil, err
+	}
+	return report, updated, nil
+}
+
+// runNode is one worker: a small Persona graph (reader → aligner(executor)
+// → writer) fed by the manifest server.
+func runNode(node int, manifestAddr string, store storage.Store, ds *agd.Dataset, idx *snap.Index, cfg Config) (NodeReport, error) {
+	client, err := DialManifest(manifestAddr)
+	if err != nil {
+		return NodeReport{}, err
+	}
+	defer client.Close()
+
+	exec := dataflow.NewExecutor(cfg.ThreadsPerNode, cfg.ThreadsPerNode*2)
+	defer exec.Close()
+
+	// Per-worker aligners (one per executor thread; they share the index).
+	aligners := make(chan *snap.Aligner, cfg.ThreadsPerNode)
+	for i := 0; i < cfg.ThreadsPerNode; i++ {
+		aligners <- snap.NewAligner(idx, cfg.Aligner)
+	}
+
+	ctx := context.Background()
+	rep := NodeReport{Node: node}
+	nodeStart := time.Now()
+	m := ds.Manifest
+	for {
+		chunkIdx, ok, err := client.Next()
+		if err != nil {
+			return rep, err
+		}
+		if !ok {
+			break
+		}
+		basesChunk, err := ds.ReadChunk(agd.ColBases, chunkIdx)
+		if err != nil {
+			return rep, err
+		}
+		n := basesChunk.NumRecords()
+
+		// Fine-grain split: subchunk tasks into the shared executor, one
+		// output slot per record (Fig. 4).
+		encoded := make([][]byte, n)
+		sub := cfg.Subchunks
+		if sub > n {
+			sub = n
+		}
+		if sub == 0 {
+			sub = 1
+		}
+		err = exec.SubmitWait(ctx, sub, func(s int) dataflow.Task {
+			lo := s * n / sub
+			hi := (s + 1) * n / sub
+			return func() {
+				a := <-aligners
+				defer func() { aligners <- a }()
+				var scratch []byte
+				for r := lo; r < hi; r++ {
+					scratch = scratch[:0]
+					bases, err := basesChunk.ExpandBasesRecord(scratch, r)
+					if err != nil {
+						encoded[r] = agd.EncodeResult(nil, &agd.Result{
+							Location: agd.UnmappedLocation, MateLocation: agd.UnmappedLocation, Flags: agd.FlagUnmapped,
+						})
+						continue
+					}
+					res := a.AlignRead(bases)
+					encoded[r] = agd.EncodeResult(nil, &res)
+					scratch = bases
+				}
+			}
+		})
+		if err != nil {
+			return rep, err
+		}
+		// Count aligned bases from the compact records' length headers
+		// (cheaper than re-expanding).
+		var basesTotal int64
+		for r := 0; r < n; r++ {
+			rec, err := basesChunk.Record(r)
+			if err != nil {
+				return rep, err
+			}
+			count, n2 := uvarint(rec)
+			if n2 <= 0 {
+				return rep, fmt.Errorf("cluster: corrupt bases record")
+			}
+			basesTotal += int64(count)
+		}
+
+		builder := agd.NewChunkBuilder(agd.TypeResults, basesChunk.FirstOrdinal)
+		for r := 0; r < n; r++ {
+			builder.Append(encoded[r])
+		}
+		blob, err := agd.EncodeChunk(builder.Chunk(), agd.CompressGzip)
+		if err != nil {
+			return rep, err
+		}
+		if err := store.Put(m.ChunkBlobPath(chunkIdx, agd.ColResults), blob); err != nil {
+			return rep, err
+		}
+		rep.Chunks++
+		rep.Reads += int64(n)
+		rep.Bases += basesTotal
+	}
+	rep.Elapsed = time.Since(nodeStart)
+	return rep, nil
+}
+
+// uvarint decodes a uvarint without importing encoding/binary at every call
+// site above.
+func uvarint(b []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, c := range b {
+		if c < 0x80 {
+			return x | uint64(c)<<s, i + 1
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+		if s >= 64 {
+			return 0, -1
+		}
+	}
+	return 0, 0
+}

@@ -1,0 +1,142 @@
+// Package cluster implements Persona's distributed runtime (§5.2): a
+// manifest server — "a simple message queue" handing out AGD chunk names —
+// and worker nodes that each run an alignment pipeline against shared
+// storage. The paper launches one TensorFlow instance per compute server;
+// here each worker is an in-process node with its own executor, and the
+// manifest server speaks a tiny line protocol over real TCP so that the
+// coordination path is genuinely networked.
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ManifestServer hands out chunk indices to workers over TCP.
+//
+// Protocol (line-oriented):
+//
+//	C: NEXT\n            S: CHUNK <idx>\n   or   DONE\n
+//	C: STATS\n           S: SERVED <n>\n
+type ManifestServer struct {
+	ln     net.Listener
+	next   atomic.Int64
+	total  int64
+	served atomic.Int64
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// NewManifestServer starts a server dealing out chunk indices [0, numChunks)
+// on a random localhost port.
+func NewManifestServer(numChunks int) (*ManifestServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &ManifestServer{ln: ln, total: int64(numChunks)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's address for clients.
+func (s *ManifestServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *ManifestServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *ManifestServer) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		switch strings.TrimSpace(sc.Text()) {
+		case "NEXT":
+			idx := s.next.Add(1) - 1
+			if idx >= s.total {
+				fmt.Fprintf(w, "DONE\n")
+			} else {
+				s.served.Add(1)
+				fmt.Fprintf(w, "CHUNK %d\n", idx)
+			}
+		case "STATS":
+			fmt.Fprintf(w, "SERVED %d\n", s.served.Load())
+		default:
+			fmt.Fprintf(w, "ERR unknown command\n")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Served returns how many chunk names have been handed out.
+func (s *ManifestServer) Served() int64 { return s.served.Load() }
+
+// Close stops the server.
+func (s *ManifestServer) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		s.ln.Close()
+		s.wg.Wait()
+	}
+}
+
+// ManifestClient fetches chunk indices from a manifest server.
+type ManifestClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// DialManifest connects to a manifest server.
+func DialManifest(addr string) (*ManifestClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ManifestClient{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Next fetches the next chunk index; ok is false when the queue is drained.
+func (c *ManifestClient) Next() (idx int, ok bool, err error) {
+	if _, err := fmt.Fprintf(c.conn, "NEXT\n"); err != nil {
+		return 0, false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, false, err
+	}
+	line = strings.TrimSpace(line)
+	if line == "DONE" {
+		return 0, false, nil
+	}
+	var idxStr string
+	if n, _ := fmt.Sscanf(line, "CHUNK %s", &idxStr); n != 1 {
+		return 0, false, fmt.Errorf("cluster: bad manifest response %q", line)
+	}
+	v, err := strconv.Atoi(idxStr)
+	if err != nil {
+		return 0, false, fmt.Errorf("cluster: bad chunk index %q", idxStr)
+	}
+	return v, true, nil
+}
+
+// Close closes the client connection.
+func (c *ManifestClient) Close() error { return c.conn.Close() }

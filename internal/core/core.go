@@ -1,0 +1,439 @@
+// Package core assembles Persona's dataflow pipelines (§4 of the paper):
+// the I/O input subgraph (reader → AGD parser → chunk queue), the process
+// subgraphs (alignment over a shared fine-grain executor, per Fig. 4), and
+// the I/O output subgraph (writer nodes with compression). It corresponds
+// to the "thin Python library that stitches these nodes together into
+// optimized subgraphs" (§4.1); the root persona package re-exports it.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"persona/internal/agd"
+	"persona/internal/align/bwa"
+	"persona/internal/align/snap"
+	"persona/internal/dataflow"
+	"persona/internal/genome"
+	"persona/internal/storage"
+)
+
+// AlignConfig parameterizes the single-server alignment pipeline.
+type AlignConfig struct {
+	// Store holds the dataset; results are written back to it.
+	Store storage.Store
+	// Dataset names the AGD dataset to align.
+	Dataset string
+	// Engine selects the integrated aligner (default EngineSNAP).
+	Engine Engine
+	// Index is the SNAP seed index of the reference (EngineSNAP).
+	Index *snap.Index
+	// Aligner tunes the SNAP algorithm.
+	Aligner snap.Config
+	// FMIndex and Genome configure the BWA engine (EngineBWA).
+	FMIndex   *bwa.FMIndex
+	Genome    *genome.Genome
+	BWAConfig bwa.Config
+	// Paired aligns consecutive records as pairs (records 2i and 2i+1).
+	Paired bool
+
+	// Readers/Parsers/AlignerNodes/Writers set per-stage node parallelism.
+	// Zero values choose small defaults. Queue capacities default to the
+	// number of their downstream nodes (§4.5).
+	Readers, Parsers, AlignerNodes, Writers int
+	// ExecutorThreads is the size of the shared fine-grain executor that
+	// owns all compute threads (Fig. 4). Default 2.
+	ExecutorThreads int
+	// Subchunks is the fine-grain split of each chunk. Default 8.
+	Subchunks int
+}
+
+func (c *AlignConfig) applyDefaults() {
+	if c.Readers <= 0 {
+		c.Readers = 2
+	}
+	if c.Parsers <= 0 {
+		c.Parsers = 2
+	}
+	if c.AlignerNodes <= 0 {
+		c.AlignerNodes = 2
+	}
+	if c.Writers <= 0 {
+		c.Writers = 2
+	}
+	if c.ExecutorThreads <= 0 {
+		c.ExecutorThreads = 2
+	}
+	if c.Subchunks <= 0 {
+		c.Subchunks = 8
+	}
+}
+
+// AlignReport summarizes a pipeline run.
+type AlignReport struct {
+	Chunks      int
+	Reads       int64
+	Bases       int64
+	Elapsed     time.Duration
+	BasesPerSec float64
+	// Stats aggregates the aligners' work counters (perfmodel input).
+	Stats snap.Stats
+}
+
+// chunkWork travels reader → parser: raw column blobs of one chunk.
+type chunkWork struct {
+	idx         int
+	bases, qual []byte
+}
+
+// parsedChunk travels parser → aligner: decoded chunk objects.
+type parsedChunk struct {
+	idx         int
+	bases, qual *agd.Chunk
+}
+
+// alignedChunk travels aligner → writer: encoded result records.
+type alignedChunk struct {
+	idx     int
+	first   uint64
+	encoded [][]byte
+	reads   int
+	bases   int64
+}
+
+// Align runs the full Persona alignment graph over a dataset and registers
+// the results column. It is the single-server counterpart of cluster.Align.
+func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, error) {
+	cfg.applyDefaults()
+	ds, err := agd.Open(cfg.Store, cfg.Dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := ds.Manifest
+	if m.HasColumn(agd.ColResults) {
+		return nil, nil, fmt.Errorf("core: dataset %q already has results", cfg.Dataset)
+	}
+
+	if cfg.Paired && m.NumRecords()%2 != 0 {
+		return nil, nil, fmt.Errorf("core: paired alignment needs an even record count, dataset %q has %d", cfg.Dataset, m.NumRecords())
+	}
+	factory, err := engineFactory(&cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	exec := dataflow.NewExecutor(cfg.ExecutorThreads, cfg.ExecutorThreads*2)
+	defer exec.Close()
+	aligners := make(chan ReadAligner, cfg.ExecutorThreads)
+	for i := 0; i < cfg.ExecutorThreads; i++ {
+		aligners <- factory()
+	}
+
+	g := dataflow.NewGraph()
+	g.MustAddQueue("names", len(m.Chunks))
+	g.MustAddQueue("raw", cfg.Parsers)
+	g.MustAddQueue("parsed", cfg.AlignerNodes)
+	g.MustAddQueue("aligned", cfg.Writers)
+
+	// Source: enqueue every chunk index (the local stand-in for fetching
+	// names from the manifest server, §5.2).
+	g.MustAddNode(dataflow.NodeSpec{
+		Name:    "source",
+		Outputs: []string{"names"},
+		Fn: func(ctx context.Context, nc *dataflow.NodeContext) error {
+			for i := range m.Chunks {
+				if err := nc.Output("names").Put(ctx, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+
+	// Input subgraph: readers fetch the bases and qual column blobs —
+	// only the two columns alignment touches (§5.2).
+	g.MustAddNode(dataflow.NodeSpec{
+		Name:        "reader",
+		Parallelism: cfg.Readers,
+		Inputs:      []string{"names"},
+		Outputs:     []string{"raw"},
+		Fn: func(ctx context.Context, nc *dataflow.NodeContext) error {
+			in, out := nc.Input("names"), nc.Output("raw")
+			for {
+				msg, ok := in.Get(ctx)
+				if !ok {
+					return nil
+				}
+				idx := msg.(int)
+				basesBlob, err := cfg.Store.Get(m.ChunkBlobPath(idx, agd.ColBases))
+				if err != nil {
+					return err
+				}
+				qualBlob, err := cfg.Store.Get(m.ChunkBlobPath(idx, agd.ColQual))
+				if err != nil {
+					return err
+				}
+				nc.Processed(1)
+				if err := out.Put(ctx, chunkWork{idx: idx, bases: basesBlob, qual: qualBlob}); err != nil {
+					return err
+				}
+			}
+		},
+	})
+
+	// Parser: decompress and parse blobs into chunk objects.
+	g.MustAddNode(dataflow.NodeSpec{
+		Name:        "parser",
+		Parallelism: cfg.Parsers,
+		Inputs:      []string{"raw"},
+		Outputs:     []string{"parsed"},
+		Fn: func(ctx context.Context, nc *dataflow.NodeContext) error {
+			in, out := nc.Input("raw"), nc.Output("parsed")
+			for {
+				msg, ok := in.Get(ctx)
+				if !ok {
+					return nil
+				}
+				w := msg.(chunkWork)
+				basesChunk, err := agd.DecodeChunk(w.bases)
+				if err != nil {
+					return err
+				}
+				qualChunk, err := agd.DecodeChunk(w.qual)
+				if err != nil {
+					return err
+				}
+				nc.Processed(1)
+				if err := out.Put(ctx, parsedChunk{idx: w.idx, bases: basesChunk, qual: qualChunk}); err != nil {
+					return err
+				}
+			}
+		},
+	})
+
+	// Process subgraph: aligner nodes split each chunk into subchunks and
+	// feed the shared executor (Fig. 4), then emit the encoded results.
+	g.MustAddNode(dataflow.NodeSpec{
+		Name:        "aligner",
+		Parallelism: cfg.AlignerNodes,
+		Inputs:      []string{"parsed"},
+		Outputs:     []string{"aligned"},
+		Fn: func(ctx context.Context, nc *dataflow.NodeContext) error {
+			in, out := nc.Input("parsed"), nc.Output("aligned")
+			for {
+				msg, ok := in.Get(ctx)
+				if !ok {
+					return nil
+				}
+				pc := msg.(parsedChunk)
+				n := pc.bases.NumRecords()
+				encoded := make([][]byte, n)
+				var chunkBases int64
+				sub := cfg.Subchunks
+				if sub > n {
+					sub = n
+				}
+				if sub == 0 {
+					sub = 1
+				}
+				err := exec.SubmitWait(ctx, sub, func(s int) dataflow.Task {
+					lo, hi := s*n/sub, (s+1)*n/sub
+					if cfg.Paired {
+						// Subchunk boundaries must not split pairs.
+						lo, hi = lo&^1, hi&^1
+						if s == sub-1 {
+							hi = n
+						}
+					}
+					return func() {
+						a := <-aligners
+						defer func() { aligners <- a }()
+						alignRange(a, pc.bases, encoded, lo, hi, cfg.Paired)
+					}
+				})
+				if err != nil {
+					return err
+				}
+				for r := 0; r < n; r++ {
+					rec, err := pc.bases.Record(r)
+					if err != nil {
+						return err
+					}
+					count, l := uvarint(rec)
+					if l <= 0 {
+						return fmt.Errorf("core: corrupt bases record in chunk %d", pc.idx)
+					}
+					chunkBases += int64(count)
+				}
+				nc.Processed(1)
+				if err := out.Put(ctx, alignedChunk{
+					idx: pc.idx, first: pc.bases.FirstOrdinal,
+					encoded: encoded, reads: n, bases: chunkBases,
+				}); err != nil {
+					return err
+				}
+			}
+		},
+	})
+
+	// Output subgraph: writers encode and store result chunks.
+	report := &AlignReport{}
+	var reportMu sync.Mutex
+	g.MustAddNode(dataflow.NodeSpec{
+		Name:        "writer",
+		Parallelism: cfg.Writers,
+		Inputs:      []string{"aligned"},
+		Fn: func(ctx context.Context, nc *dataflow.NodeContext) error {
+			in := nc.Input("aligned")
+			for {
+				msg, ok := in.Get(ctx)
+				if !ok {
+					return nil
+				}
+				ac := msg.(alignedChunk)
+				builder := agd.NewChunkBuilder(agd.TypeResults, ac.first)
+				for _, rec := range ac.encoded {
+					builder.Append(rec)
+				}
+				blob, err := agd.EncodeChunk(builder.Chunk(), agd.CompressGzip)
+				if err != nil {
+					return err
+				}
+				if err := cfg.Store.Put(m.ChunkBlobPath(ac.idx, agd.ColResults), blob); err != nil {
+					return err
+				}
+				reportMu.Lock()
+				report.Chunks++
+				report.Reads += int64(ac.reads)
+				report.Bases += ac.bases
+				reportMu.Unlock()
+				nc.Processed(1)
+			}
+		},
+	})
+
+	start := time.Now()
+	if err := dataflow.NewSession(g).Run(ctx); err != nil {
+		return nil, nil, err
+	}
+	report.Elapsed = time.Since(start)
+	if report.Elapsed > 0 {
+		report.BasesPerSec = float64(report.Bases) / report.Elapsed.Seconds()
+	}
+	close(aligners)
+	for a := range aligners {
+		// Work counters are engine-specific; aggregate SNAP's (the Fig. 8
+		// instrumentation input) when available.
+		if sa, ok := a.(*snap.Aligner); ok {
+			s := sa.Stats()
+			report.Stats.Reads += s.Reads
+			report.Stats.SeedLookups += s.SeedLookups
+			report.Stats.CandidatesxLV += s.CandidatesxLV
+			report.Stats.LVCells += s.LVCells
+			report.Stats.BytesCompared += s.BytesCompared
+			report.Stats.Aligned += s.Aligned
+		}
+	}
+
+	updated, err := agd.RegisterColumn(cfg.Store, m, agd.ColResults)
+	if err != nil {
+		return nil, nil, err
+	}
+	return report, updated, nil
+}
+
+// uvarint decodes the leading uvarint of a compacted bases record.
+func uvarint(b []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, c := range b {
+		if c < 0x80 {
+			return x | uint64(c)<<s, i + 1
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+		if s >= 64 {
+			return 0, -1
+		}
+	}
+	return 0, 0
+}
+
+// alignRange aligns records [lo, hi) of a chunk into encoded, single-end or
+// paired. Paired mode prefers the batch interface (BWA's per-batch
+// insert-size inference), falling back to pair-at-a-time.
+func alignRange(a ReadAligner, basesChunk *agd.Chunk, encoded [][]byte, lo, hi int, paired bool) {
+	unmapped := func() []byte {
+		return agd.EncodeResult(nil, &agd.Result{
+			Location:     agd.UnmappedLocation,
+			MateLocation: agd.UnmappedLocation,
+			Flags:        agd.FlagUnmapped,
+		})
+	}
+	if !paired {
+		var scratch []byte
+		for r := lo; r < hi; r++ {
+			bases, err := basesChunk.ExpandBasesRecord(scratch[:0], r)
+			if err != nil {
+				encoded[r] = unmapped()
+				continue
+			}
+			res := a.AlignRead(bases)
+			encoded[r] = agd.EncodeResult(nil, &res)
+			scratch = bases
+		}
+		return
+	}
+
+	// Materialize the subchunk's pairs (batch aligners need them all).
+	numPairs := (hi - lo) / 2
+	p1 := make([][]byte, numPairs)
+	p2 := make([][]byte, numPairs)
+	for p := 0; p < numPairs; p++ {
+		b1, err1 := basesChunk.ExpandBasesRecord(nil, lo+2*p)
+		b2, err2 := basesChunk.ExpandBasesRecord(nil, lo+2*p+1)
+		if err1 != nil || err2 != nil {
+			b1, b2 = nil, nil
+		}
+		p1[p], p2[p] = b1, b2
+	}
+
+	if batch, ok := a.(BatchPairAligner); ok {
+		results, _ := batch.AlignPairBatch(p1, p2)
+		for p := 0; p < numPairs; p++ {
+			if p1[p] == nil {
+				encoded[lo+2*p], encoded[lo+2*p+1] = unmapped(), unmapped()
+				continue
+			}
+			encoded[lo+2*p] = agd.EncodeResult(nil, &results[2*p])
+			encoded[lo+2*p+1] = agd.EncodeResult(nil, &results[2*p+1])
+		}
+		return
+	}
+	pa, ok := a.(PairAligner)
+	if !ok {
+		// No paired support: align ends independently.
+		for p := 0; p < numPairs; p++ {
+			for _, r := range []int{lo + 2*p, lo + 2*p + 1} {
+				bases, err := basesChunk.ExpandBasesRecord(nil, r)
+				if err != nil {
+					encoded[r] = unmapped()
+					continue
+				}
+				res := a.AlignRead(bases)
+				encoded[r] = agd.EncodeResult(nil, &res)
+			}
+		}
+		return
+	}
+	for p := 0; p < numPairs; p++ {
+		if p1[p] == nil {
+			encoded[lo+2*p], encoded[lo+2*p+1] = unmapped(), unmapped()
+			continue
+		}
+		r1, r2 := pa.AlignPair(p1[p], p2[p])
+		encoded[lo+2*p] = agd.EncodeResult(nil, &r1)
+		encoded[lo+2*p+1] = agd.EncodeResult(nil, &r2)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"persona/internal/agd"
+	"persona/internal/testutil"
+)
+
+func TestAlignPipelineEndToEnd(t *testing.T) {
+	store := agd.NewMemStore()
+	f := testutil.Build(t, store, "ds", testutil.Config{
+		GenomeSize: 200_000, NumReads: 1000, ReadLen: 90, ChunkSize: 128, Seed: 91, SkipAlign: true,
+	})
+	report, m, err := Align(context.Background(), AlignConfig{
+		Store: store, Dataset: "ds", Index: f.Index,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasColumn(agd.ColResults) {
+		t.Fatal("results column missing")
+	}
+	if report.Reads != 1000 {
+		t.Fatalf("Reads = %d", report.Reads)
+	}
+	if report.Bases != 1000*90 {
+		t.Fatalf("Bases = %d", report.Bases)
+	}
+	if report.Chunks != 8 { // ceil(1000/128)
+		t.Fatalf("Chunks = %d", report.Chunks)
+	}
+	if report.BasesPerSec <= 0 {
+		t.Fatal("throughput not measured")
+	}
+	if report.Stats.Reads != 1000 || report.Stats.CandidatesxLV == 0 {
+		t.Fatalf("aligner stats not aggregated: %+v", report.Stats)
+	}
+
+	// Accuracy: pipeline results must match direct alignment quality.
+	ds, err := agd.Open(store, "ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := ds.ReadAllResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, correct := 0, 0
+	for i, r := range results {
+		if r.IsUnmapped() {
+			continue
+		}
+		mapped++
+		diff := r.Location - f.Origins[i].Pos
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff <= 5 {
+			correct++
+		}
+	}
+	if frac := float64(mapped) / float64(len(results)); frac < 0.95 {
+		t.Fatalf("mapped %.3f", frac)
+	}
+	if frac := float64(correct) / float64(mapped); frac < 0.9 {
+		t.Fatalf("correct %.3f", frac)
+	}
+}
+
+func TestAlignPipelineParallelConfigs(t *testing.T) {
+	// Results must be identical regardless of node parallelism.
+	mk := func(readers, parsers, alignerNodes, writers int) []agd.Result {
+		store := agd.NewMemStore()
+		f := testutil.Build(t, store, "ds", testutil.Config{
+			GenomeSize: 100_000, NumReads: 400, ReadLen: 70, ChunkSize: 64, Seed: 92, SkipAlign: true,
+		})
+		_, _, err := Align(context.Background(), AlignConfig{
+			Store: store, Dataset: "ds", Index: f.Index,
+			Readers: readers, Parsers: parsers, AlignerNodes: alignerNodes, Writers: writers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := agd.Open(store, "ds")
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := ds.ReadAllResults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	serial := mk(1, 1, 1, 1)
+	parallel := mk(3, 3, 3, 3)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("result %d differs between parallelism configs:\n%+v\n%+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestAlignPipelineRejectsAligned(t *testing.T) {
+	store := agd.NewMemStore()
+	f := testutil.Build(t, store, "ds", testutil.Config{
+		GenomeSize: 60_000, NumReads: 100, ReadLen: 60, ChunkSize: 50, Seed: 93,
+	})
+	if _, _, err := Align(context.Background(), AlignConfig{Store: store, Dataset: "ds", Index: f.Index}); err == nil {
+		t.Fatal("re-align succeeded")
+	}
+}
+
+func TestAlignPipelineMissingDataset(t *testing.T) {
+	store := agd.NewMemStore()
+	if _, _, err := Align(context.Background(), AlignConfig{Store: store, Dataset: "nope"}); err == nil {
+		t.Fatal("missing dataset accepted")
+	}
+}
+
+func TestAlignPipelineCancellation(t *testing.T) {
+	store := agd.NewMemStore()
+	f := testutil.Build(t, store, "ds", testutil.Config{
+		GenomeSize: 100_000, NumReads: 500, ReadLen: 80, ChunkSize: 50, Seed: 94, SkipAlign: true,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := Align(ctx, AlignConfig{Store: store, Dataset: "ds", Index: f.Index}); err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"persona/internal/agd"
+	"persona/internal/align/bwa"
+	"persona/internal/align/snap"
+	"persona/internal/genome"
+)
+
+// ReadAligner is the single-end alignment interface process subgraphs use;
+// both integrated aligners satisfy it (§4.3).
+type ReadAligner interface {
+	AlignRead(bases []byte) agd.Result
+}
+
+// PairAligner aligns read pairs one at a time (the SNAP paired path).
+type PairAligner interface {
+	AlignPair(bases1, bases2 []byte) (agd.Result, agd.Result)
+}
+
+// BatchPairAligner aligns read pairs a batch at a time. BWA-MEM's paired
+// mode needs the whole batch for its single-threaded insert-size inference
+// step (§4.3), so the pipeline hands it entire subchunks.
+type BatchPairAligner interface {
+	AlignPairBatch(pairs1, pairs2 [][]byte) ([]agd.Result, bwa.InsertStats)
+}
+
+// Engine selects the integrated aligner.
+type Engine int
+
+const (
+	// EngineSNAP is the hash-index aligner (default; the paper's
+	// throughput workhorse).
+	EngineSNAP Engine = iota
+	// EngineBWA is the FM-index aligner.
+	EngineBWA
+)
+
+func (e Engine) String() string {
+	if e == EngineBWA {
+		return "bwa"
+	}
+	return "snap"
+}
+
+// engineFactory builds per-worker aligner instances for a config.
+func engineFactory(cfg *AlignConfig) (func() ReadAligner, error) {
+	switch cfg.Engine {
+	case EngineSNAP:
+		if cfg.Index == nil {
+			return nil, fmt.Errorf("core: SNAP engine needs Index")
+		}
+		return func() ReadAligner {
+			return snap.NewAligner(cfg.Index, cfg.Aligner)
+		}, nil
+	case EngineBWA:
+		if cfg.FMIndex == nil || cfg.Genome == nil {
+			return nil, fmt.Errorf("core: BWA engine needs FMIndex and Genome")
+		}
+		return func() ReadAligner {
+			return bwa.NewAligner(cfg.FMIndex, cfg.Genome, cfg.BWAConfig)
+		}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown engine %d", cfg.Engine)
+	}
+}
+
+// BuildBWAIndex builds the FM-index for the BWA engine.
+func BuildBWAIndex(g *genome.Genome) (*bwa.FMIndex, error) { return bwa.NewFMIndex(g) }
+
+// buildSnapIdx builds a SNAP index with the package's standard test/CLI
+// seed length.
+func buildSnapIdx(g *genome.Genome) (*snap.Index, error) {
+	return snap.BuildIndex(g, snap.IndexConfig{SeedLen: 16})
+}

@@ -1,0 +1,56 @@
+// Package dataflow implements the coarse-grain dataflow execution engine
+// underlying Persona (§4 of the paper). It plays the role TensorFlow plays
+// in the original system: operators ("nodes") are stitched into graphs with
+// bounded queues between them, bulk data is carried in recyclable pooled
+// buffers so that only small handles flow through the graph, shared
+// read-only state (reference indexes, executors) lives in a resource
+// container attached to the session, and compute-intense kernels delegate
+// fine-grain work to a shared Executor that owns the worker threads
+// (Fig. 4 of the paper).
+//
+// The engine is deliberately generic: nothing in this package knows about
+// genomics. Persona's AGD readers, parsers, aligners and writers are all
+// implemented as Node functions in other packages.
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Message is the unit of data flowing through queues. Persona follows the
+// paper's "tensors of handles" discipline: messages are small handle structs
+// (chunk descriptors, buffer handles), never multi-megabyte payloads; bulk
+// data is referenced via pooled buffers.
+type Message = any
+
+// ErrClosed is returned by Queue.Put after the queue has been closed and by
+// Executor.Submit after the executor has been shut down.
+var ErrClosed = errors.New("dataflow: closed")
+
+// ErrStopped is returned when an operation is abandoned because the session
+// context was cancelled.
+var ErrStopped = errors.New("dataflow: stopped")
+
+// nodeError decorates an error with the name of the node that produced it so
+// that pipeline failures identify their origin.
+type nodeError struct {
+	node string
+	err  error
+}
+
+func (e *nodeError) Error() string { return fmt.Sprintf("dataflow: node %q: %v", e.node, e.err) }
+
+func (e *nodeError) Unwrap() error { return e.err }
+
+// stop reports whether the context is done, translating the cancellation
+// into ErrStopped for uniform handling.
+func stop(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ErrStopped
+	default:
+		return nil
+	}
+}

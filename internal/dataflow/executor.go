@@ -1,0 +1,176 @@
+package dataflow
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is a unit of fine-grain work submitted to an Executor, typically the
+// alignment of one subchunk of reads into a designated region of an output
+// buffer.
+type Task func()
+
+// Executor owns a fixed set of worker goroutines and a fine-grain task
+// queue. It implements the mechanism of Fig. 4: AGD chunks are too coarse
+// for per-thread work items (they cause stragglers), so multiple parallel
+// aligner nodes split each chunk into subchunks and feed (subchunk, buffer)
+// tasks to a single shared executor, keeping every core continuously busy
+// with meaningful work regardless of which chunk the work belongs to.
+type Executor struct {
+	tasks   chan Task
+	workers int
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	busyNanos atomic.Int64
+	clock     func() int64 // monotonic-ish nanosecond clock, swappable for tests
+}
+
+// NewExecutor starts an executor with the given number of worker goroutines
+// and task queue depth. Workers run until Close is called.
+func NewExecutor(workers, queueDepth int) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = workers
+	}
+	e := &Executor{
+		tasks:   make(chan Task, queueDepth),
+		workers: workers,
+		done:    make(chan struct{}),
+		clock:   nanotime,
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case task := <-e.tasks:
+			e.run(task)
+		case <-e.done:
+			// Drain already-queued tasks, then exit.
+			for {
+				select {
+				case task := <-e.tasks:
+					e.run(task)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (e *Executor) run(task Task) {
+	start := e.clock()
+	task()
+	e.busyNanos.Add(e.clock() - start)
+	e.completed.Add(1)
+}
+
+// Workers returns the number of worker goroutines.
+func (e *Executor) Workers() int { return e.workers }
+
+// Submit enqueues a task, blocking while the queue is full. It returns
+// ErrClosed after Close and ErrStopped if ctx is cancelled first.
+func (e *Executor) Submit(ctx context.Context, t Task) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case e.tasks <- t:
+		e.submitted.Add(1)
+		return nil
+	case <-e.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return ErrStopped
+	}
+}
+
+// SubmitWait splits work into n tasks produced by gen and blocks until all
+// of them have completed (the "originating aligner node is notified" step of
+// Fig. 4). gen is called with subchunk indices 0..n-1.
+func (e *Executor) SubmitWait(ctx context.Context, n int, gen func(i int) Task) error {
+	if n <= 0 {
+		return nil
+	}
+	c := NewCompletion(n)
+	for i := 0; i < n; i++ {
+		task := gen(i)
+		if err := e.Submit(ctx, func() {
+			defer c.Done()
+			task()
+		}); err != nil {
+			// Account for tasks never submitted so Wait can still return.
+			for j := i; j < n; j++ {
+				c.Done()
+			}
+			return err
+		}
+	}
+	return c.Wait(ctx)
+}
+
+// Close shuts the executor down after draining already-queued tasks, and
+// waits for the workers to exit. Close is idempotent. The task channel is
+// never closed, so a Submit racing Close fails with ErrClosed instead of
+// panicking.
+func (e *Executor) Close() {
+	e.closeOnce.Do(func() { close(e.done) })
+	e.wg.Wait()
+}
+
+// Stats reports tasks submitted, tasks completed, and cumulative busy
+// nanoseconds across all workers (used for utilization accounting).
+func (e *Executor) Stats() (submitted, completed, busyNanos int64) {
+	return e.submitted.Load(), e.completed.Load(), e.busyNanos.Load()
+}
+
+// Completion is a countdown latch used to signal that all subchunks of a
+// chunk have been processed.
+type Completion struct {
+	remaining atomic.Int64
+	done      chan struct{}
+}
+
+// NewCompletion returns a latch that fires after n calls to Done.
+func NewCompletion(n int) *Completion {
+	c := &Completion{done: make(chan struct{})}
+	c.remaining.Store(int64(n))
+	if n <= 0 {
+		close(c.done)
+	}
+	return c
+}
+
+// Done records one completed unit; the final call releases waiters.
+func (c *Completion) Done() {
+	if c.remaining.Add(-1) == 0 {
+		close(c.done)
+	}
+}
+
+// Wait blocks until the latch fires or ctx is cancelled.
+func (c *Completion) Wait(ctx context.Context) error {
+	select {
+	case <-c.done:
+		return nil
+	case <-ctx.Done():
+		return ErrStopped
+	}
+}

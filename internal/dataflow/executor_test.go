@@ -1,0 +1,167 @@
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestExecutorRunsAllTasks(t *testing.T) {
+	e := NewExecutor(4, 8)
+	defer e.Close()
+	ctx := context.Background()
+
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := e.Submit(ctx, func() {
+			defer wg.Done()
+			n.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+	submitted, completed, _ := e.Stats()
+	if submitted != 100 || completed != 100 {
+		t.Fatalf("Stats = (%d, %d), want (100, 100)", submitted, completed)
+	}
+}
+
+func TestExecutorParallelismBound(t *testing.T) {
+	const workers = 3
+	e := NewExecutor(workers, 64)
+	defer e.Close()
+	ctx := context.Background()
+
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		err := e.Submit(ctx, func() {
+			defer wg.Done()
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+func TestExecutorSubmitWait(t *testing.T) {
+	e := NewExecutor(2, 4)
+	defer e.Close()
+	ctx := context.Background()
+
+	results := make([]int, 10)
+	err := e.SubmitWait(ctx, len(results), func(i int) Task {
+		return func() { results[i] = i * i }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range results {
+		if v != i*i {
+			t.Fatalf("results[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestExecutorSubmitWaitZero(t *testing.T) {
+	e := NewExecutor(1, 1)
+	defer e.Close()
+	if err := e.SubmitWait(context.Background(), 0, nil); err != nil {
+		t.Fatalf("SubmitWait(0) = %v", err)
+	}
+}
+
+func TestExecutorCloseDrains(t *testing.T) {
+	e := NewExecutor(1, 16)
+	ctx := context.Background()
+	var n atomic.Int64
+	for i := 0; i < 10; i++ {
+		if err := e.Submit(ctx, func() {
+			time.Sleep(time.Millisecond)
+			n.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close() // must wait for queued tasks
+	if n.Load() != 10 {
+		t.Fatalf("Close drained %d tasks, want 10", n.Load())
+	}
+	if err := e.Submit(ctx, func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestExecutorSharedAcrossFeeders(t *testing.T) {
+	// Multiple "aligner nodes" feed one executor concurrently — the Fig. 4
+	// configuration. Each waits for its own chunk's subchunks only.
+	e := NewExecutor(4, 8)
+	defer e.Close()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for node := 0; node < 6; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			sum := make([]int64, 1)
+			err := e.SubmitWait(ctx, 20, func(i int) Task {
+				return func() { atomic.AddInt64(&sum[0], int64(i)) }
+			})
+			if err != nil {
+				t.Errorf("node %d: %v", node, err)
+				return
+			}
+			if sum[0] != 190 { // 0+1+..+19
+				t.Errorf("node %d: sum = %d before SubmitWait returned, want 190", node, sum[0])
+			}
+		}(node)
+	}
+	wg.Wait()
+}
+
+func TestCompletionLatch(t *testing.T) {
+	c := NewCompletion(3)
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() { done <- c.Wait(ctx) }()
+	c.Done()
+	c.Done()
+	select {
+	case <-done:
+		t.Fatal("Wait returned before final Done")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.Done()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not return after final Done")
+	}
+}

@@ -1,0 +1,256 @@
+package dataflow
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeFunc is the body of a dataflow node replica. It should loop reading
+// from its input queues until Get reports closed-and-drained, then return.
+// Returning a non-nil error aborts the whole session.
+type NodeFunc func(ctx context.Context, nc *NodeContext) error
+
+// NodeContext gives a running node access to its session environment.
+type NodeContext struct {
+	// Name is the node's name; Replica identifies which of the node's
+	// parallel instances this is (0-based).
+	Name    string
+	Replica int
+
+	// Resources is the session's shared resource container.
+	Resources *Resources
+
+	graph *Graph
+	stats *NodeStats
+}
+
+// Input returns the named queue, for consuming.
+func (nc *NodeContext) Input(name string) *Queue { return nc.graph.mustQueue(name) }
+
+// Output returns the named queue, for producing.
+func (nc *NodeContext) Output(name string) *Queue { return nc.graph.mustQueue(name) }
+
+// Busy records d as useful work time for utilization accounting.
+func (nc *NodeContext) Busy(d time.Duration) { nc.stats.busyNanos.Add(int64(d)) }
+
+// Processed increments the node's processed-message counter by n.
+func (nc *NodeContext) Processed(n int64) { nc.stats.processed.Add(n) }
+
+// NodeStats accumulates per-node counters across all replicas.
+type NodeStats struct {
+	Name      string
+	processed atomic.Int64
+	busyNanos atomic.Int64
+}
+
+// Processed returns the number of messages the node reported processing.
+func (s *NodeStats) Processed() int64 { return s.processed.Load() }
+
+// Busy returns cumulative useful-work time reported by the node.
+func (s *NodeStats) Busy() time.Duration { return time.Duration(s.busyNanos.Load()) }
+
+type node struct {
+	name        string
+	parallelism int
+	fn          NodeFunc
+	inputs      []string
+	outputs     []string
+	stats       *NodeStats
+}
+
+// Graph is a static description of a Persona computation: nodes joined by
+// named queues. Queues record their producer nodes so the session can close
+// each queue exactly when its last producer finishes, propagating
+// end-of-stream through the pipeline without sentinel messages.
+type Graph struct {
+	mu     sync.Mutex
+	nodes  []*node
+	queues map[string]*Queue
+	// producers counts, per queue, the number of node replicas that write to
+	// it; the session decrements these as replicas exit.
+	producers map[string]*atomic.Int64
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		queues:    make(map[string]*Queue),
+		producers: make(map[string]*atomic.Int64),
+	}
+}
+
+// AddQueue creates a named bounded queue. Adding a duplicate name is an
+// error.
+func (g *Graph) AddQueue(name string, capacity int) (*Queue, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, exists := g.queues[name]; exists {
+		return nil, fmt.Errorf("dataflow: queue %q already exists", name)
+	}
+	q := NewQueue(name, capacity)
+	g.queues[name] = q
+	g.producers[name] = &atomic.Int64{}
+	return q, nil
+}
+
+// MustAddQueue is AddQueue but panics on error; for graph-construction code.
+func (g *Graph) MustAddQueue(name string, capacity int) *Queue {
+	q, err := g.AddQueue(name, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// NodeSpec describes a node to add to a graph.
+type NodeSpec struct {
+	// Name identifies the node in stats and errors.
+	Name string
+	// Parallelism is the number of replicas to run (default 1).
+	Parallelism int
+	// Inputs and Outputs name the queues the node consumes and produces.
+	// All must have been added with AddQueue. Output queues are closed
+	// automatically once every producer replica has returned.
+	Inputs  []string
+	Outputs []string
+	// Fn is the node body.
+	Fn NodeFunc
+}
+
+// AddNode registers a node. Queue names must already exist.
+func (g *Graph) AddNode(spec NodeSpec) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if spec.Fn == nil {
+		return fmt.Errorf("dataflow: node %q has nil Fn", spec.Name)
+	}
+	if spec.Parallelism < 1 {
+		spec.Parallelism = 1
+	}
+	for _, in := range append(append([]string{}, spec.Inputs...), spec.Outputs...) {
+		if _, ok := g.queues[in]; !ok {
+			return fmt.Errorf("dataflow: node %q references unknown queue %q", spec.Name, in)
+		}
+	}
+	n := &node{
+		name:        spec.Name,
+		parallelism: spec.Parallelism,
+		fn:          spec.Fn,
+		inputs:      append([]string{}, spec.Inputs...),
+		outputs:     append([]string{}, spec.Outputs...),
+		stats:       &NodeStats{Name: spec.Name},
+	}
+	g.nodes = append(g.nodes, n)
+	for _, out := range n.outputs {
+		g.producers[out].Add(int64(n.parallelism))
+	}
+	return nil
+}
+
+// MustAddNode is AddNode but panics on error.
+func (g *Graph) MustAddNode(spec NodeSpec) {
+	if err := g.AddNode(spec); err != nil {
+		panic(err)
+	}
+}
+
+// Queue returns a queue by name.
+func (g *Graph) Queue(name string) (*Queue, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	q, ok := g.queues[name]
+	return q, ok
+}
+
+func (g *Graph) mustQueue(name string) *Queue {
+	q, ok := g.Queue(name)
+	if !ok {
+		panic(fmt.Sprintf("dataflow: unknown queue %q", name))
+	}
+	return q
+}
+
+// Stats returns per-node statistics, in node-addition order.
+func (g *Graph) Stats() []*NodeStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*NodeStats, len(g.nodes))
+	for i, n := range g.nodes {
+		out[i] = n.stats
+	}
+	return out
+}
+
+// Session executes a graph, in the role of the TensorFlow direct session
+// the paper uses unmodified (§5.2).
+type Session struct {
+	Graph     *Graph
+	Resources *Resources
+}
+
+// NewSession returns a session for g with a fresh resource container.
+func NewSession(g *Graph) *Session {
+	return &Session{Graph: g, Resources: NewResources()}
+}
+
+// Run starts every node replica, waits for all of them to finish, and
+// returns the first error (if any). On error the context handed to nodes is
+// cancelled so blocked queue operations unwind. Output queues are closed as
+// their last producer replica exits, which cascades end-of-stream through
+// the pipeline.
+func (s *Session) Run(ctx context.Context) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	g := s.Graph
+	g.mu.Lock()
+	nodes := append([]*node{}, g.nodes...)
+	g.mu.Unlock()
+
+	var wg sync.WaitGroup
+	var firstErr atomic.Value // of error
+
+	for _, n := range nodes {
+		for r := 0; r < n.parallelism; r++ {
+			wg.Add(1)
+			go func(n *node, replica int) {
+				defer wg.Done()
+				nc := &NodeContext{
+					Name:      n.name,
+					Replica:   replica,
+					Resources: s.Resources,
+					graph:     g,
+					stats:     n.stats,
+				}
+				err := func() (err error) {
+					defer func() {
+						if p := recover(); p != nil {
+							err = fmt.Errorf("panic: %v", p)
+						}
+					}()
+					return n.fn(runCtx, nc)
+				}()
+				if err != nil && err != ErrStopped {
+					firstErr.CompareAndSwap(nil, error(&nodeError{node: n.name, err: err}))
+					cancel()
+				}
+				// This replica will produce no more output; close queues
+				// whose producers have all exited.
+				for _, out := range n.outputs {
+					if g.producers[out].Add(-1) == 0 {
+						g.mustQueue(out).Close()
+					}
+				}
+			}(n, r)
+		}
+	}
+	wg.Wait()
+
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return err
+	}
+	return stop(ctx)
+}

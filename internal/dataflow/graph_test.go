@@ -1,0 +1,296 @@
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildLinear builds source -> worker(xN) -> sink over two queues and
+// returns the collected sink output.
+func runLinear(t *testing.T, items, workers int) []int {
+	t.Helper()
+	g := NewGraph()
+	g.MustAddQueue("in", 4)
+	g.MustAddQueue("out", 4)
+
+	g.MustAddNode(NodeSpec{
+		Name:    "source",
+		Outputs: []string{"in"},
+		Fn: func(ctx context.Context, nc *NodeContext) error {
+			q := nc.Output("in")
+			for i := 0; i < items; i++ {
+				if err := q.Put(ctx, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	g.MustAddNode(NodeSpec{
+		Name:        "double",
+		Parallelism: workers,
+		Inputs:      []string{"in"},
+		Outputs:     []string{"out"},
+		Fn: func(ctx context.Context, nc *NodeContext) error {
+			in, out := nc.Input("in"), nc.Output("out")
+			for {
+				m, ok := in.Get(ctx)
+				if !ok {
+					return nil
+				}
+				nc.Processed(1)
+				if err := out.Put(ctx, m.(int)*2); err != nil {
+					return err
+				}
+			}
+		},
+	})
+
+	var mu sync.Mutex
+	var got []int
+	g.MustAddNode(NodeSpec{
+		Name:   "sink",
+		Inputs: []string{"out"},
+		Fn: func(ctx context.Context, nc *NodeContext) error {
+			q := nc.Input("out")
+			for {
+				m, ok := q.Get(ctx)
+				if !ok {
+					return nil
+				}
+				mu.Lock()
+				got = append(got, m.(int))
+				mu.Unlock()
+			}
+		},
+	})
+
+	if err := NewSession(g).Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	sort.Ints(got)
+	return got
+}
+
+func TestGraphLinearPipeline(t *testing.T) {
+	got := runLinear(t, 50, 1)
+	if len(got) != 50 {
+		t.Fatalf("sink received %d items, want 50", len(got))
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+}
+
+func TestGraphParallelWorkersCloseOnce(t *testing.T) {
+	// With parallel replicas producing into one queue, the queue must close
+	// only after the LAST replica exits, and all items must arrive.
+	got := runLinear(t, 200, 8)
+	if len(got) != 200 {
+		t.Fatalf("sink received %d items, want 200", len(got))
+	}
+}
+
+func TestGraphErrorPropagation(t *testing.T) {
+	g := NewGraph()
+	g.MustAddQueue("q", 1)
+	boom := errors.New("boom")
+
+	g.MustAddNode(NodeSpec{
+		Name:    "bad",
+		Outputs: []string{"q"},
+		Fn: func(ctx context.Context, nc *NodeContext) error {
+			return boom
+		},
+	})
+	g.MustAddNode(NodeSpec{
+		Name:   "stuck",
+		Inputs: []string{"q"},
+		Fn: func(ctx context.Context, nc *NodeContext) error {
+			// Would block forever if cancellation did not propagate.
+			for {
+				if _, ok := nc.Input("q").Get(ctx); !ok {
+					return nil
+				}
+			}
+		},
+	})
+
+	err := NewSession(g).Run(context.Background())
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), `"bad"`) {
+		t.Fatalf("error %q does not identify the failing node", err)
+	}
+}
+
+func TestGraphPanicBecomesError(t *testing.T) {
+	g := NewGraph()
+	g.MustAddNode(NodeSpec{
+		Name: "panicky",
+		Fn: func(ctx context.Context, nc *NodeContext) error {
+			panic("kaboom")
+		},
+	})
+	err := NewSession(g).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("Run = %v, want panic converted to error", err)
+	}
+}
+
+func TestGraphDiamondTopology(t *testing.T) {
+	// source fans out to two stages that both feed one sink queue.
+	g := NewGraph()
+	g.MustAddQueue("src", 4)
+	g.MustAddQueue("sink", 4)
+
+	g.MustAddNode(NodeSpec{
+		Name:    "source",
+		Outputs: []string{"src"},
+		Fn: func(ctx context.Context, nc *NodeContext) error {
+			for i := 1; i <= 20; i++ {
+				if err := nc.Output("src").Put(ctx, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	for _, mult := range []int{10, 100} {
+		mult := mult
+		g.MustAddNode(NodeSpec{
+			Name:    "stage",
+			Inputs:  []string{"src"},
+			Outputs: []string{"sink"},
+			Fn: func(ctx context.Context, nc *NodeContext) error {
+				for {
+					m, ok := nc.Input("src").Get(ctx)
+					if !ok {
+						return nil
+					}
+					if err := nc.Output("sink").Put(ctx, m.(int)*mult); err != nil {
+						return err
+					}
+				}
+			},
+		})
+	}
+
+	sum := 0
+	g.MustAddNode(NodeSpec{
+		Name:   "sum",
+		Inputs: []string{"sink"},
+		Fn: func(ctx context.Context, nc *NodeContext) error {
+			for {
+				m, ok := nc.Input("sink").Get(ctx)
+				if !ok {
+					return nil
+				}
+				sum += m.(int)
+			}
+		},
+	})
+
+	if err := NewSession(g).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Every item goes through exactly one stage; total is sum(i)*10 or *100
+	// per item, so bounds are 210*10 and 210*100; exact value depends on the
+	// racy split, but the item count discipline means sum % 10 == 0 and
+	// sum >= 2100 and sum <= 21000.
+	if sum < 2100 || sum > 21000 || sum%10 != 0 {
+		t.Fatalf("diamond sum = %d out of expected range", sum)
+	}
+}
+
+func TestGraphDuplicateQueue(t *testing.T) {
+	g := NewGraph()
+	g.MustAddQueue("q", 1)
+	if _, err := g.AddQueue("q", 1); err == nil {
+		t.Fatal("duplicate AddQueue succeeded")
+	}
+}
+
+func TestGraphUnknownQueueRejected(t *testing.T) {
+	g := NewGraph()
+	err := g.AddNode(NodeSpec{
+		Name:   "n",
+		Inputs: []string{"nope"},
+		Fn:     func(ctx context.Context, nc *NodeContext) error { return nil },
+	})
+	if err == nil {
+		t.Fatal("AddNode with unknown queue succeeded")
+	}
+}
+
+func TestGraphNodeStats(t *testing.T) {
+	runLinear(t, 10, 2)
+	// Stats are attached to a fresh graph inside runLinear; build a small
+	// graph here instead to check the counters.
+	g := NewGraph()
+	g.MustAddQueue("q", 2)
+	g.MustAddNode(NodeSpec{
+		Name:    "src",
+		Outputs: []string{"q"},
+		Fn: func(ctx context.Context, nc *NodeContext) error {
+			for i := 0; i < 5; i++ {
+				if err := nc.Output("q").Put(ctx, i); err != nil {
+					return err
+				}
+				nc.Processed(1)
+			}
+			return nil
+		},
+	})
+	g.MustAddNode(NodeSpec{
+		Name:   "snk",
+		Inputs: []string{"q"},
+		Fn: func(ctx context.Context, nc *NodeContext) error {
+			for {
+				if _, ok := nc.Input("q").Get(ctx); !ok {
+					return nil
+				}
+			}
+		},
+	})
+	if err := NewSession(g).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stats := g.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("Stats len = %d, want 2", len(stats))
+	}
+	if stats[0].Processed() != 5 {
+		t.Fatalf("src processed = %d, want 5", stats[0].Processed())
+	}
+}
+
+func TestResources(t *testing.T) {
+	r := NewResources()
+	if err := r.Register("x", 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("x", 43); err == nil {
+		t.Fatal("duplicate Register succeeded")
+	}
+	v, err := LookupAs[int](r, "x")
+	if err != nil || v != 42 {
+		t.Fatalf("LookupAs = %v, %v", v, err)
+	}
+	if _, err := LookupAs[string](r, "x"); err == nil {
+		t.Fatal("LookupAs with wrong type succeeded")
+	}
+	if _, err := LookupAs[int](r, "missing"); err == nil {
+		t.Fatal("LookupAs on missing name succeeded")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "x" {
+		t.Fatalf("Names = %v", names)
+	}
+}

@@ -1,0 +1,9 @@
+package dataflow
+
+import "time"
+
+// nanotime returns a monotonic nanosecond timestamp. time.Since on a fixed
+// base uses the runtime's monotonic clock, avoiding wall-clock jumps.
+var nanotimeBase = time.Now()
+
+func nanotime() int64 { return int64(time.Since(nanotimeBase)) }

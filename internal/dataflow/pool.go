@@ -1,0 +1,143 @@
+package dataflow
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Buffer is a recyclable byte buffer. Persona avoids TensorFlow-style string
+// tensors (which copy on every hop) by carrying bulk data in pooled buffers
+// and passing only handles through queues (§4.5, §4.6).
+type Buffer struct {
+	data []byte
+	pool *Pool
+}
+
+// Bytes returns the current contents of the buffer.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Len returns the number of bytes currently stored.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Reset truncates the buffer to length zero, retaining capacity.
+func (b *Buffer) Reset() { b.data = b.data[:0] }
+
+// Grow ensures capacity for at least n additional bytes.
+func (b *Buffer) Grow(n int) {
+	if cap(b.data)-len(b.data) >= n {
+		return
+	}
+	grown := make([]byte, len(b.data), len(b.data)+n)
+	copy(grown, b.data)
+	b.data = grown
+}
+
+// Write appends p, growing as needed. It implements io.Writer and never
+// returns an error.
+func (b *Buffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+// WriteByte appends a single byte. It implements io.ByteWriter.
+func (b *Buffer) WriteByte(c byte) error {
+	b.data = append(b.data, c)
+	return nil
+}
+
+// SetLen resizes the buffer to n bytes, growing (zero-filled) as needed.
+// Useful for readers that fill the underlying slice directly.
+func (b *Buffer) SetLen(n int) {
+	if n <= cap(b.data) {
+		b.data = b.data[:n]
+		return
+	}
+	grown := make([]byte, n)
+	copy(grown, b.data)
+	b.data = grown
+}
+
+// Release returns the buffer to its pool. The caller must not use the buffer
+// afterwards. Releasing a pool-less buffer is a no-op.
+func (b *Buffer) Release() {
+	if b.pool != nil {
+		b.pool.Put(b)
+	}
+}
+
+// Pool is a bounded pool of recyclable buffers: the zero-copy architecture
+// of §4.5. Bounding the pool (together with queue capacities) caps total
+// memory use: once every buffer is checked out, Get blocks until a
+// downstream node releases one, which is exactly the back-pressure that
+// keeps the input subgraph from running unboundedly ahead of the aligners.
+type Pool struct {
+	free chan *Buffer
+	size int
+
+	allocated atomic.Int64 // buffers ever created
+	recycled  atomic.Int64 // Put calls that returned a buffer to the pool
+}
+
+// NewPool creates a pool holding at most size buffers, each initially with
+// the given byte capacity. All buffers are pre-allocated so steady-state
+// operation performs no allocation.
+func NewPool(size, bufCap int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{free: make(chan *Buffer, size), size: size}
+	for i := 0; i < size; i++ {
+		p.free <- &Buffer{data: make([]byte, 0, bufCap), pool: p}
+		p.allocated.Add(1)
+	}
+	return p
+}
+
+// Size returns the pool's bound.
+func (p *Pool) Size() int { return p.size }
+
+// Get obtains a buffer, blocking until one is free or ctx is cancelled.
+// The returned buffer has length zero.
+func (p *Pool) Get(ctx context.Context) (*Buffer, error) {
+	select {
+	case b := <-p.free:
+		b.Reset()
+		return b, nil
+	case <-ctx.Done():
+		return nil, ErrStopped
+	}
+}
+
+// TryGet obtains a buffer without blocking.
+func (p *Pool) TryGet() (*Buffer, bool) {
+	select {
+	case b := <-p.free:
+		b.Reset()
+		return b, true
+	default:
+		return nil, false
+	}
+}
+
+// Put returns a buffer to the pool. Buffers from other pools or surplus
+// buffers are dropped for the garbage collector (leaky-bucket semantics).
+func (p *Pool) Put(b *Buffer) {
+	if b == nil || b.pool != p {
+		return
+	}
+	select {
+	case p.free <- b:
+		p.recycled.Add(1)
+	default:
+		// Pool full: drop. Cannot happen when buffers only come from this
+		// pool, but harmless if it does.
+	}
+}
+
+// Free returns the number of buffers currently available.
+func (p *Pool) Free() int { return len(p.free) }
+
+// Stats reports total buffers allocated and total successful recycles.
+func (p *Pool) Stats() (allocated, recycled int64) {
+	return p.allocated.Load(), p.recycled.Load()
+}

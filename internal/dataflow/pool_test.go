@@ -1,0 +1,143 @@
+package dataflow
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool(2, 16)
+	ctx := context.Background()
+
+	b1, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 0 {
+		t.Fatalf("Free = %d, want 0", p.Free())
+	}
+	b1.Write([]byte("hello"))
+	b1.Release()
+	b3, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3 != b1 {
+		t.Fatal("pool did not recycle the released buffer")
+	}
+	if b3.Len() != 0 {
+		t.Fatalf("recycled buffer not reset: len=%d", b3.Len())
+	}
+	b2.Release()
+	b3.Release()
+
+	alloc, recycled := p.Stats()
+	if alloc != 2 {
+		t.Fatalf("allocated = %d, want 2", alloc)
+	}
+	if recycled != 3 {
+		t.Fatalf("recycled = %d, want 3", recycled)
+	}
+}
+
+func TestPoolBlocksWhenExhausted(t *testing.T) {
+	p := NewPool(1, 4)
+	ctx := context.Background()
+	b, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan *Buffer, 1)
+	go func() {
+		b2, err := p.Get(ctx)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- b2
+	}()
+
+	select {
+	case <-got:
+		t.Fatal("Get returned while pool was exhausted")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	b.Release()
+	select {
+	case b2 := <-got:
+		if b2 != b {
+			t.Fatal("expected the released buffer")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Get did not unblock after Release")
+	}
+}
+
+func TestPoolGetCancels(t *testing.T) {
+	p := NewPool(1, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	b, _ := p.Get(ctx)
+	defer b.Release()
+	cancel()
+	if _, err := p.Get(ctx); err == nil {
+		t.Fatal("Get on cancelled context succeeded")
+	}
+}
+
+func TestPoolConcurrentChurn(t *testing.T) {
+	p := NewPool(4, 8)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b, err := p.Get(ctx)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b.Write([]byte{1, 2, 3})
+				b.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Free() != 4 {
+		t.Fatalf("Free = %d after churn, want 4", p.Free())
+	}
+	alloc, _ := p.Stats()
+	if alloc != 4 {
+		t.Fatalf("allocated = %d, want 4 (no growth under churn)", alloc)
+	}
+}
+
+func TestBufferGrowAndSetLen(t *testing.T) {
+	var b Buffer
+	b.Grow(10)
+	if cap(b.Bytes()) < 10 {
+		t.Fatalf("cap = %d after Grow(10)", cap(b.Bytes()))
+	}
+	b.Write([]byte("abc"))
+	b.SetLen(6)
+	if b.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", b.Len())
+	}
+	if got := string(b.Bytes()[:3]); got != "abc" {
+		t.Fatalf("prefix = %q, want abc", got)
+	}
+	b.SetLen(2)
+	if string(b.Bytes()) != "ab" {
+		t.Fatalf("shrunk = %q, want ab", string(b.Bytes()))
+	}
+	// Release without a pool must not panic.
+	b.Release()
+}

@@ -1,0 +1,135 @@
+package dataflow
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is a bounded FIFO connecting dataflow nodes. Bounding the queue is
+// how Persona controls memory pressure (§4.5): the number of AGD chunks in
+// flight is the sum of queue capacities plus the number of nodes holding a
+// chunk, so shallow queues both cap memory and avoid stragglers caused by
+// "expensive" chunks piling up behind one node.
+//
+// A queue may have multiple producers and multiple consumers. Producers call
+// Close (or the Graph closes the queue automatically once every producer
+// node has finished); consumers observe drained-and-closed via the ok result
+// of Get.
+//
+// The implementation never closes the data channel: closing is signalled on
+// a separate done channel so that a producer blocked in Put can never panic
+// by sending on a closed channel.
+type Queue struct {
+	name string
+	ch   chan Message
+	done chan struct{}
+
+	closeOnce sync.Once
+
+	puts atomic.Int64
+	gets atomic.Int64
+}
+
+// NewQueue returns a queue with the given name (used in stats and errors)
+// and capacity. Capacity 0 gives a synchronous handoff queue.
+func NewQueue(name string, capacity int) *Queue {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Queue{
+		name: name,
+		ch:   make(chan Message, capacity),
+		done: make(chan struct{}),
+	}
+}
+
+// Name returns the queue's name.
+func (q *Queue) Name() string { return q.name }
+
+// Cap returns the queue's capacity.
+func (q *Queue) Cap() int { return cap(q.ch) }
+
+// Len returns the number of messages currently buffered.
+func (q *Queue) Len() int { return len(q.ch) }
+
+// Put enqueues m, blocking while the queue is full. It returns ErrClosed if
+// the queue has been closed and ErrStopped if ctx is cancelled first.
+func (q *Queue) Put(ctx context.Context, m Message) error {
+	select {
+	case <-q.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case q.ch <- m:
+		q.puts.Add(1)
+		return nil
+	case <-q.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return ErrStopped
+	}
+}
+
+// Get dequeues a message, blocking while the queue is empty. ok is false
+// when the queue is closed and drained, or when ctx is cancelled.
+func (q *Queue) Get(ctx context.Context) (m Message, ok bool) {
+	// Prefer buffered data over the closed signal so that messages enqueued
+	// before Close are always delivered.
+	select {
+	case m = <-q.ch:
+		q.gets.Add(1)
+		return m, true
+	default:
+	}
+	select {
+	case m = <-q.ch:
+		q.gets.Add(1)
+		return m, true
+	case <-q.done:
+		// Drain anything that raced in before the close signal.
+		select {
+		case m = <-q.ch:
+			q.gets.Add(1)
+			return m, true
+		default:
+			return nil, false
+		}
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// TryGet dequeues a message without blocking.
+func (q *Queue) TryGet() (m Message, ok bool) {
+	select {
+	case m = <-q.ch:
+		q.gets.Add(1)
+		return m, true
+	default:
+		return nil, false
+	}
+}
+
+// Close marks the queue closed. Buffered messages remain readable; Get
+// returns ok=false once drained. Close is idempotent and safe to call
+// concurrently with Put and Get.
+func (q *Queue) Close() {
+	q.closeOnce.Do(func() { close(q.done) })
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue) Closed() bool {
+	select {
+	case <-q.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stats reports the total number of puts and gets over the queue's lifetime.
+func (q *Queue) Stats() (puts, gets int64) {
+	return q.puts.Load(), q.gets.Load()
+}

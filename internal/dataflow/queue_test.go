@@ -1,0 +1,189 @@
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue("q", 8)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if err := q.Put(ctx, i); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		m, ok := q.Get(ctx)
+		if !ok {
+			t.Fatalf("Get %d: closed early", i)
+		}
+		if m.(int) != i {
+			t.Fatalf("Get %d: got %v, want %d", i, m, i)
+		}
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue("q", 4)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := q.Put(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	if err := q.Put(ctx, 99); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close: got %v, want ErrClosed", err)
+	}
+	for i := 0; i < 3; i++ {
+		m, ok := q.Get(ctx)
+		if !ok || m.(int) != i {
+			t.Fatalf("Get %d after Close: got %v, %v", i, m, ok)
+		}
+	}
+	if _, ok := q.Get(ctx); ok {
+		t.Fatal("Get on drained closed queue reported ok")
+	}
+}
+
+func TestQueueBlockingPutUnblocksOnClose(t *testing.T) {
+	q := NewQueue("q", 1)
+	ctx := context.Background()
+	if err := q.Put(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- q.Put(ctx, 2) }()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked Put after Close: got %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Put did not unblock on Close")
+	}
+}
+
+func TestQueueContextCancel(t *testing.T) {
+	q := NewQueue("q", 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := q.Get(ctx); ok {
+			t.Error("Get returned ok after cancel")
+		}
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Get did not unblock on context cancel")
+	}
+	if err := q.Put(ctx, 1); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Put on cancelled ctx: got %v, want ErrStopped", err)
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	const producers, perProducer, consumers = 8, 500, 4
+	q := NewQueue("q", 16)
+	ctx := context.Background()
+
+	var wgP sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wgP.Add(1)
+		go func(p int) {
+			defer wgP.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Put(ctx, p*perProducer+i); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var wgC sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wgC.Add(1)
+		go func() {
+			defer wgC.Done()
+			for {
+				m, ok := q.Get(ctx)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[m.(int)] {
+					t.Errorf("duplicate message %v", m)
+				}
+				seen[m.(int)] = true
+				mu.Unlock()
+			}
+		}()
+	}
+
+	wgP.Wait()
+	q.Close()
+	wgC.Wait()
+
+	if len(seen) != producers*perProducer {
+		t.Fatalf("received %d messages, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestQueuePreservesArbitraryValues(t *testing.T) {
+	// Property: any slice of ints round-trips through a queue in order.
+	f := func(values []int) bool {
+		q := NewQueue("q", len(values)+1)
+		ctx := context.Background()
+		for _, v := range values {
+			if err := q.Put(ctx, v); err != nil {
+				return false
+			}
+		}
+		q.Close()
+		for _, want := range values {
+			m, ok := q.Get(ctx)
+			if !ok || m.(int) != want {
+				return false
+			}
+		}
+		_, ok := q.Get(ctx)
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueStats(t *testing.T) {
+	q := NewQueue("q", 4)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := q.Put(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Get(ctx)
+	puts, gets := q.Stats()
+	if puts != 3 || gets != 1 {
+		t.Fatalf("Stats = (%d, %d), want (3, 1)", puts, gets)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	if q.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", q.Cap())
+	}
+}

@@ -1,0 +1,75 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Resources is the session-scoped container for shared objects: buffer
+// pools, chunk object pools, and large read-only state such as the
+// multi-gigabyte reference indexes required by the aligners (§4.1, §4.5).
+// Nodes receive handles (names) and look the objects up here, mirroring the
+// paper's use of TensorFlow resource handles instead of tensors.
+type Resources struct {
+	mu sync.RWMutex
+	m  map[string]any
+}
+
+// NewResources returns an empty resource container.
+func NewResources() *Resources {
+	return &Resources{m: make(map[string]any)}
+}
+
+// Register stores value under name. Registering a name twice is an error:
+// shared resources are created once at graph-construction time.
+func (r *Resources) Register(name string, value any) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.m[name]; exists {
+		return fmt.Errorf("dataflow: resource %q already registered", name)
+	}
+	r.m[name] = value
+	return nil
+}
+
+// MustRegister is Register but panics on duplicate names; intended for
+// graph-construction code where a duplicate is a programming error.
+func (r *Resources) MustRegister(name string, value any) {
+	if err := r.Register(name, value); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the resource registered under name.
+func (r *Resources) Lookup(name string) (any, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.m[name]
+	return v, ok
+}
+
+// Names returns the registered resource names (unordered).
+func (r *Resources) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	return names
+}
+
+// LookupAs fetches a resource and type-asserts it in one step, returning a
+// descriptive error when the name is missing or the type does not match.
+func LookupAs[T any](r *Resources, name string) (T, error) {
+	var zero T
+	v, ok := r.Lookup(name)
+	if !ok {
+		return zero, fmt.Errorf("dataflow: resource %q not registered", name)
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("dataflow: resource %q has type %T, not %T", name, v, zero)
+	}
+	return t, nil
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the experiment smoke tests fast while staying large
+// enough that per-run constant overheads do not swamp the timing shapes.
+func tinyScale() Scale {
+	return Scale{GenomeSize: 200_000, NumReads: 2500, ReadLen: 80, ChunkSize: 250, DupFrac: 0.15, Seed: 3}
+}
+
+func TestTable1Simulated(t *testing.T) {
+	rows, err := Table1Simulated(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestTable1Measured(t *testing.T) {
+	res, err := RunTable1Measured(io.Discard, tinyScale(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The AGD write-amplification advantage must hold at any scale: the
+	// standalone pipeline writes whole SAM rows, Persona writes only the
+	// results column.
+	if res.SNAPWriteBytes <= res.PersonaWriteBytes {
+		t.Fatalf("SNAP wrote %d <= Persona %d", res.SNAPWriteBytes, res.PersonaWriteBytes)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	res, err := RunTable2(io.Discard, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape: Persona fastest, Picard slowest.
+	if res.PicardSlowdown < res.SamtoolsSlowdown {
+		t.Fatalf("picard %.2fx faster than samtools %.2fx?", res.PicardSlowdown, res.SamtoolsSlowdown)
+	}
+	if res.SamtoolsConvSlowdown < res.SamtoolsSlowdown {
+		t.Fatal("conversion made samtools faster")
+	}
+}
+
+func TestDupmark(t *testing.T) {
+	res, err := RunDupmark(io.Discard, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio <= 1 {
+		t.Fatalf("Persona dup marking ratio %.2f <= 1", res.Ratio)
+	}
+}
+
+func TestConversion(t *testing.T) {
+	res, err := RunConversion(io.Discard, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ImportMBps <= 0 || res.BAMExportMBps <= 0 {
+		t.Fatalf("bad throughputs: %+v", res)
+	}
+	// §5.7 shape: import (360 MB/s) outruns BAM export (82 MB/s).
+	if res.ImportMBps <= res.BAMExportMBps {
+		t.Fatalf("import %.1f MB/s <= export %.1f MB/s", res.ImportMBps, res.BAMExportMBps)
+	}
+}
+
+func TestFigs(t *testing.T) {
+	if _, err := RunFig5(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if pts := RunFig6(io.Discard); len(pts) != 48 {
+		t.Fatalf("fig6 points = %d", len(pts))
+	}
+	if _, err := RunFig7(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTable3(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8(t *testing.T) {
+	res, err := RunFig8(io.Discard, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Profiles) != 4 {
+		t.Fatalf("profiles = %d", len(res.Profiles))
+	}
+	for _, b := range res.Profiles {
+		if err := b.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The §6 claim must hold on real instrumented mixes.
+	byName := map[string]int{}
+	for i, b := range res.Profiles {
+		byName[b.Name] = i
+	}
+	s := res.Profiles[byName["snap"]]
+	b := res.Profiles[byName["bwa"]]
+	if s.CoreBound <= s.MemoryBound {
+		t.Fatalf("snap core %.3f <= memory %.3f", s.CoreBound, s.MemoryBound)
+	}
+	if b.MemoryBound <= b.CoreBound {
+		t.Fatalf("bwa memory %.3f <= core %.3f", b.MemoryBound, b.CoreBound)
+	}
+}
+
+func TestFig6Measured(t *testing.T) {
+	pts, err := RunFig6Measured(io.Discard, tinyScale(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+}
+
+func TestFig7Measured(t *testing.T) {
+	pts, err := RunFig7Measured(io.Discard, tinyScale(), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.BasesPerSec <= 0 {
+			t.Fatalf("no throughput at %d nodes", p.Nodes)
+		}
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if !strings.Contains(SmallScale().String(), "reads=") {
+		t.Fatal("Scale.String uninformative")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	sc := tinyScale()
+	rows, err := RunChunkSizeAblation(io.Discard, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("chunk-size rows = %d", len(rows))
+	}
+	// Storage efficiency must improve (monotonically at these sizes) with
+	// larger chunks.
+	if rows[len(rows)-1].BytesPerRead >= rows[0].BytesPerRead {
+		t.Fatalf("larger chunks did not compress better: %.1f vs %.1f B/read",
+			rows[len(rows)-1].BytesPerRead, rows[0].BytesPerRead)
+	}
+
+	crows, err := RunCompressionAblation(io.Discard, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]CompressionRow{}
+	for _, r := range crows {
+		byName[r.Name] = r
+	}
+	// Compaction packs 101 bases into 41 bytes: ≥2x smaller than raw.
+	if byName["compact"].Bytes*2 >= byName["raw"].Bytes {
+		t.Fatalf("compaction too weak: %d vs raw %d", byName["compact"].Bytes, byName["raw"].Bytes)
+	}
+	// The deployed combination must be the smallest.
+	for _, name := range []string{"raw", "gzip", "compact"} {
+		if byName["compact+gzip"].Bytes > byName[name].Bytes {
+			t.Fatalf("compact+gzip (%d) larger than %s (%d)", byName["compact+gzip"].Bytes, name, byName[name].Bytes)
+		}
+	}
+
+	srows, err := RunSubchunkAblation(io.Discard, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srows) != 4 {
+		t.Fatalf("subchunk rows = %d", len(srows))
+	}
+}

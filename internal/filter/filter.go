@@ -1,0 +1,172 @@
+// Package filter implements dataset filtering, one of the pipeline stages
+// the paper names in its goal list (§1: "including (but not limited to)
+// read alignment, sorting, duplicate marking, filtering, and variant
+// calling"). A filter pass streams a dataset chunk by chunk, keeps the rows
+// matching a predicate over their alignment results, and writes a new
+// row-grouped dataset.
+package filter
+
+import (
+	"fmt"
+	"runtime"
+
+	"persona/internal/agd"
+)
+
+// Predicate decides whether a record stays, given its alignment result.
+type Predicate func(res *agd.Result) bool
+
+// MinMapQ keeps reads with mapping quality of at least q.
+func MinMapQ(q uint8) Predicate {
+	return func(res *agd.Result) bool { return !res.IsUnmapped() && res.MapQ >= q }
+}
+
+// MappedOnly keeps aligned reads.
+func MappedOnly() Predicate {
+	return func(res *agd.Result) bool { return !res.IsUnmapped() }
+}
+
+// DropDuplicates keeps reads not flagged as PCR duplicates (run markdup
+// first).
+func DropDuplicates() Predicate {
+	return func(res *agd.Result) bool { return !res.IsDuplicate() }
+}
+
+// Region keeps reads whose leftmost base falls in [start, end) of the
+// global coordinate space.
+func Region(start, end int64) Predicate {
+	return func(res *agd.Result) bool {
+		return !res.IsUnmapped() && res.Location >= start && res.Location < end
+	}
+}
+
+// And combines predicates conjunctively.
+func And(ps ...Predicate) Predicate {
+	return func(res *agd.Result) bool {
+		for _, p := range ps {
+			if !p(res) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Stats reports a filter pass.
+type Stats struct {
+	In, Kept uint64
+}
+
+// Options configures a filter pass.
+type Options struct {
+	// OutputName names the filtered dataset; default "<name>.filtered".
+	OutputName string
+	// OutputChunkSize is records per output chunk; defaults to the input's.
+	OutputChunkSize int
+}
+
+// Run filters a dataset into a new dataset, preserving all columns.
+func Run(store agd.BlobStore, name string, pred Predicate, opts Options) (*agd.Manifest, Stats, error) {
+	ds, err := agd.Open(store, name)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return RunDataset(ds, pred, opts)
+}
+
+// RunDataset is Run over an open dataset.
+func RunDataset(ds *agd.Dataset, pred Predicate, opts Options) (*agd.Manifest, Stats, error) {
+	m := ds.Manifest
+	if !m.HasColumn(agd.ColResults) {
+		return nil, Stats{}, fmt.Errorf("filter: dataset %q has no results column", m.Name)
+	}
+	if opts.OutputName == "" {
+		opts.OutputName = m.Name + ".filtered"
+	}
+	if opts.OutputChunkSize <= 0 {
+		if len(m.Chunks) > 0 {
+			opts.OutputChunkSize = int(m.Chunks[0].Records)
+		} else {
+			opts.OutputChunkSize = agd.DefaultChunkSize
+		}
+	}
+
+	// Locate the results column for predicate evaluation.
+	resCol := -1
+	cols := make([]agd.ColumnSpec, len(m.Columns))
+	for i, colName := range m.Columns {
+		cols[i] = agd.ColumnSpec{Name: colName, Type: columnType(colName)}
+		if colName == agd.ColResults {
+			resCol = i
+		}
+	}
+
+	w, err := agd.NewWriter(ds.Store(), opts.OutputName, cols, agd.WriterOptions{
+		ChunkSize:     opts.OutputChunkSize,
+		RefSeqs:       m.RefSeqs,
+		SortedBy:      m.SortedBy, // filtering preserves order
+		ParallelFlush: runtime.NumCPU(),
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	var stats Stats
+	fields := make([][]byte, len(m.Columns))
+	for ci := range m.Chunks {
+		chunks := make([]*agd.Chunk, len(m.Columns))
+		for col := range m.Columns {
+			c, err := ds.ReadChunk(m.Columns[col], ci)
+			if err != nil {
+				return nil, stats, err
+			}
+			chunks[col] = c
+		}
+		for r := 0; r < chunks[0].NumRecords(); r++ {
+			stats.In++
+			rec, err := chunks[resCol].Record(r)
+			if err != nil {
+				return nil, stats, err
+			}
+			res, err := agd.DecodeResult(rec)
+			if err != nil {
+				return nil, stats, err
+			}
+			if !pred(&res) {
+				continue
+			}
+			for col, c := range chunks {
+				f, err := c.Record(r)
+				if err != nil {
+					return nil, stats, err
+				}
+				fields[col] = f
+			}
+			// Records are already in stored representation (bases stay
+			// compacted), so the zero-copy append applies.
+			if err := w.AppendStored(fields...); err != nil {
+				return nil, stats, err
+			}
+			stats.Kept++
+		}
+	}
+	if stats.Kept == 0 {
+		return nil, stats, fmt.Errorf("filter: no records of %q match", m.Name)
+	}
+	manifest, err := w.Close()
+	if err != nil {
+		return nil, stats, err
+	}
+	return manifest, stats, nil
+}
+
+func columnType(name string) agd.RecordType {
+	switch name {
+	case agd.ColBases:
+		return agd.TypeCompactBases
+	case agd.ColResults:
+		return agd.TypeResults
+	default:
+		return agd.TypeRaw
+	}
+}

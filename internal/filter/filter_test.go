@@ -1,0 +1,153 @@
+package filter
+
+import (
+	"testing"
+
+	"persona/internal/agd"
+	"persona/internal/markdup"
+	"persona/internal/testutil"
+)
+
+func buildAligned(t *testing.T, store agd.BlobStore, dupFrac float64) *testutil.Fixture {
+	t.Helper()
+	return testutil.Build(t, store, "ds", testutil.Config{
+		GenomeSize: 150_000, NumReads: 1200, ReadLen: 80, ChunkSize: 200, DupFrac: dupFrac, Seed: 101,
+	})
+}
+
+func TestFilterMinMapQ(t *testing.T) {
+	store := agd.NewMemStore()
+	f := buildAligned(t, store, 0)
+	m, stats, err := RunDataset(f.Dataset, MinMapQ(30), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.In != 1200 {
+		t.Fatalf("In = %d", stats.In)
+	}
+	if stats.Kept == 0 || stats.Kept > stats.In {
+		t.Fatalf("Kept = %d", stats.Kept)
+	}
+	if m.NumRecords() != uint64(stats.Kept) {
+		t.Fatalf("output has %d records, stats say %d", m.NumRecords(), stats.Kept)
+	}
+
+	out, err := agd.Open(store, m.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := out.ReadAllResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.IsUnmapped() || r.MapQ < 30 {
+			t.Fatalf("record %d violates predicate: %+v", i, r)
+		}
+	}
+	// Row integrity: bases/metadata still pair with results.
+	bases, err := out.ReadAllBases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bases) != len(results) {
+		t.Fatalf("columns disagree: %d bases, %d results", len(bases), len(results))
+	}
+	for _, b := range bases {
+		if len(b) != 80 {
+			t.Fatalf("filtered base record has length %d", len(b))
+		}
+	}
+}
+
+func TestFilterDropDuplicates(t *testing.T) {
+	store := agd.NewMemStore()
+	f := buildAligned(t, store, 0.25)
+	dstats, err := markdup.MarkDataset(f.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-open: markdup rewrote the results blobs.
+	ds, err := agd.Open(store, "ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, stats, err := RunDataset(ds, DropDuplicates(), Options{OutputName: "dedup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.In-stats.Kept != dstats.Duplicates {
+		t.Fatalf("dropped %d, markdup flagged %d", stats.In-stats.Kept, dstats.Duplicates)
+	}
+	out, err := agd.Open(store, m.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := out.ReadAllResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.IsDuplicate() {
+			t.Fatal("duplicate survived the filter")
+		}
+	}
+}
+
+func TestFilterRegion(t *testing.T) {
+	store := agd.NewMemStore()
+	f := buildAligned(t, store, 0)
+	const lo, hi = 10_000, 60_000
+	_, stats, err := RunDataset(f.Dataset, Region(lo, hi), Options{OutputName: "window"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := agd.Open(store, "window")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := out.ReadAllResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(results)) != stats.Kept {
+		t.Fatalf("kept %d, read back %d", stats.Kept, len(results))
+	}
+	for _, r := range results {
+		if r.Location < lo || r.Location >= hi {
+			t.Fatalf("record at %d escaped the region", r.Location)
+		}
+	}
+}
+
+func TestFilterAnd(t *testing.T) {
+	p := And(MappedOnly(), MinMapQ(50))
+	if p(&agd.Result{Location: 5, MapQ: 60}) != true {
+		t.Fatal("both-true rejected")
+	}
+	if p(&agd.Result{Location: 5, MapQ: 10}) {
+		t.Fatal("low mapq accepted")
+	}
+	if p(&agd.Result{Location: agd.UnmappedLocation, Flags: agd.FlagUnmapped, MapQ: 60}) {
+		t.Fatal("unmapped accepted")
+	}
+}
+
+func TestFilterErrors(t *testing.T) {
+	store := agd.NewMemStore()
+	f := testutil.Build(t, store, "nores", testutil.Config{
+		GenomeSize: 60_000, NumReads: 100, ReadLen: 60, ChunkSize: 50, Seed: 102, SkipAlign: true,
+	})
+	if _, _, err := RunDataset(f.Dataset, MappedOnly(), Options{}); err == nil {
+		t.Fatal("filter without results column succeeded")
+	}
+	f2 := buildAligned(t, store, 0)
+	// A predicate nothing matches must error rather than write an empty
+	// dataset.
+	if _, _, err := RunDataset(f2.Dataset, Region(1<<40, 1<<40+1), Options{}); err == nil {
+		t.Fatal("empty filter result accepted")
+	}
+	if _, _, err := Run(store, "missing", MappedOnly(), Options{}); err == nil {
+		t.Fatal("missing dataset accepted")
+	}
+}

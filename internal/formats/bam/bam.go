@@ -1,0 +1,221 @@
+// Package bam reads and writes the BAM binary alignment format: a BGZF
+// stream carrying a binary header and alignment records. Persona produces
+// BAM for compatibility with unported tools (§4.4; export throughput is the
+// §5.7 experiment).
+package bam
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"persona/internal/agd"
+	"persona/internal/align"
+	"persona/internal/formats/bgzf"
+	"persona/internal/formats/sam"
+)
+
+var bamMagic = []byte{'B', 'A', 'M', 1}
+
+// seqNibble encodes a base letter into BAM's 4-bit code.
+func seqNibble(b byte) byte {
+	switch b {
+	case 'A', 'a':
+		return 1
+	case 'C', 'c':
+		return 2
+	case 'G', 'g':
+		return 4
+	case 'T', 't':
+		return 8
+	default:
+		return 15 // N
+	}
+}
+
+// nibbleSeq decodes a 4-bit code back to a base letter.
+func nibbleSeq(n byte) byte {
+	switch n {
+	case 1:
+		return 'A'
+	case 2:
+		return 'C'
+	case 4:
+		return 'G'
+	case 8:
+		return 'T'
+	default:
+		return 'N'
+	}
+}
+
+// blockWriter is the compressed-stream sink: the serial bgzf.Writer or the
+// multi-worker bgzf.ParallelWriter (samtools-style --threads compression).
+type blockWriter interface {
+	io.Writer
+	Close() error
+}
+
+// Writer emits a BAM file.
+type Writer struct {
+	z    blockWriter
+	refs map[string]int32
+	buf  bytes.Buffer
+}
+
+// NewWriter writes the BAM header (text header plus reference dictionary)
+// and returns a record writer with serial BGZF compression.
+func NewWriter(w io.Writer, refs []agd.RefSeq, sortOrder string) (*Writer, error) {
+	return newWriter(bgzf.NewWriter(w), refs, sortOrder)
+}
+
+// NewWriterParallel is NewWriter with BGZF blocks compressed on workers
+// goroutines.
+func NewWriterParallel(w io.Writer, refs []agd.RefSeq, sortOrder string, workers int) (*Writer, error) {
+	return newWriter(bgzf.NewParallelWriter(w, workers), refs, sortOrder)
+}
+
+// NewWriterLevel is NewWriter with an explicit BGZF compression level.
+func NewWriterLevel(w io.Writer, refs []agd.RefSeq, sortOrder string, level int) (*Writer, error) {
+	return newWriter(bgzf.NewWriterLevel(w, level), refs, sortOrder)
+}
+
+func newWriter(z blockWriter, refs []agd.RefSeq, sortOrder string) (*Writer, error) {
+	bw := &Writer{z: z, refs: make(map[string]int32, len(refs))}
+	if sortOrder == "" {
+		sortOrder = "unsorted"
+	}
+	var text bytes.Buffer
+	fmt.Fprintf(&text, "@HD\tVN:1.6\tSO:%s\n", sortOrder)
+	for _, r := range refs {
+		fmt.Fprintf(&text, "@SQ\tSN:%s\tLN:%d\n", r.Name, r.Length)
+	}
+
+	var hdr bytes.Buffer
+	hdr.Write(bamMagic)
+	le := binary.LittleEndian
+	var n4 [4]byte
+	le.PutUint32(n4[:], uint32(text.Len()))
+	hdr.Write(n4[:])
+	hdr.Write(text.Bytes())
+	le.PutUint32(n4[:], uint32(len(refs)))
+	hdr.Write(n4[:])
+	for i, r := range refs {
+		le.PutUint32(n4[:], uint32(len(r.Name)+1))
+		hdr.Write(n4[:])
+		hdr.WriteString(r.Name)
+		hdr.WriteByte(0)
+		le.PutUint32(n4[:], uint32(r.Length))
+		hdr.Write(n4[:])
+		bw.refs[r.Name] = int32(i)
+	}
+	if _, err := bw.z.Write(hdr.Bytes()); err != nil {
+		return nil, err
+	}
+	return bw, nil
+}
+
+// refID resolves a reference name to its dictionary index; "*" and "" map
+// to -1.
+func (w *Writer) refID(name string) (int32, error) {
+	if name == "" || name == "*" {
+		return -1, nil
+	}
+	id, ok := w.refs[name]
+	if !ok {
+		return 0, fmt.Errorf("bam: unknown reference %q", name)
+	}
+	return id, nil
+}
+
+// Write emits one alignment record.
+func (w *Writer) Write(r *sam.Record) error {
+	refID, err := w.refID(r.Ref)
+	if err != nil {
+		return err
+	}
+	nextRef := r.RNext
+	if nextRef == "=" {
+		nextRef = r.Ref
+	}
+	nextRefID, err := w.refID(nextRef)
+	if err != nil {
+		return err
+	}
+	cigar, err := align.ParseCigar(r.Cigar)
+	if err != nil {
+		return err
+	}
+
+	w.buf.Reset()
+	le := binary.LittleEndian
+	var n4 [4]byte
+	put32 := func(v uint32) { le.PutUint32(n4[:], v); w.buf.Write(n4[:]) }
+
+	put32(uint32(refID))
+	put32(uint32(int32(r.Pos - 1)))
+	// l_read_name | mapq<<8 | bin<<16 (bin left 0: indexing unused here)
+	put32(uint32(len(r.Name)+1) | uint32(r.MapQ)<<8)
+	put32(uint32(len(cigar)) | uint32(r.Flags)<<16)
+	put32(uint32(len(r.Seq)))
+	put32(uint32(nextRefID))
+	put32(uint32(int32(r.PNext - 1)))
+	put32(uint32(r.TLen))
+	w.buf.WriteString(r.Name)
+	w.buf.WriteByte(0)
+	for _, e := range cigar {
+		put32(uint32(e.Len)<<4 | uint32(e.Op.BAMCode()))
+	}
+	for i := 0; i < len(r.Seq); i += 2 {
+		b := seqNibble(r.Seq[i]) << 4
+		if i+1 < len(r.Seq) {
+			b |= seqNibble(r.Seq[i+1])
+		}
+		w.buf.WriteByte(b)
+	}
+	for i := 0; i < len(r.Qual); i++ {
+		w.buf.WriteByte(r.Qual[i] - '!')
+	}
+
+	le.PutUint32(n4[:], uint32(w.buf.Len()))
+	if _, err := w.z.Write(n4[:]); err != nil {
+		return err
+	}
+	_, err = w.z.Write(w.buf.Bytes())
+	return err
+}
+
+// Close flushes the BGZF stream and writes its EOF marker.
+func (w *Writer) Close() error { return w.z.Close() }
+
+// Export streams an AGD dataset out as BAM (§5.7's export path). It returns
+// the number of records written.
+func Export(ds *agd.Dataset, dst io.Writer) (uint64, error) {
+	if !ds.Manifest.HasColumn(agd.ColResults) {
+		return 0, fmt.Errorf("bam: dataset %q has no results column", ds.Manifest.Name)
+	}
+	refmap := sam.NewRefMap(ds.Manifest.RefSeqs)
+	sortOrder := "unsorted"
+	if ds.Manifest.SortedBy == "location" {
+		sortOrder = "coordinate"
+	}
+	w, err := NewWriter(dst, ds.Manifest.RefSeqs, sortOrder)
+	if err != nil {
+		return 0, err
+	}
+	var n uint64
+	for i := 0; i < ds.NumChunks(); i++ {
+		recs, err := sam.ChunkRecords(ds, refmap, i)
+		if err != nil {
+			return n, err
+		}
+		for j := range recs {
+			if err := w.Write(&recs[j]); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, w.Close()
+}

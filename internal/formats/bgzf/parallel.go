@@ -1,0 +1,203 @@
+package bgzf
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ParallelWriter compresses BGZF blocks on multiple workers while an
+// ordering stage writes them out in sequence — the same trick samtools'
+// --threads option uses; block independence is exactly what BGZF buys.
+type ParallelWriter struct {
+	buf     []byte
+	pending chan chan compressed
+	jobs    chan job
+	done    chan struct{}
+	wg      sync.WaitGroup
+	writeWG sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+type job struct {
+	payload []byte
+	out     chan compressed
+}
+
+type compressed struct {
+	block []byte
+	err   error
+}
+
+// NewParallelWriter returns a BGZF writer compressing on workers goroutines.
+func NewParallelWriter(w io.Writer, workers int) *ParallelWriter {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &ParallelWriter{
+		buf:     make([]byte, 0, MaxBlockSize),
+		pending: make(chan chan compressed, workers*2),
+		jobs:    make(chan job, workers*2),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				block, err := compressBlock(j.payload)
+				j.out <- compressed{block: block, err: err}
+			}
+		}()
+	}
+	p.writeWG.Add(1)
+	go func() {
+		defer p.writeWG.Done()
+		for ch := range p.pending {
+			c := <-ch
+			if c.err != nil {
+				p.setErr(c.err)
+				continue
+			}
+			if p.getErr() != nil {
+				continue
+			}
+			if _, err := w.Write(c.block); err != nil {
+				p.setErr(err)
+			}
+		}
+		if p.getErr() == nil {
+			if _, err := w.Write(eofMarker); err != nil {
+				p.setErr(err)
+			}
+		}
+	}()
+	return p
+}
+
+func (p *ParallelWriter) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+func (p *ParallelWriter) getErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Write buffers p, dispatching full blocks to the compression workers.
+func (p *ParallelWriter) Write(data []byte) (int, error) {
+	if err := p.getErr(); err != nil {
+		return 0, err
+	}
+	total := len(data)
+	for len(data) > 0 {
+		room := MaxBlockSize - len(p.buf)
+		n := len(data)
+		if n > room {
+			n = room
+		}
+		p.buf = append(p.buf, data[:n]...)
+		data = data[n:]
+		if len(p.buf) == MaxBlockSize {
+			p.dispatch()
+		}
+	}
+	return total, nil
+}
+
+// dispatch hands the buffered payload to a worker, preserving output order
+// through the pending queue.
+func (p *ParallelWriter) dispatch() {
+	payload := make([]byte, len(p.buf))
+	copy(payload, p.buf)
+	p.buf = p.buf[:0]
+	out := make(chan compressed, 1)
+	p.pending <- out
+	p.jobs <- job{payload: payload, out: out}
+}
+
+// Close flushes the final block, waits for all compression and writing to
+// finish, writes the EOF marker, and reports any deferred error.
+func (p *ParallelWriter) Close() error {
+	if len(p.buf) > 0 {
+		p.dispatch()
+	}
+	close(p.jobs)
+	p.wg.Wait()
+	close(p.pending)
+	p.writeWG.Wait()
+	if err := p.getErr(); err != nil {
+		return err
+	}
+	p.setErr(errors.New("bgzf: writer closed"))
+	return nil
+}
+
+// gzPool recycles gzip writers: their deflate state is megabyte-scale and
+// BGZF creates one stream per 64 KB block.
+var gzPool = sync.Pool{
+	New: func() any {
+		w, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+		return w
+	},
+}
+
+// compressBlock gzips one payload into a BGZF block at BestSpeed; shared by
+// Writer and ParallelWriter.
+func compressBlock(payload []byte) ([]byte, error) {
+	var zbuf bytes.Buffer
+	zw := gzPool.Get().(*gzip.Writer)
+	defer gzPool.Put(zw)
+	zw.Reset(&zbuf)
+	zw.Extra = []byte{'B', 'C', 2, 0, 0, 0}
+	if _, err := zw.Write(payload); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	block := zbuf.Bytes()
+	if len(block) > 0xffff {
+		return nil, fmt.Errorf("bgzf: compressed block too large (%d bytes)", len(block))
+	}
+	binary.LittleEndian.PutUint16(block[16:18], uint16(len(block)-1))
+	return block, nil
+}
+
+// compressBlockLevel is compressBlock at an arbitrary gzip level. Levels
+// other than BestSpeed allocate a fresh deflater per block, which is
+// faithful to the per-record churn of the JVM tools that use them.
+func compressBlockLevel(payload []byte, level int) ([]byte, error) {
+	if level == gzip.BestSpeed || level == 0 {
+		return compressBlock(payload)
+	}
+	var zbuf bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&zbuf, level)
+	if err != nil {
+		return nil, err
+	}
+	zw.Extra = []byte{'B', 'C', 2, 0, 0, 0}
+	if _, err := zw.Write(payload); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	block := zbuf.Bytes()
+	if len(block) > 0xffff {
+		return nil, fmt.Errorf("bgzf: compressed block too large (%d bytes)", len(block))
+	}
+	binary.LittleEndian.PutUint16(block[16:18], uint16(len(block)-1))
+	return block, nil
+}

@@ -1,0 +1,92 @@
+package fastq
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"persona/internal/agd"
+	"persona/internal/reads"
+)
+
+// ImportOptions configures FASTQ → AGD conversion.
+type ImportOptions struct {
+	// ChunkSize is records per AGD chunk (default agd.DefaultChunkSize).
+	ChunkSize int
+	// RefSeqs, if known, is recorded in the manifest.
+	RefSeqs []agd.RefSeq
+}
+
+// Import converts a FASTQ stream into an AGD dataset (the paper's import
+// utility, measured at 360 MB/s in §5.7). It returns the manifest and the
+// number of reads imported.
+func Import(store agd.BlobStore, name string, src io.Reader, opts ImportOptions) (*agd.Manifest, uint64, error) {
+	w, err := agd.NewWriter(store, name, agd.StandardReadColumns(), agd.WriterOptions{
+		ChunkSize: opts.ChunkSize,
+		RefSeqs:   opts.RefSeqs,
+		// Compress completed chunks on all cores while parsing continues;
+		// the overlap is what lets the paper's importer hit 360 MB/s.
+		ParallelFlush: runtime.NumCPU(),
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	sc := NewScanner(src)
+	for sc.Scan() {
+		r := sc.Read()
+		if err := w.Append(r.Bases, r.Quals, []byte(r.Meta)); err != nil {
+			return nil, 0, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	m, err := w.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, m.NumRecords(), nil
+}
+
+// Export converts an AGD dataset back to FASTQ, streaming chunk by chunk.
+func Export(ds *agd.Dataset, dst io.Writer) (uint64, error) {
+	w := NewWriter(dst)
+	var n uint64
+	for i := 0; i < ds.NumChunks(); i++ {
+		basesChunk, err := ds.ReadChunk(agd.ColBases, i)
+		if err != nil {
+			return n, err
+		}
+		qualChunk, err := ds.ReadChunk(agd.ColQual, i)
+		if err != nil {
+			return n, err
+		}
+		metaChunk, err := ds.ReadChunk(agd.ColMetadata, i)
+		if err != nil {
+			return n, err
+		}
+		if basesChunk.NumRecords() != qualChunk.NumRecords() || basesChunk.NumRecords() != metaChunk.NumRecords() {
+			return n, fmt.Errorf("fastq: chunk %d columns disagree on record count", i)
+		}
+		for r := 0; r < basesChunk.NumRecords(); r++ {
+			bases, err := basesChunk.ExpandBasesRecord(nil, r)
+			if err != nil {
+				return n, err
+			}
+			qual, err := qualChunk.Record(r)
+			if err != nil {
+				return n, err
+			}
+			meta, err := metaChunk.Record(r)
+			if err != nil {
+				return n, err
+			}
+			rec := reads.Read{Meta: string(meta), Bases: bases, Quals: qual}
+			if err := w.Write(&rec); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, w.Flush()
+}

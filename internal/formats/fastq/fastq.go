@@ -1,0 +1,139 @@
+// Package fastq reads and writes the FASTQ format (§2.2 of the paper): the
+// ASCII text format sequencing machines produce, four lines per read
+// (@name, bases, +, qualities). Parsing is structural (line positions), so
+// the notorious '@' ambiguity — '@' is also a legal quality value — is
+// handled correctly.
+package fastq
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"persona/internal/reads"
+)
+
+// Scanner parses FASTQ records from a stream.
+type Scanner struct {
+	r       *bufio.Reader
+	lineNum int
+	rec     reads.Read
+	err     error
+}
+
+// NewScanner returns a scanner over r.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// NewGzipScanner returns a scanner over a gzip-compressed FASTQ stream (the
+// distribution format; §2.2). The caller owns closing the underlying reader.
+func NewGzipScanner(r io.Reader) (*Scanner, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("fastq: %w", err)
+	}
+	return NewScanner(zr), nil
+}
+
+// Scan advances to the next record, returning false at EOF or on error.
+func (s *Scanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	name, err := s.line()
+	if err == io.EOF {
+		return false
+	}
+	if err != nil {
+		s.err = err
+		return false
+	}
+	if len(name) == 0 || name[0] != '@' {
+		s.err = fmt.Errorf("fastq: line %d: record does not start with '@': %q", s.lineNum, name)
+		return false
+	}
+	bases, err := s.line()
+	if err != nil {
+		s.err = fmt.Errorf("fastq: line %d: missing bases: %v", s.lineNum, err)
+		return false
+	}
+	plus, err := s.line()
+	if err != nil || len(plus) == 0 || plus[0] != '+' {
+		s.err = fmt.Errorf("fastq: line %d: missing '+' separator", s.lineNum)
+		return false
+	}
+	quals, err := s.line()
+	if err != nil {
+		s.err = fmt.Errorf("fastq: line %d: missing qualities: %v", s.lineNum, err)
+		return false
+	}
+	if len(quals) != len(bases) {
+		s.err = fmt.Errorf("fastq: line %d: %d bases but %d qualities", s.lineNum, len(bases), len(quals))
+		return false
+	}
+	s.rec = reads.Read{
+		Meta:  string(name[1:]),
+		Bases: append([]byte{}, bases...),
+		Quals: append([]byte{}, quals...),
+	}
+	return true
+}
+
+// line reads one line, trimming the terminator.
+func (s *Scanner) line() ([]byte, error) {
+	line, err := s.r.ReadBytes('\n')
+	if len(line) == 0 && err != nil {
+		return nil, err
+	}
+	s.lineNum++
+	line = bytes.TrimRight(line, "\r\n")
+	return line, nil
+}
+
+// Read returns the current record. Valid until the next Scan.
+func (s *Scanner) Read() reads.Read { return s.rec }
+
+// Err returns the first error encountered (nil at clean EOF).
+func (s *Scanner) Err() error { return s.err }
+
+// Writer emits FASTQ records.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter returns a FASTQ writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write emits one record.
+func (w *Writer) Write(r *reads.Read) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte('@'); err != nil {
+		return err
+	}
+	if _, err := w.w.WriteString(r.Meta); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(r.Bases); err != nil {
+		return err
+	}
+	if _, err := w.w.WriteString("\n+\n"); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(r.Quals); err != nil {
+		return err
+	}
+	return w.w.WriteByte('\n')
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }

@@ -1,0 +1,174 @@
+package sam
+
+import (
+	"fmt"
+	"io"
+
+	"persona/internal/agd"
+	"persona/internal/genome"
+)
+
+// reverseString reverses a byte string (quality reversal for reverse-strand
+// records).
+func reverseString(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+// Export streams an AGD dataset (with a results column) out as SAM — the
+// compatibility output subgraph of §4.4. It returns the number of records
+// written.
+func Export(ds *agd.Dataset, dst io.Writer) (uint64, error) {
+	if !ds.Manifest.HasColumn(agd.ColResults) {
+		return 0, fmt.Errorf("sam: dataset %q has no results column", ds.Manifest.Name)
+	}
+	refmap := NewRefMap(ds.Manifest.RefSeqs)
+	sortOrder := "unsorted"
+	if ds.Manifest.SortedBy == "location" {
+		sortOrder = "coordinate"
+	}
+	w, err := NewWriter(dst, ds.Manifest.RefSeqs, sortOrder)
+	if err != nil {
+		return 0, err
+	}
+	var n uint64
+	for i := 0; i < ds.NumChunks(); i++ {
+		recs, err := ChunkRecords(ds, refmap, i)
+		if err != nil {
+			return n, err
+		}
+		for j := range recs {
+			if err := w.Write(&recs[j]); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, w.Flush()
+}
+
+// ChunkRecords materializes the SAM records of one AGD chunk.
+func ChunkRecords(ds *agd.Dataset, refmap *RefMap, chunkIdx int) ([]Record, error) {
+	basesChunk, err := ds.ReadChunk(agd.ColBases, chunkIdx)
+	if err != nil {
+		return nil, err
+	}
+	qualChunk, err := ds.ReadChunk(agd.ColQual, chunkIdx)
+	if err != nil {
+		return nil, err
+	}
+	metaChunk, err := ds.ReadChunk(agd.ColMetadata, chunkIdx)
+	if err != nil {
+		return nil, err
+	}
+	resChunk, err := ds.ReadChunk(agd.ColResults, chunkIdx)
+	if err != nil {
+		return nil, err
+	}
+	n := basesChunk.NumRecords()
+	if qualChunk.NumRecords() != n || metaChunk.NumRecords() != n || resChunk.NumRecords() != n {
+		return nil, fmt.Errorf("sam: chunk %d columns disagree on record count", chunkIdx)
+	}
+	out := make([]Record, 0, n)
+	for r := 0; r < n; r++ {
+		bases, err := basesChunk.ExpandBasesRecord(nil, r)
+		if err != nil {
+			return nil, err
+		}
+		qual, err := qualChunk.Record(r)
+		if err != nil {
+			return nil, err
+		}
+		meta, err := metaChunk.Record(r)
+		if err != nil {
+			return nil, err
+		}
+		res, err := resChunk.DecodeResultRecord(r)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := FromResult(string(meta), string(bases), string(qual), &res, refmap)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// FromResult converts an AGD result plus read fields (in as-sequenced
+// orientation, the AGD convention) to a SAM record. Reverse-strand
+// alignments get SEQ reverse-complemented and QUAL reversed, per the SAM
+// specification — the stored CIGAR already refers to that orientation.
+func FromResult(name, seq, qual string, res *agd.Result, refmap *RefMap) (Record, error) {
+	if res.Flags&agd.FlagReverse != 0 && res.Flags&agd.FlagUnmapped == 0 {
+		seq = string(genome.ReverseComplement(make([]byte, len(seq)), []byte(seq)))
+		qual = reverseString(qual)
+	}
+	rec := Record{
+		Name:  name,
+		Flags: res.Flags,
+		MapQ:  res.MapQ,
+		TLen:  res.TemplateLen,
+		Seq:   seq,
+		Qual:  qual,
+	}
+	if res.IsUnmapped() {
+		rec.Ref, rec.Pos, rec.Cigar = "*", 0, "*"
+	} else {
+		ref, pos, err := refmap.Locate(res.Location)
+		if err != nil {
+			return rec, err
+		}
+		rec.Ref, rec.Pos, rec.Cigar = ref, pos+1, res.Cigar
+	}
+	if res.Flags&agd.FlagPaired != 0 && res.MateLocation >= 0 {
+		ref, pos, err := refmap.Locate(res.MateLocation)
+		if err != nil {
+			return rec, err
+		}
+		if ref == rec.Ref {
+			rec.RNext = "="
+		} else {
+			rec.RNext = ref
+		}
+		rec.PNext = pos + 1
+	}
+	return rec, nil
+}
+
+// ToResult converts a SAM record back to an AGD result.
+func ToResult(rec *Record, refmap *RefMap) (agd.Result, error) {
+	res := agd.Result{
+		Flags:        rec.Flags,
+		MapQ:         rec.MapQ,
+		TemplateLen:  rec.TLen,
+		Cigar:        rec.Cigar,
+		Location:     agd.UnmappedLocation,
+		MateLocation: agd.UnmappedLocation,
+	}
+	if rec.Flags&agd.FlagUnmapped == 0 && rec.Ref != "*" && rec.Pos > 0 {
+		g, err := refmap.Global(rec.Ref, rec.Pos-1)
+		if err != nil {
+			return res, err
+		}
+		res.Location = g
+	} else {
+		res.Cigar = ""
+	}
+	if rec.RNext != "*" && rec.PNext > 0 {
+		ref := rec.RNext
+		if ref == "=" {
+			ref = rec.Ref
+		}
+		g, err := refmap.Global(ref, rec.PNext-1)
+		if err != nil {
+			return res, err
+		}
+		res.MateLocation = g
+	}
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package sam
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"persona/internal/agd"
+	"persona/internal/genome"
+)
+
+// ImportOptions configures SAM → AGD conversion.
+type ImportOptions struct {
+	// ChunkSize is records per AGD chunk (default agd.DefaultChunkSize).
+	ChunkSize int
+}
+
+// Import converts an aligned SAM stream into an AGD dataset with all four
+// standard columns (bases, qual, metadata, results) — the ingestion path
+// for data aligned by tools that have not been ported to AGD. Reference
+// sequences are taken from the @SQ header lines. It returns the manifest
+// and the number of records imported.
+func Import(store agd.BlobStore, name string, src io.Reader, opts ImportOptions) (*agd.Manifest, uint64, error) {
+	sc := NewScanner(src)
+	var w *agd.Writer
+	var refmap *RefMap
+	var n uint64
+	cols := append(agd.StandardReadColumns(), agd.ColumnSpec{Name: agd.ColResults, Type: agd.TypeResults})
+
+	for sc.Scan() {
+		if w == nil {
+			// The header is complete once the first record appears.
+			refs, err := refsFromHeader(sc.Header())
+			if err != nil {
+				return nil, 0, err
+			}
+			refmap = NewRefMap(refs)
+			w, err = agd.NewWriter(store, name, cols, agd.WriterOptions{
+				ChunkSize:     opts.ChunkSize,
+				RefSeqs:       refs,
+				SortedBy:      sortOrderFromHeader(sc.Header()),
+				ParallelFlush: runtime.NumCPU(),
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		rec := sc.Record()
+		res, err := ToResult(&rec, refmap)
+		if err != nil {
+			return nil, n, fmt.Errorf("sam: record %q: %w", rec.Name, err)
+		}
+		// SAM stores reverse-strand SEQ reverse-complemented; AGD stores
+		// reads as sequenced, so undo the transformation on the way in.
+		seq, qual := rec.Seq, rec.Qual
+		if res.IsReverse() && !res.IsUnmapped() {
+			seq = string(genome.ReverseComplement(make([]byte, len(seq)), []byte(seq)))
+			qual = reverseString(qual)
+		}
+		if err := w.Append(
+			[]byte(seq),
+			[]byte(qual),
+			[]byte(rec.Name),
+			agd.EncodeResult(nil, &res),
+		); err != nil {
+			return nil, n, err
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, n, err
+	}
+	if w == nil {
+		return nil, 0, fmt.Errorf("sam: stream %q has no alignment records", name)
+	}
+	m, err := w.Close()
+	if err != nil {
+		return nil, n, err
+	}
+	return m, n, nil
+}
+
+// refsFromHeader extracts the reference dictionary from @SQ lines.
+func refsFromHeader(header []string) ([]agd.RefSeq, error) {
+	var refs []agd.RefSeq
+	for _, line := range header {
+		if !strings.HasPrefix(line, "@SQ") {
+			continue
+		}
+		var ref agd.RefSeq
+		for _, field := range strings.Split(line, "\t")[1:] {
+			switch {
+			case strings.HasPrefix(field, "SN:"):
+				ref.Name = field[3:]
+			case strings.HasPrefix(field, "LN:"):
+				l, err := strconv.ParseInt(field[3:], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("sam: bad @SQ LN in %q", line)
+				}
+				ref.Length = l
+			}
+		}
+		if ref.Name == "" || ref.Length == 0 {
+			return nil, fmt.Errorf("sam: incomplete @SQ line %q", line)
+		}
+		refs = append(refs, ref)
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("sam: header has no @SQ lines")
+	}
+	return refs, nil
+}
+
+// sortOrderFromHeader maps the @HD SO field to the manifest convention.
+func sortOrderFromHeader(header []string) string {
+	for _, line := range header {
+		if !strings.HasPrefix(line, "@HD") {
+			continue
+		}
+		if strings.Contains(line, "SO:coordinate") {
+			return "location"
+		}
+		if strings.Contains(line, "SO:queryname") {
+			return "metadata"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,149 @@
+package sam
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"persona/internal/agd"
+)
+
+var testRefs = []agd.RefSeq{
+	{Name: "chr1", Length: 1000},
+	{Name: "chr2", Length: 500},
+}
+
+func TestRefMapRoundTrip(t *testing.T) {
+	m := NewRefMap(testRefs)
+	for _, g := range []int64{0, 999, 1000, 1499} {
+		name, pos, err := m.Locate(g)
+		if err != nil {
+			t.Fatalf("Locate(%d): %v", g, err)
+		}
+		back, err := m.Global(name, pos)
+		if err != nil || back != g {
+			t.Fatalf("Global(%s,%d) = %d,%v want %d", name, pos, back, err, g)
+		}
+	}
+	if _, _, err := m.Locate(1500); err == nil {
+		t.Fatal("Locate past end succeeded")
+	}
+	if _, _, err := m.Locate(-1); err == nil {
+		t.Fatal("Locate(-1) succeeded")
+	}
+	if _, err := m.Global("chrX", 0); err == nil {
+		t.Fatal("unknown ref accepted")
+	}
+}
+
+func TestWriterScannerRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Name: "r1", Flags: 0, Ref: "chr1", Pos: 100, MapQ: 60, Cigar: "4M", Seq: "ACGT", Qual: "IIII"},
+		{Name: "r2", Flags: agd.FlagUnmapped, Ref: "*", Pos: 0, Cigar: "*", Seq: "GGGG", Qual: "!!!!"},
+		{Name: "r3", Flags: agd.FlagPaired | agd.FlagReverse, Ref: "chr2", Pos: 7, MapQ: 13,
+			Cigar: "2M1I1M", RNext: "=", PNext: 200, TLen: -150, Seq: "TTTT", Qual: "ABCD"},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testRefs, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !strings.Contains(buf.String(), "@SQ\tSN:chr1\tLN:1000") {
+		t.Fatal("header missing @SQ line")
+	}
+
+	sc := NewScanner(&buf)
+	i := 0
+	for sc.Scan() {
+		got := sc.Record()
+		want := recs[i]
+		if want.RNext == "" {
+			want.RNext = "*"
+		}
+		if got != want {
+			t.Fatalf("record %d:\ngot  %+v\nwant %+v", i, got, want)
+		}
+		i++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(recs) {
+		t.Fatalf("parsed %d records, want %d", i, len(recs))
+	}
+	if len(sc.Header()) != 4 { // @HD, 2x@SQ, @PG
+		t.Fatalf("header lines = %d, want 4", len(sc.Header()))
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	bad := []string{
+		"tooshort\t0",
+		"r\tx\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII",   // bad flags
+		"r\t0\tchr1\tx\t60\t4M\t*\t0\t0\tACGT\tIIII",   // bad pos
+		"r\t0\tchr1\t1\tmapq\t4M\t*\t0\t0\tACGT\tIIII", // bad mapq
+	}
+	for i, line := range bad {
+		if _, err := ParseRecord(line); err == nil {
+			t.Errorf("case %d accepted: %q", i, line)
+		}
+	}
+}
+
+func TestFromResultToResultRoundTrip(t *testing.T) {
+	refmap := NewRefMap(testRefs)
+	res := agd.Result{
+		Location:     1100, // chr2:100
+		MateLocation: 1200,
+		TemplateLen:  180,
+		MapQ:         37,
+		Flags:        agd.FlagPaired | agd.FlagReverse,
+		Cigar:        "50M",
+	}
+	rec, err := FromResult("read", "ACGT", "IIII", &res, refmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Ref != "chr2" || rec.Pos != 101 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if rec.RNext != "=" || rec.PNext != 201 {
+		t.Fatalf("mate fields: %+v", rec)
+	}
+	back, err := ToResult(&rec, refmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Location != res.Location || back.MateLocation != res.MateLocation ||
+		back.Flags != res.Flags || back.Cigar != res.Cigar || back.MapQ != res.MapQ {
+		t.Fatalf("round trip:\ngot  %+v\nwant %+v", back, res)
+	}
+}
+
+func TestFromResultUnmapped(t *testing.T) {
+	refmap := NewRefMap(testRefs)
+	res := agd.Result{Location: agd.UnmappedLocation, Flags: agd.FlagUnmapped}
+	rec, err := FromResult("read", "ACGT", "IIII", &res, refmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Ref != "*" || rec.Pos != 0 || rec.Cigar != "*" {
+		t.Fatalf("unmapped rec = %+v", rec)
+	}
+	back, err := ToResult(&rec, refmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsUnmapped() {
+		t.Fatal("round trip lost unmapped state")
+	}
+}

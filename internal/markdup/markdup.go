@@ -1,0 +1,152 @@
+// Package markdup marks PCR/optical duplicate reads using the signature-
+// hashing approach of Samblaster [Faust & Hall 2014], as §4.3 of the paper
+// describes. A read's signature is its unclipped 5' reference position plus
+// strand (plus the mate's signature for paired reads); every read after the
+// first with the same signature is flagged as a duplicate.
+//
+// Because only alignment positions matter, Persona reads and rewrites just
+// the results column — the selective-column-I/O advantage §5.6 measures
+// (Samblaster must stream entire SAM rows). The paper's implementation uses
+// Google's dense_hash_map; Go's built-in map plays that role here.
+package markdup
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"persona/internal/agd"
+	"persona/internal/align"
+)
+
+// Stats reports what a marking pass did.
+type Stats struct {
+	Reads      uint64
+	Duplicates uint64
+}
+
+// signature identifies a read's duplication class.
+type signature struct {
+	pos     int64 // unclipped 5' position
+	reverse bool
+	matePos int64 // mate's location or -1
+}
+
+// Mark rewrites the results column of a dataset with duplicate flags set and
+// returns marking statistics. The manifest is unchanged (same columns, same
+// chunking); only results chunk blobs are replaced.
+func Mark(store agd.BlobStore, name string) (Stats, error) {
+	ds, err := agd.Open(store, name)
+	if err != nil {
+		return Stats{}, err
+	}
+	return MarkDataset(ds)
+}
+
+// MarkDataset is Mark over an open dataset.
+func MarkDataset(ds *agd.Dataset) (Stats, error) {
+	m := ds.Manifest
+	if !m.HasColumn(agd.ColResults) {
+		return Stats{}, fmt.Errorf("markdup: dataset %q has no results column", m.Name)
+	}
+	var stats Stats
+	seen := make(map[signature]struct{}, m.NumRecords())
+
+	// Marking is order-dependent (the first occurrence survives), so the
+	// decode/mark pass is sequential; compressing and storing the rewritten
+	// chunks is not, and runs on background workers.
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	asyncErrs := make(chan error, len(m.Chunks))
+	for ci := range m.Chunks {
+		chunk, err := ds.ReadChunk(agd.ColResults, ci)
+		if err != nil {
+			return stats, err
+		}
+		builder := agd.NewChunkBuilder(agd.TypeResults, chunk.FirstOrdinal)
+		for r := 0; r < chunk.NumRecords(); r++ {
+			res, err := chunk.DecodeResultRecord(r)
+			if err != nil {
+				return stats, err
+			}
+			stats.Reads++
+			if !res.IsUnmapped() {
+				sig, err := signatureOf(&res)
+				if err != nil {
+					return stats, err
+				}
+				if _, dup := seen[sig]; dup {
+					res.Flags |= agd.FlagDuplicate
+					stats.Duplicates++
+				} else {
+					seen[sig] = struct{}{}
+				}
+			}
+			builder.Append(agd.EncodeResult(nil, &res))
+		}
+		blobName, err := ds.ChunkBlobName(agd.ColResults, ci)
+		if err != nil {
+			return stats, err
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(builder *agd.ChunkBuilder, blobName string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			blob, err := agd.EncodeChunk(builder.Chunk(), agd.CompressGzip)
+			if err == nil {
+				err = ds.Store().Put(blobName, blob)
+			}
+			if err != nil {
+				select {
+				case asyncErrs <- err:
+				default:
+				}
+			}
+		}(builder, blobName)
+	}
+	wg.Wait()
+	select {
+	case err := <-asyncErrs:
+		return stats, err
+	default:
+	}
+	return stats, nil
+}
+
+// signatureOf computes a read's duplication signature.
+func signatureOf(res *agd.Result) (signature, error) {
+	pos, err := UnclippedPos(res)
+	if err != nil {
+		return signature{}, err
+	}
+	sig := signature{pos: pos, reverse: res.IsReverse(), matePos: agd.UnmappedLocation}
+	if res.Flags&agd.FlagPaired != 0 {
+		sig.matePos = res.MateLocation
+	}
+	return sig, nil
+}
+
+// UnclippedPos returns the 5'-end reference position of the read as if no
+// bases had been clipped: forward reads project leading clips before the
+// start; reverse reads use the unclipped end coordinate. Matching
+// Samblaster, this makes duplicates of the same fragment collide even when
+// their clipping differs.
+func UnclippedPos(res *agd.Result) (int64, error) {
+	cigar, err := align.ParseCigar(res.Cigar)
+	if err != nil {
+		return 0, err
+	}
+	if !res.IsReverse() {
+		lead := 0
+		if len(cigar) > 0 && (cigar[0].Op == align.CigarSoftClip || cigar[0].Op == align.CigarHardClip) {
+			lead = cigar[0].Len
+		}
+		return res.Location - int64(lead), nil
+	}
+	trail := 0
+	if n := len(cigar); n > 0 && (cigar[n-1].Op == align.CigarSoftClip || cigar[n-1].Op == align.CigarHardClip) {
+		trail = cigar[n-1].Len
+	}
+	return res.Location + int64(cigar.RefLen()) + int64(trail) - 1, nil
+}

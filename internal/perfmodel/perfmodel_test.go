@@ -1,0 +1,90 @@
+package perfmodel
+
+import "testing"
+
+// Representative per-read counters, in the ballpark the instrumented
+// aligners report on the synthetic workload.
+func snapMix() OpMix {
+	// ~12 seed lookups, ~8 LV verifications × ~49 cells, ~110 bytes/window.
+	return SNAPMix(1000, 12_000, 390_000, 900_000)
+}
+
+func bwaMix() OpMix {
+	// ~180 FM probes (101 steps × strands, occ scans), ~13k SW cells.
+	return BWAMix(1000, 180_000, 13_000_000)
+}
+
+func TestProfilesAreValidBreakdowns(t *testing.T) {
+	for _, ht := range []bool{false, true} {
+		for name, mix := range map[string]OpMix{"snap": snapMix(), "bwa": bwaMix()} {
+			b := Profile(name, mix, ht)
+			if err := b.Validate(); err != nil {
+				t.Fatalf("ht=%v: %v", ht, err)
+			}
+		}
+	}
+}
+
+func TestSNAPIsCoreBoundBWAIsMemoryBound(t *testing.T) {
+	snap := Profile("snap", snapMix(), false)
+	bwa := Profile("bwa", bwaMix(), false)
+
+	// §6: "With SNAP ... the issue is due to the core and not memory
+	// access"; "In BWA-MEM, the system is much more memory bound."
+	if snap.CoreBound <= snap.MemoryBound {
+		t.Fatalf("SNAP core %.3f <= memory %.3f", snap.CoreBound, snap.MemoryBound)
+	}
+	if bwa.MemoryBound <= bwa.CoreBound {
+		t.Fatalf("BWA memory %.3f <= core %.3f", bwa.MemoryBound, bwa.CoreBound)
+	}
+	// Both are heavily backend bound.
+	if snap.BackendBound < 0.35 || bwa.BackendBound < 0.35 {
+		t.Fatalf("backend bound too low: snap %.3f bwa %.3f", snap.BackendBound, bwa.BackendBound)
+	}
+	// BWA should be more memory bound than SNAP.
+	if bwa.MemoryBound <= snap.MemoryBound {
+		t.Fatalf("BWA memory %.3f <= SNAP memory %.3f", bwa.MemoryBound, snap.MemoryBound)
+	}
+}
+
+func TestHyperthreadingIncreasesMemoryPressure(t *testing.T) {
+	for name, mix := range map[string]OpMix{"snap": snapMix(), "bwa": bwaMix()} {
+		off := Profile(name, mix, false)
+		on := Profile(name, mix, true)
+		if on.MemoryBound <= off.MemoryBound {
+			t.Fatalf("%s: HT memory %.3f <= no-HT %.3f", name, on.MemoryBound, off.MemoryBound)
+		}
+	}
+}
+
+func TestSPECReferencesValid(t *testing.T) {
+	refs := SPECReferences()
+	if len(refs) < 4 {
+		t.Fatalf("refs = %d", len(refs))
+	}
+	for _, b := range refs {
+		if err := b.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// mcf is the canonical memory-bound point.
+	var mcf, namd Breakdown
+	for _, b := range refs {
+		switch b.Name {
+		case "spec-mcf":
+			mcf = b
+		case "spec-namd":
+			namd = b
+		}
+	}
+	if mcf.MemoryBound <= namd.MemoryBound {
+		t.Fatal("mcf should be more memory bound than namd")
+	}
+}
+
+func TestZeroReadsSafe(t *testing.T) {
+	b := Profile("empty", SNAPMix(0, 0, 0, 0), false)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package reads
+
+import (
+	"strings"
+	"testing"
+
+	"persona/internal/genome"
+)
+
+func testGenome(t *testing.T) *genome.Genome {
+	t.Helper()
+	g, err := genome.Synthesize(genome.DefaultSyntheticConfig(100_000, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSimulatorSingleEnd(t *testing.T) {
+	g := testGenome(t)
+	sim, err := NewSimulator(g, SimConfig{Seed: 1, N: 500, ReadLen: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, origins := sim.All()
+	if len(rs) != 500 || len(origins) != 500 {
+		t.Fatalf("got %d reads, %d origins", len(rs), len(origins))
+	}
+	names := make(map[string]bool)
+	for i, r := range rs {
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() != 101 {
+			t.Fatalf("read %d length %d", i, r.Len())
+		}
+		if names[r.Meta] {
+			t.Fatalf("duplicate read name %q", r.Meta)
+		}
+		names[r.Meta] = true
+		o := origins[i]
+		if o.Pos < 0 || o.Pos+101 > g.Len() {
+			t.Fatalf("origin %d out of range: %+v", i, o)
+		}
+		for _, q := range r.Quals {
+			if q < '!'+2 || q > '!'+41 {
+				t.Fatalf("quality %q out of Phred range", q)
+			}
+		}
+	}
+}
+
+func TestSimulatedReadsMatchOrigin(t *testing.T) {
+	g := testGenome(t)
+	sim, err := NewSimulator(g, SimConfig{Seed: 2, N: 200, ReadLen: 80, ErrorRate: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, origins := sim.All()
+	for i, r := range rs {
+		ref, err := g.Slice(origins[i].Pos, r.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := r.Bases
+		if origins[i].Reverse {
+			seq = genome.ReverseComplement(make([]byte, len(seq)), seq)
+		}
+		mismatches := 0
+		for j := range seq {
+			if seq[j] != ref[j] {
+				mismatches++
+			}
+		}
+		// With ~0.2% error rate an 80bp read should rarely have more than a
+		// handful of mismatches.
+		if mismatches > 8 {
+			t.Fatalf("read %d: %d mismatches vs origin", i, mismatches)
+		}
+	}
+}
+
+func TestSimulatorPaired(t *testing.T) {
+	g := testGenome(t)
+	sim, err := NewSimulator(g, SimConfig{Seed: 3, N: 100, ReadLen: 50, Paired: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, origins := sim.All()
+	if len(rs) != 100 {
+		t.Fatalf("got %d reads", len(rs))
+	}
+	for i := 0; i < len(rs); i += 2 {
+		r1, r2 := rs[i], rs[i+1]
+		o1, o2 := origins[i], origins[i+1]
+		if !strings.HasSuffix(r1.Meta, "/1") || !strings.HasSuffix(r2.Meta, "/2") {
+			t.Fatalf("pair names %q %q", r1.Meta, r2.Meta)
+		}
+		if strings.TrimSuffix(r1.Meta, "/1") != strings.TrimSuffix(r2.Meta, "/2") {
+			t.Fatalf("pair names disagree: %q %q", r1.Meta, r2.Meta)
+		}
+		if o1.Reverse || !o2.Reverse {
+			t.Fatalf("pair %d orientation: %+v %+v", i/2, o1, o2)
+		}
+		if o2.Pos < o1.Pos {
+			t.Fatalf("pair %d positions inverted: %d %d", i/2, o1.Pos, o2.Pos)
+		}
+		insert := o2.Pos + 50 - o1.Pos
+		if insert < 100 || insert > 1000 {
+			t.Fatalf("pair %d insert %d out of plausible range", i/2, insert)
+		}
+	}
+}
+
+func TestSimulatorPairedOddN(t *testing.T) {
+	g := testGenome(t)
+	if _, err := NewSimulator(g, SimConfig{Seed: 1, N: 3, Paired: true}); err == nil {
+		t.Fatal("odd paired N accepted")
+	}
+}
+
+func TestSimulatorDuplicates(t *testing.T) {
+	g := testGenome(t)
+	sim, err := NewSimulator(g, SimConfig{Seed: 4, N: 2000, ReadLen: 60, DuplicateFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, origins := sim.All()
+	seen := make(map[Origin]int)
+	dups := 0
+	for _, o := range origins {
+		if seen[o] > 0 {
+			dups++
+		}
+		seen[o]++
+	}
+	frac := float64(dups) / float64(len(origins))
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("duplicate fraction %.3f, want ≈0.25", frac)
+	}
+}
+
+func TestSimulatorDeterministic(t *testing.T) {
+	g := testGenome(t)
+	mk := func() []Read {
+		sim, err := NewSimulator(g, SimConfig{Seed: 9, N: 50, ReadLen: 70})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, _ := sim.All()
+		return rs
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if string(a[i].Bases) != string(b[i].Bases) || string(a[i].Quals) != string(b[i].Quals) {
+			t.Fatalf("read %d differs between identically seeded runs", i)
+		}
+	}
+}
+
+func TestSimulatorValidation(t *testing.T) {
+	g := testGenome(t)
+	if _, err := NewSimulator(g, SimConfig{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := NewSimulator(g, SimConfig{N: 1, ReadLen: int(g.Len()) + 1}); err == nil {
+		t.Fatal("read longer than genome accepted")
+	}
+}
+
+func TestReadValidate(t *testing.T) {
+	r := Read{Meta: "x", Bases: []byte("ACGT"), Quals: []byte("IIII")}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Read{Meta: "y", Bases: []byte("ACGT"), Quals: []byte("II")}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched quals accepted")
+	}
+	empty := Read{Meta: "z"}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty read accepted")
+	}
+}

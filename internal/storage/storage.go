@@ -1,0 +1,279 @@
+// Package storage provides the storage backends Persona reads AGD datasets
+// from: the local filesystem and a Ceph-like replicated object store
+// (§4.2: "Currently, Persona supports a local disk or the Ceph object
+// store — other storage systems can be supported simply by writing the
+// interface into a new Reader dataflow node").
+//
+// The object store is an in-process functional model of the paper's 7-node
+// Ceph cluster: blobs are placed on OSDs by consistent hashing, written
+// with 3-way replication, and served from the primary replica (or a
+// surviving replica after failure injection). Timing behaviour at paper
+// scale — 6 GB/s aggregate reads, replicated write costs — is modeled
+// separately in internal/simulate; this package is about data placement,
+// durability and accounting.
+package storage
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"persona/internal/agd"
+)
+
+// Store is the blob interface Persona pipelines use; it is agd.BlobStore.
+type Store = agd.BlobStore
+
+// NewLocal returns a Store over a local directory.
+func NewLocal(dir string) (Store, error) { return agd.NewDirStore(dir) }
+
+// NewMem returns an in-memory Store.
+func NewMem() Store { return agd.NewMemStore() }
+
+// ObjectStoreConfig configures the replicated object store.
+type ObjectStoreConfig struct {
+	// OSDs is the number of object storage daemons (paper testbed: 7 nodes
+	// × 10 disks; one OSD per node here). Default 7.
+	OSDs int
+	// Replication is the number of replicas per blob (paper: 3). Default 3.
+	Replication int
+}
+
+// ObjectStore is the Ceph-like store.
+type ObjectStore struct {
+	mu      sync.RWMutex
+	osds    []*osd
+	repl    int
+	version uint64
+	stats   ObjectStoreStats
+}
+
+// ObjectStoreStats counts traffic through the store.
+type ObjectStoreStats struct {
+	Puts, Gets        int64
+	BytesIn           int64 // logical bytes written (pre-replication)
+	BytesOut          int64
+	ReplicatedBytesIn int64 // physical bytes including replicas
+	DegradedReads     int64 // reads served by a non-primary replica
+}
+
+type osd struct {
+	id    int
+	up    bool
+	blobs map[string]blob
+	bytes int64
+}
+
+// blob carries a version so recovery can tell stale replicas from current
+// ones (a miniature of Ceph's per-object version in the PG log).
+type blob struct {
+	data    []byte
+	version uint64
+}
+
+// NewObjectStore builds an object store.
+func NewObjectStore(cfg ObjectStoreConfig) (*ObjectStore, error) {
+	if cfg.OSDs <= 0 {
+		cfg.OSDs = 7
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 3
+	}
+	if cfg.Replication > cfg.OSDs {
+		return nil, fmt.Errorf("storage: replication %d exceeds %d OSDs", cfg.Replication, cfg.OSDs)
+	}
+	s := &ObjectStore{repl: cfg.Replication}
+	for i := 0; i < cfg.OSDs; i++ {
+		s.osds = append(s.osds, &osd{id: i, up: true, blobs: make(map[string]blob)})
+	}
+	return s, nil
+}
+
+// placement returns the OSD ids holding name, primary first (rendezvous /
+// highest-random-weight hashing, the same family of placement function as
+// Ceph's CRUSH).
+func (s *ObjectStore) placement(name string) []int {
+	type weighted struct {
+		id int
+		w  uint64
+	}
+	ws := make([]weighted, len(s.osds))
+	for i := range s.osds {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s/%d", name, i)
+		ws[i] = weighted{id: i, w: h.Sum64()}
+	}
+	sort.Slice(ws, func(a, b int) bool { return ws[a].w > ws[b].w })
+	out := make([]int, s.repl)
+	for i := 0; i < s.repl; i++ {
+		out[i] = ws[i].id
+	}
+	return out
+}
+
+// Put implements Store with replication.
+func (s *ObjectStore) Put(name string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	placed := 0
+	for _, id := range s.placement(name) {
+		o := s.osds[id]
+		if !o.up {
+			continue
+		}
+		if prev, ok := o.blobs[name]; ok {
+			o.bytes -= int64(len(prev.data))
+		}
+		o.blobs[name] = blob{data: cp, version: s.version}
+		o.bytes += int64(len(cp))
+		placed++
+	}
+	if placed == 0 {
+		return fmt.Errorf("storage: no OSD up for %q", name)
+	}
+	s.stats.Puts++
+	s.stats.BytesIn += int64(len(data))
+	s.stats.ReplicatedBytesIn += int64(len(data) * placed)
+	return nil
+}
+
+// Get implements Store, reading the newest version among up replicas
+// (primary-first for accounting; a stale primary after recovery is
+// overruled by fresher replicas).
+func (s *ObjectStore) Get(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bestIdx := -1
+	var best blob
+	for i, id := range s.placement(name) {
+		o := s.osds[id]
+		if !o.up {
+			continue
+		}
+		b, ok := o.blobs[name]
+		if !ok {
+			continue
+		}
+		if bestIdx < 0 || b.version > best.version {
+			bestIdx, best = i, b
+		}
+	}
+	if bestIdx < 0 {
+		return nil, fmt.Errorf("%w: %q", agd.ErrNotFound, name)
+	}
+	s.stats.Gets++
+	s.stats.BytesOut += int64(len(best.data))
+	if bestIdx > 0 {
+		s.stats.DegradedReads++
+	}
+	return best.data, nil
+}
+
+// Delete implements Store.
+func (s *ObjectStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.placement(name) {
+		o := s.osds[id]
+		if prev, ok := o.blobs[name]; ok {
+			o.bytes -= int64(len(prev.data))
+			delete(o.blobs, name)
+		}
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *ObjectStore) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, o := range s.osds {
+		if !o.up {
+			continue
+		}
+		for name := range o.blobs {
+			if strings.HasPrefix(name, prefix) {
+				set[name] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// FailOSD marks an OSD down (failure injection). Blobs on it become
+// unavailable until RecoverOSD.
+func (s *ObjectStore) FailOSD(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.osds) {
+		return fmt.Errorf("storage: no OSD %d", id)
+	}
+	s.osds[id].up = false
+	return nil
+}
+
+// RecoverOSD brings an OSD back up and re-replicates the blobs it should
+// hold from surviving replicas (a miniature of Ceph recovery).
+func (s *ObjectStore) RecoverOSD(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.osds) {
+		return fmt.Errorf("storage: no OSD %d", id)
+	}
+	o := s.osds[id]
+	o.up = true
+	// Find every blob placed on this OSD and restore the newest version
+	// from the surviving replicas, replacing anything stale.
+	for _, other := range s.osds {
+		if other == o || !other.up {
+			continue
+		}
+		for name, b := range other.blobs {
+			for _, pid := range s.placement(name) {
+				if pid != id {
+					continue
+				}
+				have, ok := o.blobs[name]
+				if !ok || b.version > have.version {
+					if ok {
+						o.bytes -= int64(len(have.data))
+					}
+					o.blobs[name] = b
+					o.bytes += int64(len(b.data))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stats returns traffic counters.
+func (s *ObjectStore) Stats() ObjectStoreStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// OSDBytes returns per-OSD stored bytes (placement balance accounting).
+func (s *ObjectStore) OSDBytes() []int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int64, len(s.osds))
+	for i, o := range s.osds {
+		out[i] = o.bytes
+	}
+	return out
+}
+
+var _ Store = (*ObjectStore)(nil)

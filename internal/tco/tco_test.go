@@ -1,0 +1,95 @@
+package tco
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable3Reproduction(t *testing.T) {
+	r, err := Default().Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 3: $507K compute, $53K storage, $53K fabric, $613K total,
+	// $943K TCO(5yr).
+	if r.Items[0].Total != 507_000 {
+		t.Fatalf("compute total = %.0f", r.Items[0].Total)
+	}
+	if r.Items[1].Total != 53_025 {
+		t.Fatalf("storage total = %.0f", r.Items[1].Total)
+	}
+	if r.Items[2].Total != 53_064 {
+		t.Fatalf("fabric total = %.0f", r.Items[2].Total)
+	}
+	if math.Abs(r.HardwareTotal-613_089) > 1 {
+		t.Fatalf("hardware total = %.0f, want ≈613K", r.HardwareTotal)
+	}
+	if r.TCO5yr < 930_000 || r.TCO5yr > 950_000 {
+		t.Fatalf("TCO = %.0f, want ≈943K", r.TCO5yr)
+	}
+	// Cost/alignment ≈ 6.07¢ (we land within a cent).
+	if r.CostPerAlignment < 0.05 || r.CostPerAlignment > 0.07 {
+		t.Fatalf("cost/alignment = %.4f, want ≈0.0607", r.CostPerAlignment)
+	}
+	// §6.1: storage $8.83/genome, ~6000 genomes, Glacier $6.72.
+	if math.Abs(r.GenomesStorable-7875) > 2000 {
+		// 126 TB / 16 GB = 7875; the paper rounds to ~6000 with overheads.
+		t.Fatalf("genomes storable = %.0f", r.GenomesStorable)
+	}
+	if r.StoragePerGenome < 5 || r.StoragePerGenome > 10 {
+		t.Fatalf("storage/genome = %.2f, want ≈8.83", r.StoragePerGenome)
+	}
+	if math.Abs(r.GlacierPerGenome5yr-6.72) > 0.01 {
+		t.Fatalf("glacier = %.2f, want 6.72", r.GlacierPerGenome5yr)
+	}
+	// Single server ≈144/day at ~4-5¢.
+	if r.SingleServerAlignmentsPerDay != 144 {
+		t.Fatalf("single-server/day = %.1f, want 144", r.SingleServerAlignmentsPerDay)
+	}
+	if r.SingleServerCostPerAlignment < 0.035 || r.SingleServerCostPerAlignment > 0.055 {
+		t.Fatalf("single-server cost = %.4f, want ≈0.041–0.05", r.SingleServerCostPerAlignment)
+	}
+	// Storage dwarfs compute per genome: two orders of magnitude (§6.1).
+	if ratio := r.StoragePerGenome / r.CostPerAlignment; ratio < 50 {
+		t.Fatalf("storage/compute cost ratio = %.1f, want ≫", ratio)
+	}
+}
+
+func TestComputeDominatesClusterCost(t *testing.T) {
+	r, err := Default().Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abstract claim: "server cost dominates for a balanced system".
+	if r.Items[0].Total < r.Items[1].Total+r.Items[2].Total {
+		t.Fatal("compute servers should dominate cluster cost")
+	}
+}
+
+func TestScaleForGenomes(t *testing.T) {
+	m := Default()
+	c, s := m.ScaleForGenomes(8640) // exactly the default cluster's capacity
+	if c != 60 {
+		t.Fatalf("compute = %d, want 60", c)
+	}
+	if s != 7 {
+		t.Fatalf("storage = %d, want 7", s)
+	}
+	// 100,000 Genomes-style burst: ~10x the cluster.
+	c, s = m.ScaleForGenomes(86400)
+	if c != 600 || s != 70 {
+		t.Fatalf("nation scale = %d/%d", c, s)
+	}
+	c, s = m.ScaleForGenomes(1)
+	if c != 1 || s != 1 {
+		t.Fatalf("minimum scale = %d/%d", c, s)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	m := Default()
+	m.ComputeServers = 0
+	if _, err := m.Evaluate(); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}

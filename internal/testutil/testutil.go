@@ -1,0 +1,123 @@
+// Package testutil builds the synthetic fixtures shared by tests and
+// benchmarks: small genomes, simulated read sets, and fully aligned AGD
+// datasets.
+package testutil
+
+import (
+	"testing"
+
+	"persona/internal/agd"
+	"persona/internal/align/snap"
+	"persona/internal/genome"
+	"persona/internal/reads"
+)
+
+// Fixture bundles a synthetic genome with an aligned dataset over it.
+type Fixture struct {
+	Genome  *genome.Genome
+	Index   *snap.Index
+	Dataset *agd.Dataset
+	Origins []reads.Origin
+}
+
+// Config parameterizes fixture construction.
+type Config struct {
+	GenomeSize int
+	NumReads   int
+	ReadLen    int
+	ChunkSize  int
+	DupFrac    float64
+	Seed       int64
+	// SkipAlign leaves the dataset without a results column.
+	SkipAlign bool
+}
+
+// Build creates a genome, simulates reads, writes them as an AGD dataset
+// into store under name, and (unless SkipAlign) aligns them with the SNAP
+// aligner and appends the results column.
+func Build(t testing.TB, store agd.BlobStore, name string, cfg Config) *Fixture {
+	t.Helper()
+	f, err := BuildE(store, name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// BuildE is Build with an error return, for use outside tests (benchmark
+// harness, examples).
+func BuildE(store agd.BlobStore, name string, cfg Config) (*Fixture, error) {
+	if cfg.GenomeSize <= 0 {
+		cfg.GenomeSize = 200_000
+	}
+	if cfg.NumReads <= 0 {
+		cfg.NumReads = 1000
+	}
+	if cfg.ReadLen <= 0 {
+		cfg.ReadLen = 101
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 200
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+
+	g, err := genome.Synthesize(genome.DefaultSyntheticConfig(cfg.GenomeSize, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	sim, err := reads.NewSimulator(g, reads.SimConfig{
+		Seed:              cfg.Seed + 1,
+		N:                 cfg.NumReads,
+		ReadLen:           cfg.ReadLen,
+		ErrorRate:         0.003,
+		DuplicateFraction: cfg.DupFrac,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rs, origins := sim.All()
+
+	w, err := agd.NewWriter(store, name, agd.StandardReadColumns(), agd.WriterOptions{
+		ChunkSize: cfg.ChunkSize,
+		RefSeqs:   agd.RefSeqsFromGenome(g),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range rs {
+		if err := w.Append(rs[i].Bases, rs[i].Quals, []byte(rs[i].Meta)); err != nil {
+			return nil, err
+		}
+	}
+	m, err := w.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	idx, err := snap.BuildIndex(g, snap.IndexConfig{SeedLen: 16})
+	if err != nil {
+		return nil, err
+	}
+	fixture := &Fixture{Genome: g, Index: idx, Origins: origins}
+
+	if !cfg.SkipAlign {
+		aligner := snap.NewAligner(idx, snap.Config{MaxDist: 10})
+		results := make([][]byte, len(rs))
+		for i := range rs {
+			res := aligner.AlignRead(rs[i].Bases)
+			results[i] = agd.EncodeResult(nil, &res)
+		}
+		m, err = agd.AppendColumn(store, m, agd.ColumnSpec{Name: agd.ColResults, Type: agd.TypeResults},
+			func(chunkIdx int) ([][]byte, error) {
+				entry := m.Chunks[chunkIdx]
+				return results[entry.First : entry.First+uint64(entry.Records)], nil
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	fixture.Dataset = agd.OpenManifest(store, m)
+	return fixture, nil
+}

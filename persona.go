@@ -1,0 +1,253 @@
+// Package persona is a Go reproduction of "Persona: A High-Performance
+// Bioinformatics Framework" (Byma et al., USENIX ATC 2017): a dataflow
+// framework for cluster-scale bioinformatics built around the Aggregate
+// Genomic Data (AGD) column-store format.
+//
+// The package is the public facade — the equivalent of the paper's thin
+// Python library (§4.1). It covers the full pipeline the paper evaluates:
+//
+//   - FASTQ import into AGD and export to FASTQ/SAM/BAM (§5.7)
+//   - single-server dataflow alignment with the SNAP-style aligner (§4.3)
+//   - distributed alignment across worker nodes fed by a manifest server
+//     (§5.2, §5.5)
+//   - external-merge sorting by location or read ID (§4.3, Table 2)
+//   - Samblaster-style duplicate marking on the results column (§5.6)
+//
+// Storage backends (local directories, an in-memory store, and a Ceph-like
+// replicated object store) implement the same BlobStore interface, so
+// pipelines are storage-agnostic (§4.2). See DESIGN.md for the map from
+// paper sections to packages and EXPERIMENTS.md for reproduced results.
+package persona
+
+import (
+	"context"
+	"io"
+
+	"persona/internal/agd"
+	"persona/internal/agdsort"
+	"persona/internal/align/bwa"
+	"persona/internal/align/snap"
+	"persona/internal/cluster"
+	"persona/internal/core"
+	"persona/internal/filter"
+	"persona/internal/formats/bam"
+	"persona/internal/formats/fastq"
+	"persona/internal/formats/sam"
+	"persona/internal/genome"
+	"persona/internal/markdup"
+	"persona/internal/storage"
+	"persona/internal/varcall"
+)
+
+// Re-exported core types, so library users need only this package for the
+// common paths.
+type (
+	// Store is the blob-storage interface datasets live in.
+	Store = storage.Store
+	// Manifest describes an AGD dataset.
+	Manifest = agd.Manifest
+	// Dataset provides read access to an AGD dataset.
+	Dataset = agd.Dataset
+	// Result is one alignment outcome record.
+	Result = agd.Result
+	// Genome is a reference genome.
+	Genome = genome.Genome
+	// Index is a SNAP-style reference seed index.
+	Index = snap.Index
+	// AlignReport summarizes a single-server alignment run.
+	AlignReport = core.AlignReport
+	// ClusterReport summarizes a distributed alignment run.
+	ClusterReport = cluster.Report
+	// SortStats names the sort order of a dataset.
+	SortKey = agdsort.Key
+	// DupStats reports a duplicate-marking pass.
+	DupStats = markdup.Stats
+)
+
+// Sort orders.
+const (
+	ByLocation = agdsort.ByLocation
+	ByMetadata = agdsort.ByMetadata
+)
+
+// NewLocalStore opens a Store over a local directory.
+func NewLocalStore(dir string) (Store, error) { return storage.NewLocal(dir) }
+
+// NewMemStore returns an in-memory Store (tests, experiments).
+func NewMemStore() Store { return storage.NewMem() }
+
+// NewObjectStore returns a Ceph-like replicated object store with the
+// paper's testbed defaults (7 OSDs, 3-way replication).
+func NewObjectStore() (*storage.ObjectStore, error) {
+	return storage.NewObjectStore(storage.ObjectStoreConfig{})
+}
+
+// SynthesizeGenome generates the deterministic synthetic reference used in
+// place of hg19 (see DESIGN.md §3).
+func SynthesizeGenome(totalBases int, seed int64) (*Genome, error) {
+	return genome.Synthesize(genome.DefaultSyntheticConfig(totalBases, seed))
+}
+
+// BuildIndex builds a SNAP-style seed index over a reference genome.
+func BuildIndex(g *Genome) (*Index, error) {
+	return snap.BuildIndex(g, snap.IndexConfig{SeedLen: 16})
+}
+
+// RefSeqs derives manifest reference entries from a genome.
+func RefSeqs(g *Genome) []agd.RefSeq { return agd.RefSeqsFromGenome(g) }
+
+// ImportFASTQ converts a FASTQ stream into an AGD dataset and returns its
+// manifest and record count.
+func ImportFASTQ(store Store, name string, src io.Reader, refs []agd.RefSeq, chunkSize int) (*Manifest, uint64, error) {
+	return fastq.Import(store, name, src, fastq.ImportOptions{ChunkSize: chunkSize, RefSeqs: refs})
+}
+
+// OpenDataset opens an existing AGD dataset.
+func OpenDataset(store Store, name string) (*Dataset, error) { return agd.Open(store, name) }
+
+// AlignOptions configures Align.
+type AlignOptions struct {
+	// ExecutorThreads sizes the shared compute executor; 0 means 2.
+	ExecutorThreads int
+	// MaxDist is the aligner's maximum edit distance; 0 means 12.
+	MaxDist int
+}
+
+// Align runs the single-server Persona alignment pipeline over a dataset,
+// appending a results column.
+func Align(ctx context.Context, store Store, dataset string, idx *Index, opts AlignOptions) (*AlignReport, *Manifest, error) {
+	return core.Align(ctx, core.AlignConfig{
+		Store:           store,
+		Dataset:         dataset,
+		Index:           idx,
+		Aligner:         snap.Config{MaxDist: opts.MaxDist},
+		ExecutorThreads: opts.ExecutorThreads,
+	})
+}
+
+// AlignDistributed aligns a dataset across nodes worker nodes coordinated
+// by a TCP manifest server (§5.2).
+func AlignDistributed(store Store, dataset string, idx *Index, nodes, threadsPerNode int) (*ClusterReport, *Manifest, error) {
+	return cluster.Align(store, dataset, idx, cluster.Config{
+		Nodes:          nodes,
+		ThreadsPerNode: threadsPerNode,
+	})
+}
+
+// Sort externally sorts a dataset by the given key into outputName (empty
+// for "<name>.sorted") and returns the sorted manifest.
+func Sort(store Store, dataset string, by SortKey, outputName string) (*Manifest, error) {
+	return agdsort.Sort(store, dataset, agdsort.Options{By: by, OutputName: outputName})
+}
+
+// MarkDuplicates flags duplicate reads in a dataset's results column.
+func MarkDuplicates(store Store, dataset string) (DupStats, error) {
+	return markdup.Mark(store, dataset)
+}
+
+// ExportSAM streams a dataset out as SAM text.
+func ExportSAM(store Store, dataset string, dst io.Writer) (uint64, error) {
+	ds, err := agd.Open(store, dataset)
+	if err != nil {
+		return 0, err
+	}
+	return sam.Export(ds, dst)
+}
+
+// ExportBAM streams a dataset out as BAM.
+func ExportBAM(store Store, dataset string, dst io.Writer) (uint64, error) {
+	ds, err := agd.Open(store, dataset)
+	if err != nil {
+		return 0, err
+	}
+	return bam.Export(ds, dst)
+}
+
+// ExportFASTQ streams a dataset's reads back out as FASTQ.
+func ExportFASTQ(store Store, dataset string, dst io.Writer) (uint64, error) {
+	ds, err := agd.Open(store, dataset)
+	if err != nil {
+		return 0, err
+	}
+	return fastq.Export(ds, dst)
+}
+
+// ImportSAM converts an aligned SAM stream into an AGD dataset with all
+// four standard columns; reference sequences come from the @SQ header.
+func ImportSAM(store Store, name string, src io.Reader, chunkSize int) (*Manifest, uint64, error) {
+	return sam.Import(store, name, src, sam.ImportOptions{ChunkSize: chunkSize})
+}
+
+// Filter predicates, re-exported from internal/filter.
+var (
+	// FilterMappedOnly keeps aligned reads.
+	FilterMappedOnly = filter.MappedOnly
+	// FilterMinMapQ keeps reads at or above a mapping quality.
+	FilterMinMapQ = filter.MinMapQ
+	// FilterDropDuplicates keeps non-duplicate reads (run MarkDuplicates
+	// first).
+	FilterDropDuplicates = filter.DropDuplicates
+	// FilterRegion keeps reads starting in [start, end) of the global
+	// coordinate space.
+	FilterRegion = filter.Region
+	// FilterAnd combines predicates conjunctively.
+	FilterAnd = filter.And
+)
+
+// FilterPredicate decides whether a record survives a Filter pass.
+type FilterPredicate = filter.Predicate
+
+// FilterStats reports a filter pass.
+type FilterStats = filter.Stats
+
+// Filter writes the subset of a dataset matching pred into outputName
+// (empty for "<name>.filtered").
+func Filter(store Store, dataset string, pred FilterPredicate, outputName string) (*Manifest, FilterStats, error) {
+	return filter.Run(store, dataset, pred, filter.Options{OutputName: outputName})
+}
+
+// Variant is one called SNP.
+type Variant = varcall.Variant
+
+// CallVariants runs the pileup-based SNP caller over an aligned dataset
+// (§8's variant-calling stage) with default options.
+func CallVariants(store Store, dataset string, ref *Genome) ([]Variant, error) {
+	ds, err := agd.Open(store, dataset)
+	if err != nil {
+		return nil, err
+	}
+	return varcall.CallDataset(ds, ref, varcall.NewOptions())
+}
+
+// WriteVCF renders variant calls as a VCF 4.2 stream.
+func WriteVCF(w io.Writer, ref *Genome, variants []Variant) error {
+	return varcall.WriteVCF(w, agd.RefSeqsFromGenome(ref), variants)
+}
+
+// BuildBWAIndex builds the FM-index used by the BWA alignment engine.
+func BuildBWAIndex(g *Genome) (*bwa.FMIndex, error) { return bwa.NewFMIndex(g) }
+
+// AlignBWA runs the single-server pipeline with the BWA-MEM-style engine.
+func AlignBWA(ctx context.Context, store Store, dataset string, fm *bwa.FMIndex, g *Genome, paired bool) (*AlignReport, *Manifest, error) {
+	return core.Align(ctx, core.AlignConfig{
+		Store:   store,
+		Dataset: dataset,
+		Engine:  core.EngineBWA,
+		FMIndex: fm,
+		Genome:  g,
+		Paired:  paired,
+	})
+}
+
+// AlignPaired runs the single-server SNAP pipeline in paired-end mode
+// (records 2i and 2i+1 form pairs).
+func AlignPaired(ctx context.Context, store Store, dataset string, idx *Index, opts AlignOptions) (*AlignReport, *Manifest, error) {
+	return core.Align(ctx, core.AlignConfig{
+		Store:           store,
+		Dataset:         dataset,
+		Index:           idx,
+		Aligner:         snap.Config{MaxDist: opts.MaxDist},
+		ExecutorThreads: opts.ExecutorThreads,
+		Paired:          true,
+	})
+}

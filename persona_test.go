@@ -1,0 +1,247 @@
+package persona_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"persona"
+	"persona/internal/agd"
+	"persona/internal/formats/bam"
+	"persona/internal/formats/fastq"
+	"persona/internal/formats/sam"
+	"persona/internal/genome"
+	"persona/internal/reads"
+)
+
+// buildFASTQ simulates reads and renders them as FASTQ text.
+func buildFASTQ(t *testing.T, g *genome.Genome, n, readLen int, dupFrac float64, seed int64) string {
+	t.Helper()
+	sim, err := reads.NewSimulator(g, reads.SimConfig{
+		Seed: seed, N: n, ReadLen: readLen, ErrorRate: 0.003, DuplicateFraction: dupFrac,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := sim.All()
+	var buf bytes.Buffer
+	w := fastq.NewWriter(&buf)
+	for i := range rs {
+		if err := w.Write(&rs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestFullPipeline walks the complete paper workflow through the public
+// API: import FASTQ → align → sort → mark duplicates → export SAM and BAM.
+func TestFullPipeline(t *testing.T) {
+	store := persona.NewMemStore()
+	g, err := persona.SynthesizeGenome(150_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := buildFASTQ(t, g, 800, 80, 0.15, 8)
+
+	m, n, err := persona.ImportFASTQ(store, "patient", strings.NewReader(fq), persona.RefSeqs(g), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 800 || len(m.Chunks) != 8 {
+		t.Fatalf("imported %d records in %d chunks", n, len(m.Chunks))
+	}
+
+	idx, err := persona.BuildIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, m, err := persona.Align(context.Background(), store, "patient", idx, persona.AlignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Reads != 800 {
+		t.Fatalf("aligned %d reads", report.Reads)
+	}
+	if !m.HasColumn(agd.ColResults) {
+		t.Fatal("no results column")
+	}
+
+	sorted, err := persona.Sort(store, "patient", persona.ByLocation, "patient.sorted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.SortedBy != "location" {
+		t.Fatalf("SortedBy = %q", sorted.SortedBy)
+	}
+
+	dupStats, err := persona.MarkDuplicates(store, "patient.sorted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dupStats.Reads != 800 {
+		t.Fatalf("dup pass saw %d reads", dupStats.Reads)
+	}
+	if dupStats.Duplicates == 0 {
+		t.Fatal("no duplicates found despite 15% duplication")
+	}
+
+	var samOut bytes.Buffer
+	sn, err := persona.ExportSAM(store, "patient.sorted", &samOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn != 800 {
+		t.Fatalf("exported %d SAM records", sn)
+	}
+	sc := sam.NewScanner(&samOut)
+	samRecs := 0
+	dupFlagged := 0
+	for sc.Scan() {
+		samRecs++
+		if sc.Record().Flags&agd.FlagDuplicate != 0 {
+			dupFlagged++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if samRecs != 800 {
+		t.Fatalf("SAM parse-back %d records", samRecs)
+	}
+	if uint64(dupFlagged) != dupStats.Duplicates {
+		t.Fatalf("SAM carries %d dup flags, marking found %d", dupFlagged, dupStats.Duplicates)
+	}
+
+	var bamOut bytes.Buffer
+	bn, err := persona.ExportBAM(store, "patient.sorted", &bamOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bn != 800 {
+		t.Fatalf("exported %d BAM records", bn)
+	}
+	br, err := bam.NewReader(&bamOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bamRecs := 0
+	for br.Scan() {
+		bamRecs++
+	}
+	if err := br.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if bamRecs != 800 {
+		t.Fatalf("BAM parse-back %d records", bamRecs)
+	}
+
+	var fqOut bytes.Buffer
+	fn, err := persona.ExportFASTQ(store, "patient", &fqOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn != 800 {
+		t.Fatalf("exported %d FASTQ records", fn)
+	}
+	if fqOut.String() != fq {
+		t.Fatal("FASTQ round trip through AGD is not byte-identical")
+	}
+}
+
+// TestDistributedMatchesSingleServer checks that the cluster runtime and
+// the single-server pipeline produce identical results.
+func TestDistributedMatchesSingleServer(t *testing.T) {
+	g, err := persona.SynthesizeGenome(120_000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := persona.BuildIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := buildFASTQ(t, g, 400, 70, 0, 18)
+
+	runSingle := func() []agd.Result {
+		store := persona.NewMemStore()
+		if _, _, err := persona.ImportFASTQ(store, "ds", strings.NewReader(fq), persona.RefSeqs(g), 64); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := persona.Align(context.Background(), store, "ds", idx, persona.AlignOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		ds, err := persona.OpenDataset(store, "ds")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := ds.ReadAllResults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	runCluster := func() []agd.Result {
+		store := persona.NewMemStore()
+		if _, _, err := persona.ImportFASTQ(store, "ds", strings.NewReader(fq), persona.RefSeqs(g), 64); err != nil {
+			t.Fatal(err)
+		}
+		report, _, err := persona.AlignDistributed(store, "ds", idx, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Imbalance < 0 {
+			t.Fatal("negative imbalance")
+		}
+		ds, err := persona.OpenDataset(store, "ds")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := ds.ReadAllResults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	single, distributed := runSingle(), runCluster()
+	if len(single) != len(distributed) {
+		t.Fatalf("counts differ: %d vs %d", len(single), len(distributed))
+	}
+	for i := range single {
+		if single[i] != distributed[i] {
+			t.Fatalf("result %d differs:\nsingle %+v\ncluster %+v", i, single[i], distributed[i])
+		}
+	}
+}
+
+// TestObjectStoreBackend runs the pipeline against the Ceph-like store.
+func TestObjectStoreBackend(t *testing.T) {
+	store, err := persona.NewObjectStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := persona.SynthesizeGenome(80_000, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := buildFASTQ(t, g, 200, 60, 0, 28)
+	if _, _, err := persona.ImportFASTQ(store, "ds", strings.NewReader(fq), persona.RefSeqs(g), 64); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := persona.BuildIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := persona.Align(context.Background(), store, "ds", idx, persona.AlignOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persona.Sort(store, "ds", persona.ByLocation, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persona.MarkDuplicates(store, "ds.sorted"); err != nil {
+		t.Fatal(err)
+	}
+}
