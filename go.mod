@@ -1,0 +1,3 @@
+module persona
+
+go 1.24

@@ -20,13 +20,73 @@ var gzWriterPool = sync.Pool{
 	},
 }
 
-var gzReaderPool = sync.Pool{New: func() any { return new(gzip.Reader) }}
+// gzReadCtx pairs a gzip reader with its source so a whole decompression
+// context can be recycled without allocating a bytes.Reader per call.
+type gzReadCtx struct {
+	br bytes.Reader
+	zr gzip.Reader
+}
+
+var gzReadCtxPool = sync.Pool{New: func() any { return new(gzReadCtx) }}
+
+// appendWriter adapts an append-grown byte slice as an io.Writer, letting
+// gzip compress straight into an output blob with no intermediate buffer.
+type appendWriter struct{ buf *[]byte }
+
+func (w appendWriter) Write(p []byte) (int, error) {
+	*w.buf = append(*w.buf, p...)
+	return len(p), nil
+}
+
+// gzipAppend compresses src at BestSpeed, appending the stream to dst.
+func gzipAppend(dst []byte, src []byte) ([]byte, error) {
+	zw := gzWriterPool.Get().(*gzip.Writer)
+	defer gzWriterPool.Put(zw)
+	zw.Reset(appendWriter{&dst})
+	if _, err := zw.Write(src); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// gunzipExact inflates src into dst, which must be exactly the uncompressed
+// size. It fails if the stream is shorter or longer than dst, avoiding the
+// grow-and-copy of a bytes.Buffer read.
+func gunzipExact(dst, src []byte) error {
+	c := gzReadCtxPool.Get().(*gzReadCtx)
+	c.br.Reset(src)
+	if err := c.zr.Reset(&c.br); err != nil {
+		// The reader's state is suspect after a failed Reset; drop the
+		// context rather than pooling it.
+		return fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+	}
+	defer gzReadCtxPool.Put(c)
+	if _, err := io.ReadFull(&c.zr, dst); err != nil {
+		return fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+	}
+	// The stream must end exactly at len(dst); the extra read also forces
+	// gzip's own checksum verification.
+	var one [1]byte
+	if n, err := c.zr.Read(one[:]); n != 0 || err != io.EOF {
+		if err == nil || err == io.EOF {
+			return fmt.Errorf("%w: gzip stream longer than index", ErrCorrupt)
+		}
+		return fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+	}
+	if err := c.zr.Close(); err != nil {
+		return fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+	}
+	return nil
+}
 
 // Chunk file layout (all integers little-endian):
 //
 //	offset size field
 //	0      4    magic "AGD1"
-//	4      1    version (1)
+//	4      1    version (1 or 2)
 //	5      1    record type
 //	6      1    compression
 //	7      1    reserved
@@ -37,11 +97,17 @@ var gzReaderPool = sync.Pool{New: func() any { return new(gzip.Reader) }}
 //	36     4    CRC-32 (IEEE) of the uncompressed data block
 //	40     ...  index block: uvarint length per record (the relative index)
 //	...    ...  data block (possibly compressed)
+//
+// Version 1 stores the data block as a single (possibly gzip-compressed)
+// run. Version 2 splits it into independent gzip members that compress and
+// decompress in parallel (see parallel.go for the member table layout).
+// Version 1 blobs written by earlier releases decode unchanged.
 
 const (
-	chunkMagic      = "AGD1"
-	chunkVersion    = 1
-	chunkHeaderSize = 40
+	chunkMagic           = "AGD1"
+	chunkVersion         = 1
+	chunkVersionParallel = 2
+	chunkHeaderSize      = 40
 )
 
 // Chunk is an in-memory, parsed AGD chunk: the "chunk object" that flows
@@ -68,16 +134,22 @@ func (c *Chunk) NumRecords() int { return len(c.lengths) }
 // Lengths exposes the relative index. Callers must not mutate it.
 func (c *Chunk) Lengths() []uint32 { return c.lengths }
 
-// absIndex materializes the absolute index by summing the relative index.
+// absIndex materializes the absolute index by summing the relative index,
+// reusing the offsets backing array of a recycled chunk.
 func (c *Chunk) absIndex() []uint64 {
 	c.offsetsOnce.Do(func() {
-		offsets := make([]uint64, len(c.lengths)+1)
+		n := len(c.lengths) + 1
+		offsets := c.offsets
+		if cap(offsets) < n {
+			offsets = make([]uint64, n)
+		}
+		offsets = offsets[:n]
 		var sum uint64
 		for i, l := range c.lengths {
 			offsets[i] = sum
 			sum += uint64(l)
 		}
-		offsets[len(c.lengths)] = sum
+		offsets[n-1] = sum
 		c.offsets = offsets
 	})
 	return c.offsets
@@ -92,6 +164,19 @@ func (c *Chunk) Record(i int) ([]byte, error) {
 	return c.Data[off[i]:off[i+1]], nil
 }
 
+// Reset clears the chunk for reuse, retaining the Data, lengths and offsets
+// backing arrays so a recycled chunk decodes with no allocation. The caller
+// must ensure no records or slices of the previous contents are still
+// referenced.
+func (c *Chunk) Reset() {
+	c.Type = 0
+	c.FirstOrdinal = 0
+	c.lengths = c.lengths[:0]
+	c.offsets = c.offsets[:0]
+	c.offsetsOnce = sync.Once{}
+	c.Data = c.Data[:0]
+}
+
 // ChunkBuilder accumulates records for one column chunk.
 type ChunkBuilder struct {
 	typ          RecordType
@@ -104,6 +189,17 @@ type ChunkBuilder struct {
 // given dataset-wide ordinal.
 func NewChunkBuilder(typ RecordType, firstOrdinal uint64) *ChunkBuilder {
 	return &ChunkBuilder{typ: typ, firstOrdinal: firstOrdinal}
+}
+
+// Reset re-targets the builder at a new chunk, retaining the backing arrays
+// so pooled builders accumulate with no steady-state allocation. Chunks
+// previously returned by Chunk() share those arrays and must be fully
+// consumed (e.g. encoded) before the builder is reset.
+func (b *ChunkBuilder) Reset(typ RecordType, firstOrdinal uint64) {
+	b.typ = typ
+	b.firstOrdinal = firstOrdinal
+	b.lengths = b.lengths[:0]
+	b.data = b.data[:0]
 }
 
 // Append adds one record.
@@ -135,132 +231,169 @@ func (b *ChunkBuilder) Chunk() *Chunk {
 	}
 }
 
-// EncodeChunk serializes a chunk to the on-disk format.
+// EncodeChunk serializes a chunk to the on-disk format. Large gzip chunks
+// are written in the version-2 multi-member layout and compressed in
+// parallel (see Codec); small chunks keep the byte-identical version-1
+// layout.
 func EncodeChunk(c *Chunk, comp Compression) ([]byte, error) {
-	var index bytes.Buffer
+	return Codec{}.Encode(c, comp)
+}
+
+// EncodeChunkAppend is EncodeChunk appending to dst, so writers can recycle
+// output blobs.
+func EncodeChunkAppend(dst []byte, c *Chunk, comp Compression) ([]byte, error) {
+	return Codec{}.EncodeAppend(dst, c, comp)
+}
+
+// encodeChunkHeader appends a chunk header to dst with the size fields
+// zeroed; patchChunkHeader fills them once the blocks are written.
+func encodeChunkHeader(dst []byte, c *Chunk, version byte, comp Compression) []byte {
+	var hdr [chunkHeaderSize]byte
+	copy(hdr[0:4], chunkMagic)
+	hdr[4] = version
+	hdr[5] = byte(c.Type)
+	hdr[6] = byte(comp)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(c.lengths)))
+	binary.LittleEndian.PutUint64(hdr[12:20], c.FirstOrdinal)
+	return append(dst, hdr[:]...)
+}
+
+func patchChunkHeader(hdr []byte, indexLen, dataLen int, crc uint32) {
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(indexLen))
+	binary.LittleEndian.PutUint64(hdr[28:36], uint64(dataLen))
+	binary.LittleEndian.PutUint32(hdr[36:40], crc)
+}
+
+// appendChunkIndex appends the relative index (uvarint record lengths).
+func appendChunkIndex(dst []byte, c *Chunk) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	for _, l := range c.lengths {
 		n := binary.PutUvarint(tmp[:], uint64(l))
-		index.Write(tmp[:n])
+		dst = append(dst, tmp[:n]...)
 	}
+	return dst
+}
 
-	data := c.Data
-	crc := crc32.ChecksumIEEE(data)
+// encodeChunkV1Append writes the single-run version-1 layout, compressing
+// (if requested) straight into the output slice.
+func encodeChunkV1Append(dst []byte, c *Chunk, comp Compression) ([]byte, error) {
+	base := len(dst)
+	// Worst-case estimate: full header and index plus incompressible data
+	// (gzip at BestSpeed stores incompressible input nearly verbatim).
+	dst = ensureCap(dst, chunkHeaderSize+3*len(c.lengths)+len(c.Data)+len(c.Data)/128+64)
+	dst = encodeChunkHeader(dst, c, chunkVersion, comp)
+	idxStart := len(dst)
+	dst = appendChunkIndex(dst, c)
+	idxLen := len(dst) - idxStart
+
+	dataStart := len(dst)
+	crc := crc32.ChecksumIEEE(c.Data)
 	switch comp {
 	case CompressNone:
+		dst = append(dst, c.Data...)
 	case CompressGzip:
-		var zbuf bytes.Buffer
-		zw := gzWriterPool.Get().(*gzip.Writer)
-		zw.Reset(&zbuf)
-		if _, err := zw.Write(data); err != nil {
-			gzWriterPool.Put(zw)
+		var err error
+		if dst, err = gzipAppend(dst, c.Data); err != nil {
 			return nil, err
 		}
-		if err := zw.Close(); err != nil {
-			gzWriterPool.Put(zw)
-			return nil, err
-		}
-		gzWriterPool.Put(zw)
-		data = zbuf.Bytes()
 	default:
 		return nil, fmt.Errorf("agd: unknown compression %d", comp)
 	}
-
-	out := make([]byte, chunkHeaderSize, chunkHeaderSize+index.Len()+len(data))
-	copy(out[0:4], chunkMagic)
-	out[4] = chunkVersion
-	out[5] = byte(c.Type)
-	out[6] = byte(comp)
-	binary.LittleEndian.PutUint32(out[8:12], uint32(len(c.lengths)))
-	binary.LittleEndian.PutUint64(out[12:20], c.FirstOrdinal)
-	binary.LittleEndian.PutUint64(out[20:28], uint64(index.Len()))
-	binary.LittleEndian.PutUint64(out[28:36], uint64(len(data)))
-	binary.LittleEndian.PutUint32(out[36:40], crc)
-	out = append(out, index.Bytes()...)
-	out = append(out, data...)
-	return out, nil
+	patchChunkHeader(dst[base:], idxLen, len(dst)-dataStart, crc)
+	return dst, nil
 }
 
 // DecodeChunk parses an on-disk chunk blob, decompressing the data block.
+// Both layout versions are accepted; multi-member data blocks decompress in
+// parallel.
 func DecodeChunk(blob []byte) (*Chunk, error) {
+	return Codec{}.Decode(blob)
+}
+
+// DecodeChunkInto decodes blob into c, reusing c's backing arrays (pooled
+// chunk lifecycle: the steady-state pipeline decodes with no allocation).
+// The chunk owns its memory afterwards — even uncompressed data is copied
+// out of blob.
+func DecodeChunkInto(c *Chunk, blob []byte) error {
+	return Codec{}.DecodeInto(c, blob)
+}
+
+// chunkHeader is a parsed fixed-size chunk blob header.
+type chunkHeader struct {
+	version      byte
+	typ          RecordType
+	comp         Compression
+	records      uint32
+	firstOrdinal uint64
+	indexSize    uint64
+	dataSize     uint64
+	crc          uint32
+}
+
+func parseChunkHeader(blob []byte) (chunkHeader, error) {
+	var h chunkHeader
 	if len(blob) < chunkHeaderSize {
-		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(blob))
+		return h, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(blob))
 	}
 	if string(blob[0:4]) != chunkMagic {
-		return nil, ErrBadMagic
+		return h, ErrBadMagic
 	}
-	if blob[4] != chunkVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, blob[4])
+	if blob[4] != chunkVersion && blob[4] != chunkVersionParallel {
+		return h, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, blob[4])
 	}
-	typ := RecordType(blob[5])
-	comp := Compression(blob[6])
-	records := binary.LittleEndian.Uint32(blob[8:12])
-	firstOrdinal := binary.LittleEndian.Uint64(blob[12:20])
-	indexSize := binary.LittleEndian.Uint64(blob[20:28])
-	dataSize := binary.LittleEndian.Uint64(blob[28:36])
-	wantCRC := binary.LittleEndian.Uint32(blob[36:40])
+	h.version = blob[4]
+	h.typ = RecordType(blob[5])
+	h.comp = Compression(blob[6])
+	h.records = binary.LittleEndian.Uint32(blob[8:12])
+	h.firstOrdinal = binary.LittleEndian.Uint64(blob[12:20])
+	h.indexSize = binary.LittleEndian.Uint64(blob[20:28])
+	h.dataSize = binary.LittleEndian.Uint64(blob[28:36])
+	h.crc = binary.LittleEndian.Uint32(blob[36:40])
+	if uint64(len(blob)) != chunkHeaderSize+h.indexSize+h.dataSize {
+		return h, fmt.Errorf("%w: size mismatch (header says %d, blob is %d)",
+			ErrCorrupt, chunkHeaderSize+h.indexSize+h.dataSize, len(blob))
+	}
+	return h, nil
+}
 
-	if uint64(len(blob)) != chunkHeaderSize+indexSize+dataSize {
-		return nil, fmt.Errorf("%w: size mismatch (header says %d, blob is %d)",
-			ErrCorrupt, chunkHeaderSize+indexSize+dataSize, len(blob))
-	}
-	indexBlock := blob[chunkHeaderSize : chunkHeaderSize+indexSize]
-	dataBlock := blob[chunkHeaderSize+indexSize:]
-
-	lengths := make([]uint32, 0, records)
+// decodeChunkIndex parses the relative index into lengths (reusing its
+// backing array) and returns it with the summed record bytes.
+func decodeChunkIndex(lengths []uint32, indexBlock []byte, records uint32) ([]uint32, uint64, error) {
+	lengths = lengths[:0]
 	var total uint64
 	for len(indexBlock) > 0 {
 		l, n := binary.Uvarint(indexBlock)
 		if n <= 0 {
-			return nil, fmt.Errorf("%w: bad index varint", ErrCorrupt)
+			return nil, 0, fmt.Errorf("%w: bad index varint", ErrCorrupt)
 		}
 		lengths = append(lengths, uint32(l))
 		total += l
 		indexBlock = indexBlock[n:]
 	}
 	if uint32(len(lengths)) != records {
-		return nil, fmt.Errorf("%w: index has %d entries, header says %d", ErrCorrupt, len(lengths), records)
+		return nil, 0, fmt.Errorf("%w: index has %d entries, header says %d", ErrCorrupt, len(lengths), records)
 	}
+	return lengths, total, nil
+}
 
-	var data []byte
-	switch comp {
-	case CompressNone:
-		data = dataBlock
-	case CompressGzip:
-		zr := gzReaderPool.Get().(*gzip.Reader)
-		if err := zr.Reset(bytes.NewReader(dataBlock)); err != nil {
-			gzReaderPool.Put(zr)
-			return nil, fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
-		}
-		data = make([]byte, 0, total)
-		buf := bytes.NewBuffer(data)
-		if _, err := io.Copy(buf, zr); err != nil { //nolint:gosec // bounded by chunk size
-			gzReaderPool.Put(zr)
-			return nil, fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
-		}
-		if err := zr.Close(); err != nil {
-			gzReaderPool.Put(zr)
-			return nil, fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
-		}
-		gzReaderPool.Put(zr)
-		data = buf.Bytes()
-	default:
-		return nil, fmt.Errorf("%w: unknown compression %d", ErrCorrupt, comp)
+// growBytes returns a slice of exactly n bytes, reusing b's backing array
+// when it is large enough.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
 	}
+	return make([]byte, n)
+}
 
-	if uint64(len(data)) != total {
-		return nil, fmt.Errorf("%w: data block is %d bytes, index sums to %d", ErrCorrupt, len(data), total)
+// ensureCap grows b so at least extra more bytes can be appended without
+// reallocating, keeping encode's append-as-you-go from doubling repeatedly.
+func ensureCap(b []byte, extra int) []byte {
+	if cap(b)-len(b) >= extra {
+		return b
 	}
-	if crc32.ChecksumIEEE(data) != wantCRC {
-		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
-	}
-
-	return &Chunk{
-		Type:         typ,
-		FirstOrdinal: firstOrdinal,
-		lengths:      lengths,
-		Data:         data,
-	}, nil
+	nb := make([]byte, len(b), len(b)+extra)
+	copy(nb, b)
+	return nb
 }
 
 // ExpandBasesRecord decodes record i of a TypeCompactBases chunk into base

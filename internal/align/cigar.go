@@ -69,6 +69,19 @@ func (c Cigar) String() string {
 	return sb.String()
 }
 
+// AppendText appends the SAM text form to dst and returns the extended
+// slice, rendering like String ("*" when empty) without allocating.
+func (c Cigar) AppendText(dst []byte) []byte {
+	if len(c) == 0 {
+		return append(dst, '*')
+	}
+	for _, e := range c {
+		dst = strconv.AppendInt(dst, int64(e.Len), 10)
+		dst = append(dst, byte(e.Op))
+	}
+	return dst
+}
+
 // ParseCigar parses a SAM CIGAR string; "*" and "" parse to nil.
 func ParseCigar(s string) (Cigar, error) {
 	if s == "" || s == "*" {

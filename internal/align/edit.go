@@ -52,6 +52,20 @@ func LandauVishkin(query, ref []byte, maxK int) int {
 // comparisons). The count feeds the Fig. 8 workload analysis: these short
 // data-dependent loops are what make SNAP core bound (§6).
 func LandauVishkinOps(query, ref []byte, maxK int) (dist, ops int) {
+	var s LVScratch
+	return s.DistanceOps(query, ref, maxK)
+}
+
+// LVScratch carries the two diagonal rows of the Landau-Vishkin kernel so a
+// long-lived caller (an aligner verifying thousands of candidates per chunk)
+// performs no per-call allocation. The zero value is ready to use; an
+// LVScratch must not be shared between goroutines.
+type LVScratch struct {
+	cur, next []int
+}
+
+// DistanceOps is LandauVishkinOps computing into the scratch rows.
+func (s *LVScratch) DistanceOps(query, ref []byte, maxK int) (dist, ops int) {
 	m := len(query)
 	if m == 0 {
 		return 0, 0
@@ -63,10 +77,16 @@ func LandauVishkinOps(query, ref []byte, maxK int) (dist, ops int) {
 	// query index + d) with the current number of edits. Diagonals are
 	// offset by maxK to index the slice.
 	size := 2*maxK + 1
-	cur := make([]int, size)
-	next := make([]int, size)
+	if cap(s.cur) < size {
+		s.cur = make([]int, size)
+		s.next = make([]int, size)
+	}
+	cur, next := s.cur[:size], s.next[:size]
 	for i := range cur {
 		cur[i] = -2 // unreachable
+	}
+	for i := range next {
+		next[i] = -2 // unreachable until written by the band sweep
 	}
 	// 0 edits: only diagonal 0, extend exact match.
 	reach := extend(query, ref, 0, 0)
@@ -146,6 +166,24 @@ func extend(query, ref []byte, ri, qi int) int {
 // bases consumed. It returns dist = -1 if no alignment within maxK exists.
 // Banded DP, O(len(query)·(2maxK+1)) time and space.
 func BoundedAlign(query, ref []byte, maxK int) (dist int, cigar Cigar, refUsed int) {
+	var s BandedScratch
+	return s.BoundedAlign(query, ref, maxK)
+}
+
+// BandedScratch carries the DP table and CIGAR buffers of BoundedAlign so a
+// long-lived caller performs no per-call allocation. The zero value is ready
+// to use; a BandedScratch must not be shared between goroutines.
+//
+// The Cigar returned by its BoundedAlign aliases scratch storage: it is valid
+// only until the next call, and callers that keep it must copy (or render it
+// to text) first.
+type BandedScratch struct {
+	dp       []int32
+	rev, out Cigar
+}
+
+// BoundedAlign is the package-level BoundedAlign computing into the scratch.
+func (s *BandedScratch) BoundedAlign(query, ref []byte, maxK int) (dist int, cigar Cigar, refUsed int) {
 	m := len(query)
 	if m == 0 {
 		return 0, nil, 0
@@ -156,7 +194,11 @@ func BoundedAlign(query, ref []byte, maxK int) (dist int, cigar Cigar, refUsed i
 	w := 2*maxK + 1
 	const inf = 1 << 29
 	// dp[i*w + (j-i+maxK)] = distance aligning query[:i] with ref[:j].
-	dp := make([]int32, (m+1)*w)
+	need := (m + 1) * w
+	if cap(s.dp) < need {
+		s.dp = make([]int32, need)
+	}
+	dp := s.dp[:need]
 	for i := range dp {
 		dp[i] = inf
 	}
@@ -216,7 +258,7 @@ func BoundedAlign(query, ref []byte, maxK int) (dist int, cigar Cigar, refUsed i
 	}
 
 	// Traceback.
-	var rev Cigar
+	rev := s.rev[:0]
 	i, j := m, bestJ
 	for i > 0 || j > 0 {
 		v := at(i, j)
@@ -244,10 +286,20 @@ func BoundedAlign(query, ref []byte, maxK int) (dist int, cigar Cigar, refUsed i
 		// Unreachable given a consistent DP table.
 		break
 	}
-	// Reverse and run-length merge.
-	out := make(Cigar, 0, len(rev))
+	s.rev = rev
+	// Reverse and run-length merge in one pass (Canonical without the copy).
+	out := s.out[:0]
 	for k := len(rev) - 1; k >= 0; k-- {
-		out = append(out, rev[k])
+		e := rev[k]
+		if e.Len == 0 {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].Op == e.Op {
+			out[len(out)-1].Len += e.Len
+			continue
+		}
+		out = append(out, e)
 	}
-	return int(bestD), out.Canonical(), bestJ
+	s.out = out
+	return int(bestD), out, bestJ
 }

@@ -2,6 +2,7 @@ package snap
 
 import (
 	"fmt"
+	"slices"
 
 	"persona/internal/agd"
 	"persona/internal/align"
@@ -48,16 +49,38 @@ func (c Config) withDefaults(seedLen int) Config {
 // Aligner aligns reads against a SNAP index. Aligners are stateless between
 // calls except for scratch buffers, so one Aligner must be used by a single
 // goroutine; create one per worker (they share the read-only index).
+//
+// All per-read state lives in reused scratch buffers, so steady-state
+// AlignRead performs no heap allocation (the hot-loop requirement of §6:
+// the aligner is core bound, and allocator traffic is pure overhead).
 type Aligner struct {
 	idx *Index
 	cfg Config
 
 	// scratch
-	rc     []byte
-	cands  []candidate
-	seen   map[int64]struct{}
-	counts Stats
+	rc       []byte
+	cands    []candidate
+	keys     []candKey
+	lv       align.LVScratch
+	banded   align.BandedScratch
+	cigarBuf []byte
+	cigarTab map[string]string
+	scoreBuf [2][]scored
+	counts   Stats
 }
+
+// candKey is one candidate occurrence gathered from seed lookups before
+// deduplication: the (position, strand) key plus the order it was seen in.
+type candKey struct {
+	key int64 // pos<<1 | rc
+	seq int32
+}
+
+// maxCigarTab bounds the interned-CIGAR table. Real read sets repeat a small
+// set of CIGARs ("101M", one-indel variants, ...), so the table converges and
+// steady-state AlignRead allocates nothing; the bound keeps pathological
+// inputs from growing it without limit.
+const maxCigarTab = 1 << 14
 
 // Stats counts aligner work for the perfmodel instrumentation.
 type Stats struct {
@@ -76,10 +99,14 @@ type candidate struct {
 
 // NewAligner returns an aligner over idx.
 func NewAligner(idx *Index, cfg Config) *Aligner {
+	c := cfg.withDefaults(idx.seedLen)
 	return &Aligner{
-		idx:  idx,
-		cfg:  cfg.withDefaults(idx.seedLen),
-		seen: make(map[int64]struct{}, 128),
+		idx:      idx,
+		cfg:      c,
+		cands:    make([]candidate, 0, c.MaxCandidates*2),
+		keys:     make([]candKey, 0, 256),
+		cigarBuf: make([]byte, 0, 64),
+		cigarTab: make(map[string]string, 64),
 	}
 }
 
@@ -107,14 +134,14 @@ func (a *Aligner) AlignRead(bases []byte) agd.Result {
 // best, and the best candidate.
 func (a *Aligner) findBest(bases []byte) (best, second, bestCount int, bestCand *candidate) {
 	cfg := a.cfg
-	a.gatherCandidates(bases)
+	rcBases := a.gatherCandidates(bases)
 	best, second = cfg.MaxDist+1, -1
 	bestCount = 0
 	for i := range a.cands {
 		c := a.cands[i]
 		query := bases
 		if c.rc {
-			query = a.reverseComplement(bases)
+			query = rcBases
 		}
 		// Verify with a bound just past the current best: wide enough to
 		// find ties and the second-best distances that set MAPQ, tight
@@ -148,14 +175,23 @@ func (a *Aligner) findBest(bases []byte) (best, second, bestCount int, bestCand 
 
 // gatherCandidates fills a.cands with deduplicated candidate positions from
 // seeds at several offsets, for forward and reverse-complement orientations.
-func (a *Aligner) gatherCandidates(bases []byte) {
+// It returns the reverse complement of bases (backed by the a.rc scratch, so
+// valid until the next reverseComplement call) for callers to verify rc
+// candidates without recomputing it.
+//
+// Deduplication runs on a reused sorted slice instead of a hash set: all
+// occurrences are collected with their arrival order, sorted by (key, order),
+// uniqued keeping each key's first occurrence, and re-sorted by order — the
+// same first-seen candidate sequence a map would produce, with zero
+// steady-state allocation and no per-occurrence hashing.
+func (a *Aligner) gatherCandidates(bases []byte) []byte {
 	a.cands = a.cands[:0]
+	a.keys = a.keys[:0]
+	rc := a.reverseComplement(bases)
 	seedLen := a.idx.seedLen
 	if len(bases) < seedLen {
-		return
+		return rc
 	}
-	clear(a.seen)
-	rc := a.reverseComplement(bases)
 	for _, dir := range [2]struct {
 		seq []byte
 		rc  bool
@@ -173,16 +209,35 @@ func (a *Aligner) gatherCandidates(bases []byte) {
 				}
 				// Key forward and rc candidates separately.
 				key := pos<<1 | int64(b2i(dir.rc))
-				if _, dup := a.seen[key]; dup {
-					continue
-				}
-				a.seen[key] = struct{}{}
-				if len(a.cands) < a.cfg.MaxCandidates*2 {
-					a.cands = append(a.cands, candidate{pos: pos, rc: dir.rc})
-				}
+				a.keys = append(a.keys, candKey{key: key, seq: int32(len(a.keys))})
 			}
 		}
 	}
+
+	slices.SortFunc(a.keys, func(x, y candKey) int {
+		if x.key != y.key {
+			if x.key < y.key {
+				return -1
+			}
+			return 1
+		}
+		return int(x.seq) - int(y.seq)
+	})
+	uniq := a.keys[:0]
+	for _, k := range a.keys {
+		if len(uniq) > 0 && k.key == uniq[len(uniq)-1].key {
+			continue
+		}
+		uniq = append(uniq, k)
+	}
+	slices.SortFunc(uniq, func(x, y candKey) int { return int(x.seq) - int(y.seq) })
+	for _, k := range uniq {
+		if len(a.cands) >= a.cfg.MaxCandidates*2 {
+			break
+		}
+		a.cands = append(a.cands, candidate{pos: k.key >> 1, rc: k.key&1 != 0})
+	}
+	return rc
 }
 
 // verify runs bounded Landau-Vishkin of query at pos, returning the edit
@@ -196,7 +251,7 @@ func (a *Aligner) verify(query []byte, pos int64, maxK int) int {
 		return -1
 	}
 	a.counts.CandidatesxLV++
-	d, ops := align.LandauVishkinOps(query, window, maxK)
+	d, ops := a.lv.DistanceOps(query, window, maxK)
 	a.counts.LVCells += int64(ops)
 	a.counts.BytesCompared += int64(len(window))
 	return d
@@ -226,7 +281,7 @@ func (a *Aligner) finish(bases []byte, c candidate, best, second, bestCount int)
 		query = a.reverseComplement(bases)
 	}
 	window := a.window(c.pos, len(query)+a.cfg.MaxDist)
-	dist, cigar, _ := align.BoundedAlign(query, window, a.cfg.MaxDist)
+	dist, cigar, _ := a.banded.BoundedAlign(query, window, a.cfg.MaxDist)
 	if dist < 0 {
 		// The LV verification succeeded, so this cannot happen with a
 		// consistent implementation; treat defensively as unmapped.
@@ -242,8 +297,23 @@ func (a *Aligner) finish(bases []byte, c candidate, best, second, bestCount int)
 		Score:        int32(best),
 		MapQ:         align.MapQ(best, second, bestCount),
 		Flags:        flags,
-		Cigar:        cigar.String(),
+		Cigar:        a.internCigar(cigar),
 	}
+}
+
+// internCigar renders a CIGAR into the aligner's scratch and interns the
+// text in a bounded table, so a repeated CIGAR costs no allocation.
+func (a *Aligner) internCigar(c align.Cigar) string {
+	a.cigarBuf = c.AppendText(a.cigarBuf[:0])
+	if s, ok := a.cigarTab[string(a.cigarBuf)]; ok {
+		return s
+	}
+	if len(a.cigarTab) >= maxCigarTab {
+		clear(a.cigarTab)
+	}
+	s := string(a.cigarBuf)
+	a.cigarTab[s] = s
+	return s
 }
 
 func (a *Aligner) reverseComplement(bases []byte) []byte {

@@ -13,20 +13,23 @@ type scored struct {
 }
 
 // scoreCandidates verifies every gathered candidate of a read and returns
-// those within MaxDist.
-func (a *Aligner) scoreCandidates(bases []byte) []scored {
-	a.gatherCandidates(bases)
-	out := make([]scored, 0, len(a.cands))
+// those within MaxDist. The result is backed by the aligner's scratch slice
+// `which` (0 or 1, so a pair's two reads keep separate results) and is valid
+// until that scratch is reused.
+func (a *Aligner) scoreCandidates(which int, bases []byte) []scored {
+	rcBases := a.gatherCandidates(bases)
+	out := a.scoreBuf[which][:0]
 	for _, c := range a.cands {
 		query := bases
 		if c.rc {
-			query = a.reverseComplement(bases)
+			query = rcBases
 		}
 		d := a.verify(query, c.pos, a.cfg.MaxDist)
 		if d >= 0 {
 			out = append(out, scored{pos: c.pos, rc: c.rc, dist: d})
 		}
 	}
+	a.scoreBuf[which] = out
 	return out
 }
 
@@ -36,8 +39,8 @@ func (a *Aligner) scoreCandidates(bases []byte) []scored {
 // pair exists.
 func (a *Aligner) AlignPair(bases1, bases2 []byte) (agd.Result, agd.Result) {
 	a.counts.Reads += 2
-	s1 := a.scoreCandidates(bases1)
-	s2 := a.scoreCandidates(bases2)
+	s1 := a.scoreCandidates(0, bases1)
+	s2 := a.scoreCandidates(1, bases2)
 
 	type combo struct {
 		c1, c2   scored

@@ -94,13 +94,45 @@ type parsedChunk struct {
 	bases, qual *agd.Chunk
 }
 
-// alignedChunk travels aligner → writer: encoded result records.
+// alignedChunk travels aligner → writer: encoded result records. encoded[i]
+// aliases one of the arenas; the writer recycles the arenas once the records
+// are folded into the output chunk.
 type alignedChunk struct {
 	idx     int
 	first   uint64
 	encoded [][]byte
+	arenas  []*resultArena
 	reads   int
 	bases   int64
+}
+
+// resultArena accumulates the encoded results of one subchunk in a single
+// reusable buffer, replacing a per-read allocation with a per-subchunk pool
+// checkout (the paper's "pass handles, not copies" discipline of §4.5).
+type resultArena struct {
+	buf  []byte
+	offs []int
+}
+
+// add appends one encoded result.
+func (ra *resultArena) add(r *agd.Result) {
+	ra.offs = append(ra.offs, len(ra.buf))
+	ra.buf = agd.EncodeResult(ra.buf, r)
+}
+
+// finalize records the end offset and points encoded[lo+i] at record i's
+// bytes. Only safe once the arena stops growing.
+func (ra *resultArena) finalize(encoded [][]byte, lo int) {
+	ra.offs = append(ra.offs, len(ra.buf))
+	for i := 0; i+1 < len(ra.offs); i++ {
+		encoded[lo+i] = ra.buf[ra.offs[i]:ra.offs[i+1]]
+	}
+}
+
+func (ra *resultArena) reset() *resultArena {
+	ra.buf = ra.buf[:0]
+	ra.offs = ra.offs[:0]
+	return ra
 }
 
 // Align runs the full Persona alignment graph over a dataset and registers
@@ -129,6 +161,33 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 	for i := 0; i < cfg.ExecutorThreads; i++ {
 		aligners <- factory()
 	}
+
+	// codec routes chunk (de)compression members through the same shared
+	// executor as alignment, so compression parallelism and alignment
+	// parallelism draw from one set of compute threads (Fig. 4).
+	codec := agd.Codec{Exec: exec}
+
+	// chunkPool recycles parsed chunk objects reader→parser→aligner; each
+	// parsed row group checks out two chunks (bases, qual). Sized so every
+	// stage can hold its share with a little slack; exhaustion blocks the
+	// parsers, which is the intended back-pressure.
+	chunkPool := dataflow.NewItemPool(
+		2*(cfg.Parsers+2*cfg.AlignerNodes)+2,
+		func() *agd.Chunk { return new(agd.Chunk) },
+		func(c *agd.Chunk) *agd.Chunk { c.Reset(); return c },
+	)
+	// arenaPool recycles per-subchunk result arenas aligner→writer.
+	arenaPool := dataflow.NewItemPool(
+		(2*cfg.AlignerNodes+2*cfg.Writers)*cfg.Subchunks+cfg.ExecutorThreads,
+		func() *resultArena { return &resultArena{buf: make([]byte, 0, 4096)} },
+		func(ra *resultArena) *resultArena { return ra.reset() },
+	)
+	// builderPool recycles the writers' output chunk builders.
+	builderPool := dataflow.NewItemPool(
+		cfg.Writers+1,
+		func() *agd.ChunkBuilder { return agd.NewChunkBuilder(agd.TypeResults, 0) },
+		nil,
+	)
 
 	g := dataflow.NewGraph()
 	g.MustAddQueue("names", len(m.Chunks))
@@ -196,12 +255,22 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 					return nil
 				}
 				w := msg.(chunkWork)
-				basesChunk, err := agd.DecodeChunk(w.bases)
+				basesChunk, err := chunkPool.Get(ctx)
 				if err != nil {
 					return err
 				}
-				qualChunk, err := agd.DecodeChunk(w.qual)
+				if err := codec.DecodeInto(basesChunk, w.bases); err != nil {
+					chunkPool.Put(basesChunk)
+					return err
+				}
+				qualChunk, err := chunkPool.Get(ctx)
 				if err != nil {
+					chunkPool.Put(basesChunk)
+					return err
+				}
+				if err := codec.DecodeInto(qualChunk, w.qual); err != nil {
+					chunkPool.Put(basesChunk)
+					chunkPool.Put(qualChunk)
 					return err
 				}
 				nc.Processed(1)
@@ -237,6 +306,7 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 				if sub == 0 {
 					sub = 1
 				}
+				arenas := make([]*resultArena, sub)
 				err := exec.SubmitWait(ctx, sub, func(s int) dataflow.Task {
 					lo, hi := s*n/sub, (s+1)*n/sub
 					if cfg.Paired {
@@ -247,9 +317,17 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 						}
 					}
 					return func() {
+						ra, err := arenaPool.Get(ctx)
+						if err != nil {
+							// Cancelled mid-run: fall back to a throwaway
+							// arena so the subchunk still completes.
+							ra = &resultArena{}
+						}
+						arenas[s] = ra
 						a := <-aligners
 						defer func() { aligners <- a }()
-						alignRange(a, pc.bases, encoded, lo, hi, cfg.Paired)
+						alignRange(a, pc.bases, ra, lo, hi, cfg.Paired)
+						ra.finalize(encoded, lo)
 					}
 				})
 				if err != nil {
@@ -266,10 +344,15 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 					}
 					chunkBases += int64(count)
 				}
+				first := pc.bases.FirstOrdinal
+				// The encoded results no longer reference the parsed
+				// chunks; recycle them for the parsers.
+				chunkPool.Put(pc.bases)
+				chunkPool.Put(pc.qual)
 				nc.Processed(1)
 				if err := out.Put(ctx, alignedChunk{
-					idx: pc.idx, first: pc.bases.FirstOrdinal,
-					encoded: encoded, reads: n, bases: chunkBases,
+					idx: pc.idx, first: first,
+					encoded: encoded, arenas: arenas, reads: n, bases: chunkBases,
 				}); err != nil {
 					return err
 				}
@@ -292,11 +375,23 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 					return nil
 				}
 				ac := msg.(alignedChunk)
-				builder := agd.NewChunkBuilder(agd.TypeResults, ac.first)
+				builder, err := builderPool.Get(ctx)
+				if err != nil {
+					return err
+				}
+				builder.Reset(agd.TypeResults, ac.first)
 				for _, rec := range ac.encoded {
 					builder.Append(rec)
 				}
-				blob, err := agd.EncodeChunk(builder.Chunk(), agd.CompressGzip)
+				// The records are copied into the builder; the exhausted
+				// arenas go back to the aligner nodes' pool.
+				for _, ra := range ac.arenas {
+					if ra != nil {
+						arenaPool.Put(ra)
+					}
+				}
+				blob, err := codec.Encode(builder.Chunk(), agd.CompressGzip)
+				builderPool.Put(builder)
 				if err != nil {
 					return err
 				}
@@ -360,80 +455,88 @@ func uvarint(b []byte) (uint64, int) {
 	return 0, 0
 }
 
-// alignRange aligns records [lo, hi) of a chunk into encoded, single-end or
-// paired. Paired mode prefers the batch interface (BWA's per-batch
-// insert-size inference), falling back to pair-at-a-time.
-func alignRange(a ReadAligner, basesChunk *agd.Chunk, encoded [][]byte, lo, hi int, paired bool) {
-	unmapped := func() []byte {
-		return agd.EncodeResult(nil, &agd.Result{
-			Location:     agd.UnmappedLocation,
-			MateLocation: agd.UnmappedLocation,
-			Flags:        agd.FlagUnmapped,
-		})
-	}
+// unmappedResult is the record appended for reads that fail to decode.
+var unmappedResult = agd.Result{
+	Location:     agd.UnmappedLocation,
+	MateLocation: agd.UnmappedLocation,
+	Flags:        agd.FlagUnmapped,
+}
+
+// alignRange aligns records [lo, hi) of a chunk, appending each encoded
+// result in record order to ra, single-end or paired. Paired mode prefers
+// the batch interface (BWA's per-batch insert-size inference), falling back
+// to pair-at-a-time. All decode and encode scratch is reused, so the
+// steady-state loop performs no per-read allocation.
+func alignRange(a ReadAligner, basesChunk *agd.Chunk, ra *resultArena, lo, hi int, paired bool) {
 	if !paired {
 		var scratch []byte
 		for r := lo; r < hi; r++ {
 			bases, err := basesChunk.ExpandBasesRecord(scratch[:0], r)
 			if err != nil {
-				encoded[r] = unmapped()
+				ra.add(&unmappedResult)
 				continue
 			}
 			res := a.AlignRead(bases)
-			encoded[r] = agd.EncodeResult(nil, &res)
+			ra.add(&res)
 			scratch = bases
 		}
 		return
 	}
 
-	// Materialize the subchunk's pairs (batch aligners need them all).
 	numPairs := (hi - lo) / 2
-	p1 := make([][]byte, numPairs)
-	p2 := make([][]byte, numPairs)
-	for p := 0; p < numPairs; p++ {
-		b1, err1 := basesChunk.ExpandBasesRecord(nil, lo+2*p)
-		b2, err2 := basesChunk.ExpandBasesRecord(nil, lo+2*p+1)
-		if err1 != nil || err2 != nil {
-			b1, b2 = nil, nil
-		}
-		p1[p], p2[p] = b1, b2
-	}
-
 	if batch, ok := a.(BatchPairAligner); ok {
+		// Materialize the subchunk's pairs (batch aligners need them all).
+		p1 := make([][]byte, numPairs)
+		p2 := make([][]byte, numPairs)
+		for p := 0; p < numPairs; p++ {
+			b1, err1 := basesChunk.ExpandBasesRecord(nil, lo+2*p)
+			b2, err2 := basesChunk.ExpandBasesRecord(nil, lo+2*p+1)
+			if err1 != nil || err2 != nil {
+				b1, b2 = nil, nil
+			}
+			p1[p], p2[p] = b1, b2
+		}
 		results, _ := batch.AlignPairBatch(p1, p2)
 		for p := 0; p < numPairs; p++ {
 			if p1[p] == nil {
-				encoded[lo+2*p], encoded[lo+2*p+1] = unmapped(), unmapped()
+				ra.add(&unmappedResult)
+				ra.add(&unmappedResult)
 				continue
 			}
-			encoded[lo+2*p] = agd.EncodeResult(nil, &results[2*p])
-			encoded[lo+2*p+1] = agd.EncodeResult(nil, &results[2*p+1])
+			ra.add(&results[2*p])
+			ra.add(&results[2*p+1])
 		}
 		return
 	}
-	pa, ok := a.(PairAligner)
-	if !ok {
+
+	pa, isPair := a.(PairAligner)
+	if !isPair {
 		// No paired support: align ends independently.
-		for p := 0; p < numPairs; p++ {
-			for _, r := range []int{lo + 2*p, lo + 2*p + 1} {
-				bases, err := basesChunk.ExpandBasesRecord(nil, r)
-				if err != nil {
-					encoded[r] = unmapped()
-					continue
-				}
-				res := a.AlignRead(bases)
-				encoded[r] = agd.EncodeResult(nil, &res)
+		var scratch []byte
+		for r := lo; r < lo+2*numPairs; r++ {
+			bases, err := basesChunk.ExpandBasesRecord(scratch[:0], r)
+			if err != nil {
+				ra.add(&unmappedResult)
+				continue
 			}
+			res := a.AlignRead(bases)
+			ra.add(&res)
+			scratch = bases
 		}
 		return
 	}
+	var s1, s2 []byte
 	for p := 0; p < numPairs; p++ {
-		if p1[p] == nil {
-			encoded[lo+2*p], encoded[lo+2*p+1] = unmapped(), unmapped()
+		b1, err1 := basesChunk.ExpandBasesRecord(s1[:0], lo+2*p)
+		b2, err2 := basesChunk.ExpandBasesRecord(s2[:0], lo+2*p+1)
+		s1, s2 = b1, b2
+		if err1 != nil || err2 != nil {
+			ra.add(&unmappedResult)
+			ra.add(&unmappedResult)
 			continue
 		}
-		r1, r2 := pa.AlignPair(p1[p], p2[p])
-		encoded[lo+2*p] = agd.EncodeResult(nil, &r1)
-		encoded[lo+2*p+1] = agd.EncodeResult(nil, &r2)
+		r1, r2 := pa.AlignPair(b1, b2)
+		ra.add(&r1)
+		ra.add(&r2)
 	}
 }

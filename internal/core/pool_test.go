@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"persona/internal/agd"
+	"persona/internal/testutil"
+)
+
+// TestAlignPooledChunkLifecycleRace drives a full Align run with every stage
+// parallel, so chunk-pool get/put, arena recycling and parallel member
+// compression all race each other. Under `go test -race` this is the
+// regression test for the pooled chunk lifecycle; in any mode it checks that
+// recycled buffers cannot bleed data between chunks (results must be
+// identical to a serial run).
+func TestAlignPooledChunkLifecycleRace(t *testing.T) {
+	run := func(readers, parsers, alignerNodes, writers, execThreads int) []agd.Result {
+		store := agd.NewMemStore()
+		f := testutil.Build(t, store, "ds", testutil.Config{
+			GenomeSize: 120_000, NumReads: 600, ReadLen: 80, ChunkSize: 48, Seed: 123, SkipAlign: true,
+		})
+		_, _, err := Align(context.Background(), AlignConfig{
+			Store: store, Dataset: "ds", Index: f.Index,
+			Readers: readers, Parsers: parsers, AlignerNodes: alignerNodes,
+			Writers: writers, ExecutorThreads: execThreads, Subchunks: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := agd.Open(store, "ds")
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := ds.ReadAllResults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+
+	serial := run(1, 1, 1, 1, 1)
+	parallel := run(3, 3, 3, 3, 4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("result %d differs between serial and parallel runs:\n  serial:   %+v\n  parallel: %+v",
+				i, serial[i], parallel[i])
+		}
+	}
+}
