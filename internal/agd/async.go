@@ -1,0 +1,166 @@
+package agd
+
+import (
+	"context"
+)
+
+// This file is the asynchronous read layer of the storage interface (the
+// paper's §4.2 readers keep many object fetches in flight to saturate the
+// Ceph cluster at ~6 GB/s aggregate). A Future is the handle of one pending
+// blob read; AsyncBlobStore extends BlobStore with GetAsync/GetBatch so a
+// reader node can issue a window of fetches and overlap storage latency with
+// parse and compute instead of stalling on each Get.
+
+// Future is the handle of an asynchronous blob read. It is resolved exactly
+// once by the issuing store; any number of goroutines may Wait on it.
+type Future struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// closedChan is shared by all pre-resolved futures, so synchronous stores
+// (MemStore) answer GetAsync without allocating a channel.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// NewFuture returns an unresolved Future together with the function that
+// fulfils it. Store implementations must call resolve exactly once.
+func NewFuture() (*Future, func(data []byte, err error)) {
+	f := &Future{done: make(chan struct{})}
+	return f, func(data []byte, err error) {
+		f.data, f.err = data, err
+		close(f.done)
+	}
+}
+
+// ResolvedFuture returns an already-fulfilled Future, for stores whose reads
+// complete synchronously.
+func ResolvedFuture(data []byte, err error) *Future {
+	return &Future{done: closedChan, data: data, err: err}
+}
+
+// Done returns a channel that is closed once the read has completed.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the read completes or ctx is cancelled, returning the
+// blob contents or the read error.
+func (f *Future) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-f.done:
+		return f.data, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// AsyncBlobStore is a BlobStore whose reads can be issued asynchronously and
+// in batches, keeping multiple fetches in flight concurrently.
+type AsyncBlobStore interface {
+	BlobStore
+	// GetAsync starts fetching name and returns a Future for the result.
+	GetAsync(name string) *Future
+	// GetBatch starts fetching every name concurrently and returns one
+	// Future per name, in order. Implementations must not retain the
+	// names slice itself — callers may reuse it.
+	GetBatch(names []string) []*Future
+}
+
+// asyncAdapterParallelism bounds how many adapter-issued Gets run at once:
+// enough to keep a storage device busy without stampeding a backend that
+// was never built for concurrency.
+const asyncAdapterParallelism = 32
+
+// AsyncOf returns store as an AsyncBlobStore. Stores with a native async
+// path (MemStore, DirStore, the object store) are returned unchanged; any
+// other store is wrapped in an adapter that services GetAsync on a bounded
+// set of fetch goroutines.
+func AsyncOf(store BlobStore) AsyncBlobStore {
+	if as, ok := store.(AsyncBlobStore); ok {
+		return as
+	}
+	return &asyncAdapter{
+		BlobStore: store,
+		sem:       make(chan struct{}, asyncAdapterParallelism),
+	}
+}
+
+// asyncAdapter lifts a synchronous BlobStore into AsyncBlobStore with one
+// goroutine per in-flight read, gated by a semaphore. The semaphore is
+// acquired before the goroutine is spawned, so a huge batch throttles the
+// issuer instead of stamping out an unbounded goroutine herd.
+type asyncAdapter struct {
+	BlobStore
+	sem chan struct{}
+}
+
+func (a *asyncAdapter) GetAsync(name string) *Future {
+	fut, resolve := NewFuture()
+	a.sem <- struct{}{}
+	go func() {
+		defer func() { <-a.sem }()
+		resolve(a.BlobStore.Get(name))
+	}()
+	return fut
+}
+
+func (a *asyncAdapter) GetBatch(names []string) []*Future {
+	futs := make([]*Future, len(names))
+	for i, name := range names {
+		futs[i] = a.GetAsync(name)
+	}
+	return futs
+}
+
+// GetAsync implements AsyncBlobStore. Map reads complete immediately, so the
+// future is returned pre-resolved.
+func (s *MemStore) GetAsync(name string) *Future {
+	return ResolvedFuture(s.Get(name))
+}
+
+// GetBatch implements AsyncBlobStore. The resolved futures share one
+// backing array, so a batch costs two allocations regardless of size.
+func (s *MemStore) GetBatch(names []string) []*Future {
+	futs := make([]*Future, len(names))
+	backing := make([]Future, len(names))
+	for i, name := range names {
+		data, err := s.Get(name)
+		backing[i] = Future{done: closedChan, data: data, err: err}
+		futs[i] = &backing[i]
+	}
+	return futs
+}
+
+// GetAsync implements AsyncBlobStore: file reads run on a bounded set of
+// goroutines so a batch keeps several disk requests in flight. As in the
+// generic adapter, the semaphore gates goroutine creation itself.
+func (s *DirStore) GetAsync(name string) *Future {
+	if s.sem == nil { // zero-value store: read synchronously
+		return ResolvedFuture(s.Get(name))
+	}
+	fut, resolve := NewFuture()
+	s.sem <- struct{}{}
+	go func() {
+		defer func() { <-s.sem }()
+		resolve(s.Get(name))
+	}()
+	return fut
+}
+
+// GetBatch implements AsyncBlobStore.
+func (s *DirStore) GetBatch(names []string) []*Future {
+	futs := make([]*Future, len(names))
+	for i, name := range names {
+		futs[i] = s.GetAsync(name)
+	}
+	return futs
+}
+
+var (
+	_ AsyncBlobStore = (*MemStore)(nil)
+	_ AsyncBlobStore = (*DirStore)(nil)
+	_ AsyncBlobStore = (*asyncAdapter)(nil)
+)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"sync"
 )
 
@@ -63,7 +64,12 @@ func gunzipExact(dst, src []byte) error {
 		// context rather than pooling it.
 		return fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
 	}
-	defer gzReadCtxPool.Put(c)
+	defer func() {
+		// Detach the source before pooling so an idle context does not pin
+		// the (arbitrarily large) compressed blob it last decoded.
+		c.br.Reset(nil)
+		gzReadCtxPool.Put(c)
+	}()
 	if _, err := io.ReadFull(&c.zr, dst); err != nil {
 		return fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
 	}
@@ -365,6 +371,12 @@ func decodeChunkIndex(lengths []uint32, indexBlock []byte, records uint32) ([]ui
 		l, n := binary.Uvarint(indexBlock)
 		if n <= 0 {
 			return nil, 0, fmt.Errorf("%w: bad index varint", ErrCorrupt)
+		}
+		if l > math.MaxUint32 {
+			// A record length wider than the on-disk uint32 can only come
+			// from corruption; truncating it would desynchronize the
+			// absolute index from the summed total.
+			return nil, 0, fmt.Errorf("%w: record length %d overflows", ErrCorrupt, l)
 		}
 		lengths = append(lengths, uint32(l))
 		total += l

@@ -1,0 +1,107 @@
+package agd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzSeedChunk encodes a chunk of the given records for the seed corpus.
+func fuzzSeedChunk(f *testing.F, typ RecordType, comp Compression, members int, records ...[]byte) []byte {
+	f.Helper()
+	b := NewChunkBuilder(typ, 7)
+	for _, r := range records {
+		b.Append(r)
+	}
+	blob, err := Codec{Members: members}.Encode(b.Chunk(), comp)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return blob
+}
+
+// FuzzDecodeChunk drives the AGD chunk decoder with arbitrary blobs. The
+// decoder must never panic and never allocate beyond the deflate expansion
+// bound, and anything it accepts must be internally consistent: records
+// tile the data block exactly, and a re-encode/decode round trip preserves
+// them (both layout versions).
+func FuzzDecodeChunk(f *testing.F) {
+	// Valid seeds across the format matrix: v1 raw, v1 gzip, forced v2
+	// multi-member, empty chunk, single empty record.
+	v1raw := fuzzSeedChunk(f, TypeRaw, CompressNone, 0, []byte("hello"), []byte(""), []byte("world"))
+	v1gz := fuzzSeedChunk(f, TypeRaw, CompressGzip, 0, bytes.Repeat([]byte("acgt"), 600))
+	v2 := fuzzSeedChunk(f, TypeCompactBases, CompressGzip, 3, bytes.Repeat([]byte("acgtacgt"), 4<<10))
+	f.Add(v1raw)
+	f.Add(v1gz)
+	f.Add(v2)
+	f.Add(fuzzSeedChunk(f, TypeResults, CompressGzip, 0))
+	f.Add(fuzzSeedChunk(f, TypeRaw, CompressNone, 0, []byte{}))
+
+	// Broken seeds: truncations, header bit-flips, a corrupted member
+	// table, and garbage.
+	f.Add(v1gz[:len(v1gz)/2])
+	f.Add(v2[:chunkHeaderSize+3])
+	flipped := bytes.Clone(v2)
+	flipped[chunkHeaderSize+1] ^= 0xff // member table
+	f.Add(flipped)
+	tornCRC := bytes.Clone(v1raw)
+	tornCRC[36] ^= 0x55
+	f.Add(tornCRC)
+	f.Add([]byte{})
+	f.Add([]byte("AGD1"))
+	f.Add(bytes.Repeat([]byte{0xa5}, chunkHeaderSize+32))
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		c, err := DecodeChunk(blob)
+		if err != nil {
+			// Errors must be the package's sentinel kinds, so callers can
+			// classify them, and must not carry a partial chunk.
+			if c != nil {
+				t.Fatalf("DecodeChunk returned chunk AND error %v", err)
+			}
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadMagic) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+
+		// Allocation bound: deflate expands at most ~1032x, so an accepted
+		// chunk can never hold more data than that bound allows.
+		const maxDeflateRatio = 1032
+		if uint64(len(c.Data)) > uint64(len(blob))*maxDeflateRatio {
+			t.Fatalf("decoded %d data bytes from a %d-byte blob", len(c.Data), len(blob))
+		}
+
+		// Records must tile Data exactly; every index must be reachable.
+		total := 0
+		for i := 0; i < c.NumRecords(); i++ {
+			rec, err := c.Record(i)
+			if err != nil {
+				t.Fatalf("record %d of accepted chunk: %v", i, err)
+			}
+			total += len(rec)
+		}
+		if total != len(c.Data) {
+			t.Fatalf("records sum to %d bytes, data block is %d", total, len(c.Data))
+		}
+		if _, err := c.Record(c.NumRecords()); err == nil {
+			t.Fatal("out-of-range record accessible")
+		}
+
+		// Round trip through both layout versions.
+		for _, cd := range []Codec{{}, {Members: 2}} {
+			re, err := cd.Encode(c, CompressGzip)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			c2, err := cd.Decode(re)
+			if err != nil {
+				t.Fatalf("decode of re-encoded chunk: %v", err)
+			}
+			if c2.Type != c.Type || c2.FirstOrdinal != c.FirstOrdinal ||
+				c2.NumRecords() != c.NumRecords() || !bytes.Equal(c2.Data, c.Data) {
+				t.Fatal("round trip changed the chunk")
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package agd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -52,14 +53,26 @@ func (m *Manifest) ChunkBlobPath(i int, col string) string {
 
 // RegisterColumn appends a column name to the manifest (whose chunk blobs
 // must already exist, e.g. written by cluster workers) and persists the
-// updated manifest.
+// updated manifest. The existence checks are issued as async batches, so
+// registration costs a round trip per window instead of one per chunk; the
+// window also bounds how many fetched blobs are pinned at once.
 func RegisterColumn(store BlobStore, m *Manifest, col string) (*Manifest, error) {
 	if m.HasColumn(col) {
 		return nil, fmt.Errorf("agd: dataset %q already has column %q", m.Name, col)
 	}
-	for i := range m.Chunks {
-		if _, err := store.Get(m.ChunkBlobPath(i, col)); err != nil {
-			return nil, fmt.Errorf("agd: registering column %q: chunk %d blob missing: %w", col, i, err)
+	const checkWindow = 64
+	as := AsyncOf(store)
+	names := make([]string, 0, checkWindow)
+	for lo := 0; lo < len(m.Chunks); lo += checkWindow {
+		hi := min(lo+checkWindow, len(m.Chunks))
+		names = names[:0]
+		for i := lo; i < hi; i++ {
+			names = append(names, m.ChunkBlobPath(i, col))
+		}
+		for i, fut := range as.GetBatch(names) {
+			if _, err := fut.Wait(context.Background()); err != nil {
+				return nil, fmt.Errorf("agd: registering column %q: chunk %d blob missing: %w", col, lo+i, err)
+			}
 		}
 	}
 	updated := *m

@@ -79,14 +79,20 @@ func (s *MemStore) Size() int64 {
 // paths ('/' separators become directories).
 type DirStore struct {
 	root string
+	// sem bounds concurrent async file reads (see GetAsync).
+	sem chan struct{}
 }
+
+// dirStoreParallelism is how many async file reads a DirStore keeps in
+// flight: enough to fill a disk queue without exhausting file descriptors.
+const dirStoreParallelism = 16
 
 // NewDirStore returns a store rooted at dir, creating it if needed.
 func NewDirStore(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &DirStore{root: dir}, nil
+	return &DirStore{root: dir, sem: make(chan struct{}, dirStoreParallelism)}, nil
 }
 
 func (s *DirStore) path(name string) string {

@@ -1,0 +1,223 @@
+package agd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"persona/internal/dataflow"
+)
+
+// StreamOptions configures a ChunkStream.
+type StreamOptions struct {
+	// Columns are the columns fetched per chunk, in delivery order.
+	// Empty means every manifest column.
+	Columns []string
+	// Prefetch is the number of chunk fetch batches kept in flight,
+	// counting the one being delivered: 1 reads synchronously, larger
+	// windows overlap storage latency with decode and compute.
+	// Zero or negative selects DefaultPrefetch.
+	Prefetch int
+	// Start and End bound the chunk range [Start, End); End <= 0 means the
+	// end of the dataset.
+	Start, End int
+	// Pool, when non-nil, supplies the decoded chunk objects: Next checks
+	// chunks out of it and StreamChunk.Release returns them, so a bounded
+	// pool gives the stream the same back-pressure as the pipeline queues.
+	// When nil, chunks are freshly allocated and Release is a no-op.
+	Pool *dataflow.ItemPool[*Chunk]
+	// Codec decodes the fetched blobs; the zero value is the package
+	// default. Pipelines pass their shared-executor codec.
+	Codec Codec
+}
+
+// DefaultPrefetch is the fetch window used when StreamOptions.Prefetch is
+// unset: deep enough to hide per-blob latency behind decode, shallow enough
+// that a handful of streams cannot balloon memory.
+const DefaultPrefetch = 4
+
+// ChunkStream iterates the column chunks of a dataset in chunk order while
+// keeping a window of blob fetches in flight through the store's async read
+// path (§4.2: readers saturate storage by overlapping many object fetches).
+// Next is safe for concurrent consumers; each call claims the next chunk.
+type ChunkStream struct {
+	ds    *Dataset
+	as    AsyncBlobStore
+	cols  []string
+	codec Codec
+	pool  *dataflow.ItemPool[*Chunk]
+
+	window int
+	start  int
+	end    int
+
+	mu     sync.Mutex
+	next   int // next chunk index to claim
+	issued int // first chunk index whose fetch has not been issued
+	// futs[i-start] holds chunk i's in-flight column fetches; entries are
+	// nilled as chunks are claimed.
+	futs [][]*Future
+	// names is the blob-name scratch reused across GetBatch calls
+	// (implementations must not retain it).
+	names  []string
+	closed bool
+}
+
+// StreamChunk is one delivered row group: the decoded chunks of every
+// requested column.
+type StreamChunk struct {
+	// Index is the chunk's position in the manifest.
+	Index  int
+	chunks []*Chunk
+	stream *ChunkStream
+}
+
+// Chunks returns the decoded column chunks in StreamOptions.Columns order.
+func (sc *StreamChunk) Chunks() []*Chunk { return sc.chunks }
+
+// Col returns the decoded chunk of the named column, or nil if the column
+// was not requested.
+func (sc *StreamChunk) Col(name string) *Chunk {
+	for i, col := range sc.stream.cols {
+		if col == name {
+			return sc.chunks[i]
+		}
+	}
+	return nil
+}
+
+// Release returns the chunks to the stream's pool. The caller must not
+// reference the chunks (or slices of their data) afterwards. On a pool-less
+// stream it is a no-op.
+func (sc *StreamChunk) Release() {
+	if sc.stream.pool == nil {
+		return
+	}
+	for _, c := range sc.chunks {
+		if c != nil {
+			sc.stream.pool.Put(c)
+		}
+	}
+	sc.chunks = nil
+}
+
+// Stream opens a prefetching iterator over the dataset's chunks.
+func (d *Dataset) Stream(opts StreamOptions) (*ChunkStream, error) {
+	cols := opts.Columns
+	if len(cols) == 0 {
+		cols = append([]string{}, d.Manifest.Columns...)
+	}
+	for _, col := range cols {
+		if !d.Manifest.HasColumn(col) {
+			return nil, fmt.Errorf("%w: %q", ErrNoColumn, col)
+		}
+	}
+	start, end := opts.Start, opts.End
+	if start < 0 {
+		start = 0
+	}
+	if end <= 0 || end > len(d.Manifest.Chunks) {
+		end = len(d.Manifest.Chunks)
+	}
+	if start > end {
+		start = end
+	}
+	window := opts.Prefetch
+	if window <= 0 {
+		window = DefaultPrefetch
+	}
+	return &ChunkStream{
+		ds:     d,
+		as:     AsyncOf(d.store),
+		cols:   cols,
+		codec:  opts.Codec,
+		pool:   opts.Pool,
+		window: window,
+		start:  start,
+		end:    end,
+		next:   start,
+		issued: start,
+		futs:   make([][]*Future, end-start),
+		names:  make([]string, len(cols)),
+	}, nil
+}
+
+// issueToLocked issues fetch batches for chunks [s.issued, hi). Callers hold
+// s.mu.
+func (s *ChunkStream) issueToLocked(hi int) {
+	if hi > s.end {
+		hi = s.end
+	}
+	for ; s.issued < hi; s.issued++ {
+		entry := s.ds.Manifest.Chunks[s.issued]
+		for k, col := range s.cols {
+			s.names[k] = chunkPath(entry, col)
+		}
+		s.futs[s.issued-s.start] = s.as.GetBatch(s.names)
+	}
+}
+
+// Next claims the next chunk, waits for its blobs, decodes them and returns
+// the row group. It returns io.EOF once the range is exhausted (or the
+// stream closed). Claiming also tops up the fetch window, so a consumer
+// loop keeps Prefetch chunk batches in flight.
+func (s *ChunkStream) Next(ctx context.Context) (*StreamChunk, error) {
+	s.mu.Lock()
+	if s.closed || s.next >= s.end {
+		s.mu.Unlock()
+		return nil, io.EOF
+	}
+	i := s.next
+	s.next++
+	s.issueToLocked(i + s.window)
+	futs := s.futs[i-s.start]
+	s.futs[i-s.start] = nil
+	s.mu.Unlock()
+
+	chunks := make([]*Chunk, len(futs))
+	fail := func(err error) (*StreamChunk, error) {
+		if s.pool != nil {
+			for _, c := range chunks {
+				if c != nil {
+					s.pool.Put(c)
+				}
+			}
+		}
+		return nil, err
+	}
+	for k, fut := range futs {
+		blob, err := fut.Wait(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		var c *Chunk
+		if s.pool != nil {
+			if c, err = s.pool.Get(ctx); err != nil {
+				return fail(err)
+			}
+			err = s.codec.DecodeInto(c, blob)
+		} else {
+			c, err = s.codec.Decode(blob)
+		}
+		if err != nil {
+			return fail(fmt.Errorf("agd: chunk %q: %w", chunkPath(s.ds.Manifest.Chunks[i], s.cols[k]), err))
+		}
+		chunks[k] = c
+		if want := int(s.ds.Manifest.Chunks[i].Records); c.NumRecords() != want {
+			return fail(fmt.Errorf("%w: chunk %q has %d records, manifest says %d",
+				ErrCorrupt, chunkPath(s.ds.Manifest.Chunks[i], s.cols[k]), c.NumRecords(), want))
+		}
+	}
+	return &StreamChunk{Index: i, chunks: chunks, stream: s}, nil
+}
+
+// Close stops the stream: subsequent Next calls return io.EOF and no further
+// fetches are issued. Fetches already in flight complete in the background
+// and their results are dropped.
+func (s *ChunkStream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.futs = nil
+	s.mu.Unlock()
+}

@@ -8,8 +8,10 @@ package agdsort
 import (
 	"bytes"
 	"container/heap"
+	"context"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -143,19 +145,33 @@ func SortDataset(ds *agd.Dataset, opts Options) (*agd.Manifest, error) {
 	return manifest, nil
 }
 
-// loadRows materializes rows for chunks [start, end).
+// loadPrefetch is the chunk-fetch window of the run-staging stream: each
+// superchunk batch keeps this many chunks' column blobs in flight, so the
+// next row group's fetch overlaps with key extraction over the current one.
+const loadPrefetch = 4
+
+// loadRows materializes rows for chunks [start, end), streaming all columns
+// with prefetch. Rows alias the streamed chunks' data, so the stream runs
+// pool-less — each chunk's backing memory lives as long as its rows.
 func loadRows(ds *agd.Dataset, start, end int, by Key) ([]row, error) {
 	m := ds.Manifest
+	stream, err := ds.Stream(agd.StreamOptions{
+		Start: start, End: end, Prefetch: loadPrefetch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer stream.Close()
 	var rows []row
-	for ci := start; ci < end; ci++ {
-		chunks := make([]*agd.Chunk, len(m.Columns))
-		for col := range m.Columns {
-			c, err := ds.ReadChunk(m.Columns[col], ci)
-			if err != nil {
-				return nil, err
-			}
-			chunks[col] = c
+	for {
+		sc, err := stream.Next(context.Background())
+		if err == io.EOF {
+			break
 		}
+		if err != nil {
+			return nil, err
+		}
+		chunks := sc.Chunks()
 		n := chunks[0].NumRecords()
 		for r := 0; r < n; r++ {
 			fields := make([][]byte, len(chunks))
@@ -245,11 +261,7 @@ type superIter struct {
 	cur row
 }
 
-func openSuperchunk(store agd.BlobStore, name string, cols int, by Key) (*superIter, error) {
-	blob, err := store.Get(name)
-	if err != nil {
-		return nil, err
-	}
+func openSuperchunk(blob []byte, cols int, by Key) (*superIter, error) {
 	c, err := agd.DecodeChunk(blob)
 	if err != nil {
 		return nil, err
@@ -327,9 +339,17 @@ func mergeSuperchunks(store agd.BlobStore, superNames []string, ds *agd.Dataset,
 		return nil, err
 	}
 
+	// The merge needs every superchunk resident before it can emit a single
+	// row, so fetch them as one batch — the blobs stream in concurrently
+	// (per-OSD fan-out on the object store) while the first arrivals decode.
+	futs := agd.AsyncOf(store).GetBatch(superNames)
 	h := &rowHeap{by: opts.By}
-	for _, sn := range superNames {
-		it, err := openSuperchunk(store, sn, len(m.Columns), opts.By)
+	for i := range superNames {
+		blob, err := futs[i].Wait(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		it, err := openSuperchunk(blob, len(m.Columns), opts.By)
 		if err != nil {
 			return nil, err
 		}

@@ -22,6 +22,11 @@ type Config struct {
 	// Subchunks is the fine-grain split of each AGD chunk fed to the
 	// executor (Fig. 4). Default 8.
 	Subchunks int
+	// Prefetch is how many chunk fetches each worker keeps in flight
+	// beyond the chunk it is aligning: the node asks the manifest server
+	// ahead and issues async reads, so storage latency overlaps with
+	// alignment. 0 defaults to 4.
+	Prefetch int
 	// Aligner tunes the SNAP algorithm.
 	Aligner snap.Config
 }
@@ -60,6 +65,9 @@ func Align(store storage.Store, datasetName string, idx *snap.Index, cfg Config)
 	}
 	if cfg.Subchunks <= 0 {
 		cfg.Subchunks = 8
+	}
+	if cfg.Prefetch <= 0 {
+		cfg.Prefetch = 4
 	}
 
 	ds, err := agd.Open(store, datasetName)
@@ -148,19 +156,61 @@ func runNode(node int, manifestAddr string, store storage.Store, ds *agd.Dataset
 	rep := NodeReport{Node: node}
 	nodeStart := time.Now()
 	m := ds.Manifest
-	for {
-		chunkIdx, ok, err := client.Next()
+
+	// Prefetcher: pull chunk indices from the manifest server ahead of the
+	// aligner and issue async bases-column reads, keeping up to cfg.Prefetch
+	// fetches in flight beyond the chunk being aligned — the worker never
+	// stalls on storage unless it outruns the window.
+	type fetch struct {
+		idx int
+		fut *agd.Future
+		err error
+	}
+	as := agd.AsyncOf(store)
+	fetches := make(chan fetch, cfg.Prefetch)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(fetches)
+		for {
+			chunkIdx, ok, err := client.Next()
+			if err != nil {
+				select {
+				case fetches <- fetch{err: err}:
+				case <-done:
+				}
+				return
+			}
+			if !ok {
+				return
+			}
+			f := fetch{idx: chunkIdx, fut: as.GetAsync(m.ChunkBlobPath(chunkIdx, agd.ColBases))}
+			select {
+			case fetches <- f:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	for f := range fetches {
+		if f.err != nil {
+			return rep, f.err
+		}
+		chunkIdx := f.idx
+		blob, err := f.fut.Wait(ctx)
 		if err != nil {
 			return rep, err
 		}
-		if !ok {
-			break
-		}
-		basesChunk, err := ds.ReadChunk(agd.ColBases, chunkIdx)
+		basesChunk, err := agd.DecodeChunk(blob)
 		if err != nil {
-			return rep, err
+			return rep, fmt.Errorf("chunk %d: %w", chunkIdx, err)
 		}
 		n := basesChunk.NumRecords()
+		if n != int(m.Chunks[chunkIdx].Records) {
+			return rep, fmt.Errorf("chunk %d has %d records, manifest says %d",
+				chunkIdx, n, m.Chunks[chunkIdx].Records)
+		}
 
 		// Fine-grain split: subchunk tasks into the shared executor, one
 		// output slot per record (Fig. 4).
@@ -216,11 +266,11 @@ func runNode(node int, manifestAddr string, store storage.Store, ds *agd.Dataset
 		for r := 0; r < n; r++ {
 			builder.Append(encoded[r])
 		}
-		blob, err := agd.EncodeChunk(builder.Chunk(), agd.CompressGzip)
+		out, err := agd.EncodeChunk(builder.Chunk(), agd.CompressGzip)
 		if err != nil {
 			return rep, err
 		}
-		if err := store.Put(m.ChunkBlobPath(chunkIdx, agd.ColResults), blob); err != nil {
+		if err := store.Put(m.ChunkBlobPath(chunkIdx, agd.ColResults), out); err != nil {
 			return rep, err
 		}
 		rep.Chunks++

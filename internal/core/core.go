@@ -9,6 +9,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -41,8 +42,15 @@ type AlignConfig struct {
 
 	// Readers/Parsers/AlignerNodes/Writers set per-stage node parallelism.
 	// Zero values choose small defaults. Queue capacities default to the
-	// number of their downstream nodes (§4.5).
+	// number of their downstream nodes (§4.5). Blob fetching is asynchronous
+	// (agd.ChunkStream), so Readers no longer names a node: it sizes the
+	// default fetch window instead, and Parsers is the number of stream
+	// consumers that wait on fetches and decode them.
 	Readers, Parsers, AlignerNodes, Writers int
+	// Prefetch is the chunk-fetch window of the input stream: how many
+	// chunks' column blobs are kept in flight, counting the one being
+	// decoded. 1 fetches synchronously; 0 defaults to 2*Readers.
+	Prefetch int
 	// ExecutorThreads is the size of the shared fine-grain executor that
 	// owns all compute threads (Fig. 4). Default 2.
 	ExecutorThreads int
@@ -66,6 +74,9 @@ func (c *AlignConfig) applyDefaults() {
 	if c.ExecutorThreads <= 0 {
 		c.ExecutorThreads = 2
 	}
+	if c.Prefetch <= 0 {
+		c.Prefetch = 2 * c.Readers
+	}
 	if c.Subchunks <= 0 {
 		c.Subchunks = 8
 	}
@@ -82,13 +93,7 @@ type AlignReport struct {
 	Stats snap.Stats
 }
 
-// chunkWork travels reader → parser: raw column blobs of one chunk.
-type chunkWork struct {
-	idx         int
-	bases, qual []byte
-}
-
-// parsedChunk travels parser → aligner: decoded chunk objects.
+// parsedChunk travels streamer → aligner: decoded chunk objects.
 type parsedChunk struct {
 	idx         int
 	bases, qual *agd.Chunk
@@ -167,10 +172,10 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 	// parallelism draw from one set of compute threads (Fig. 4).
 	codec := agd.Codec{Exec: exec}
 
-	// chunkPool recycles parsed chunk objects reader→parser→aligner; each
-	// parsed row group checks out two chunks (bases, qual). Sized so every
-	// stage can hold its share with a little slack; exhaustion blocks the
-	// parsers, which is the intended back-pressure.
+	// chunkPool recycles parsed chunk objects streamer→aligner; each parsed
+	// row group checks out two chunks (bases, qual). Sized so every stage
+	// can hold its share with a little slack; exhaustion blocks the
+	// streamers, which is the intended back-pressure.
 	chunkPool := dataflow.NewItemPool(
 		2*(cfg.Parsers+2*cfg.AlignerNodes)+2,
 		func() *agd.Chunk { return new(agd.Chunk) },
@@ -190,91 +195,42 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 	)
 
 	g := dataflow.NewGraph()
-	g.MustAddQueue("names", len(m.Chunks))
-	g.MustAddQueue("raw", cfg.Parsers)
 	g.MustAddQueue("parsed", cfg.AlignerNodes)
 	g.MustAddQueue("aligned", cfg.Writers)
 
-	// Source: enqueue every chunk index (the local stand-in for fetching
-	// names from the manifest server, §5.2).
-	g.MustAddNode(dataflow.NodeSpec{
-		Name:    "source",
-		Outputs: []string{"names"},
-		Fn: func(ctx context.Context, nc *dataflow.NodeContext) error {
-			for i := range m.Chunks {
-				if err := nc.Output("names").Put(ctx, i); err != nil {
-					return err
-				}
-			}
-			return nil
-		},
+	// Input subgraph: a prefetching chunk stream over the two columns
+	// alignment touches (§5.2). The stream keeps cfg.Prefetch chunks' blob
+	// fetches in flight through the store's async read path, so fetch
+	// latency overlaps with decode and alignment instead of stalling the
+	// pipeline one Get at a time; the streamer nodes wait on the window's
+	// head, decode into pooled chunks, and feed the aligners.
+	stream, err := ds.Stream(agd.StreamOptions{
+		Columns:  []string{agd.ColBases, agd.ColQual},
+		Prefetch: cfg.Prefetch,
+		Pool:     chunkPool,
+		Codec:    codec,
 	})
-
-	// Input subgraph: readers fetch the bases and qual column blobs —
-	// only the two columns alignment touches (§5.2).
+	if err != nil {
+		return nil, nil, err
+	}
+	defer stream.Close()
 	g.MustAddNode(dataflow.NodeSpec{
-		Name:        "reader",
-		Parallelism: cfg.Readers,
-		Inputs:      []string{"names"},
-		Outputs:     []string{"raw"},
-		Fn: func(ctx context.Context, nc *dataflow.NodeContext) error {
-			in, out := nc.Input("names"), nc.Output("raw")
-			for {
-				msg, ok := in.Get(ctx)
-				if !ok {
-					return nil
-				}
-				idx := msg.(int)
-				basesBlob, err := cfg.Store.Get(m.ChunkBlobPath(idx, agd.ColBases))
-				if err != nil {
-					return err
-				}
-				qualBlob, err := cfg.Store.Get(m.ChunkBlobPath(idx, agd.ColQual))
-				if err != nil {
-					return err
-				}
-				nc.Processed(1)
-				if err := out.Put(ctx, chunkWork{idx: idx, bases: basesBlob, qual: qualBlob}); err != nil {
-					return err
-				}
-			}
-		},
-	})
-
-	// Parser: decompress and parse blobs into chunk objects.
-	g.MustAddNode(dataflow.NodeSpec{
-		Name:        "parser",
+		Name:        "streamer",
 		Parallelism: cfg.Parsers,
-		Inputs:      []string{"raw"},
 		Outputs:     []string{"parsed"},
 		Fn: func(ctx context.Context, nc *dataflow.NodeContext) error {
-			in, out := nc.Input("raw"), nc.Output("parsed")
+			out := nc.Output("parsed")
 			for {
-				msg, ok := in.Get(ctx)
-				if !ok {
+				sc, err := stream.Next(ctx)
+				if err == io.EOF {
 					return nil
 				}
-				w := msg.(chunkWork)
-				basesChunk, err := chunkPool.Get(ctx)
 				if err != nil {
 					return err
 				}
-				if err := codec.DecodeInto(basesChunk, w.bases); err != nil {
-					chunkPool.Put(basesChunk)
-					return err
-				}
-				qualChunk, err := chunkPool.Get(ctx)
-				if err != nil {
-					chunkPool.Put(basesChunk)
-					return err
-				}
-				if err := codec.DecodeInto(qualChunk, w.qual); err != nil {
-					chunkPool.Put(basesChunk)
-					chunkPool.Put(qualChunk)
-					return err
-				}
+				cols := sc.Chunks()
 				nc.Processed(1)
-				if err := out.Put(ctx, parsedChunk{idx: w.idx, bases: basesChunk, qual: qualChunk}); err != nil {
+				if err := out.Put(ctx, parsedChunk{idx: sc.Index, bases: cols[0], qual: cols[1]}); err != nil {
 					return err
 				}
 			}

@@ -1,0 +1,157 @@
+package storage
+
+// This file is the async read path of the object store: the equivalent of
+// the paper's reader nodes keeping many object fetches in flight against the
+// Ceph cluster (§4.2). Every OSD gets a request queue served by its own
+// worker, so a GetBatch fans out across the primaries of its blobs and the
+// per-OSD service order stays FIFO — a miniature of one outstanding-request
+// queue per object storage daemon.
+
+import (
+	"fmt"
+	"time"
+
+	"persona/internal/agd"
+)
+
+// AsyncStore is a Store with asynchronous batched reads; it is
+// agd.AsyncBlobStore.
+type AsyncStore = agd.AsyncBlobStore
+
+// Future is the handle of one pending read; it is agd.Future.
+type Future = agd.Future
+
+// Async returns s as an AsyncStore: stores with a native async path (the
+// object store, MemStore, DirStore) pass through, anything else gets a
+// bounded goroutine adapter.
+func Async(s Store) AsyncStore { return agd.AsyncOf(s) }
+
+// osdQueueDepth is the per-OSD request queue capacity. Enqueueing blocks
+// beyond it, which bounds the memory a runaway prefetcher can pin.
+const osdQueueDepth = 256
+
+// readReq is one queued async read awaiting service by an OSD worker.
+type readReq struct {
+	name    string
+	resolve func([]byte, error)
+}
+
+// ensureAsync lazily starts the per-OSD queue workers.
+func (s *ObjectStore) ensureAsync() {
+	s.asyncOnce.Do(func() {
+		s.stop = make(chan struct{})
+		s.queues = make([]chan readReq, len(s.osds))
+		for i := range s.queues {
+			q := make(chan readReq, osdQueueDepth)
+			s.queues[i] = q
+			go s.serveOSD(q)
+		}
+	})
+}
+
+// serveOSD services one OSD's read queue until the store is closed.
+func (s *ObjectStore) serveOSD(q chan readReq) {
+	for {
+		select {
+		case req := <-q:
+			data, degraded, err := s.read(req.name)
+			if err == nil {
+				s.countRead(data, degraded)
+			}
+			req.resolve(data, err)
+			s.stats.inFlight.Add(-1)
+		case <-s.stop:
+			// Close set the closed flag before firing stop, so no new
+			// request can arrive; fail whatever is still queued so no
+			// waiter hangs.
+			for {
+				select {
+				case req := <-q:
+					req.resolve(nil, fmt.Errorf("storage: object store closed"))
+					s.stats.inFlight.Add(-1)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// GetAsync implements AsyncStore: the read is enqueued on the primary
+// replica's OSD queue and served by that OSD's worker (falling back to
+// surviving replicas exactly like Get).
+func (s *ObjectStore) GetAsync(name string) *Future {
+	s.ensureAsync()
+	fut, resolve := agd.NewFuture()
+	s.stats.asyncGets.Add(1)
+	n := s.stats.inFlight.Add(1)
+	for {
+		max := s.stats.maxInFlight.Load()
+		if n <= max || s.stats.maxInFlight.CompareAndSwap(max, n) {
+			break
+		}
+	}
+	primary := s.placement(name)[0]
+	// Enqueue under the close read-lock: either the store is already closed
+	// (fail fast) or the request is fully enqueued before Close can let the
+	// workers exit — a racing Close always drains it.
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		s.stats.inFlight.Add(-1)
+		resolve(nil, fmt.Errorf("storage: object store closed"))
+		return fut
+	}
+	s.queues[primary] <- readReq{name: name, resolve: resolve}
+	s.closeMu.RUnlock()
+	return fut
+}
+
+// GetBatch implements AsyncStore: every read goes to its own primary's
+// queue, so the batch is serviced by as many OSD workers as it has distinct
+// primaries — the fan-out that lets one reader node saturate the cluster.
+func (s *ObjectStore) GetBatch(names []string) []*Future {
+	s.stats.batches.Add(1)
+	futs := make([]*Future, len(names))
+	for i, name := range names {
+		futs[i] = s.GetAsync(name)
+	}
+	return futs
+}
+
+// Close stops the OSD queue workers. Pending async reads resolve with an
+// error; reads issued after Close fail immediately. Synchronous operations
+// remain usable. Closing an already-closed or never-async store is a no-op.
+func (s *ObjectStore) Close() {
+	s.ensureAsync()
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.stop)
+}
+
+var _ AsyncStore = (*ObjectStore)(nil)
+
+// latencyStore wraps a Store so every Get costs at least a fixed simulated
+// device latency. Benchmarks use it to make fetch-stall effects visible on
+// an in-memory store: a synchronous reader pays the latency once per blob,
+// while prefetched reads overlap their waits.
+type latencyStore struct {
+	Store
+	d time.Duration
+}
+
+// WithLatency wraps store with d of per-Get simulated read latency. The
+// wrapper is deliberately not an AsyncStore, so Async(WithLatency(...))
+// exercises the generic adapter over the delayed Get.
+func WithLatency(store Store, d time.Duration) Store {
+	return latencyStore{Store: store, d: d}
+}
+
+func (l latencyStore) Get(name string) ([]byte, error) {
+	time.Sleep(l.d)
+	return l.Store.Get(name)
+}

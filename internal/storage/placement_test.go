@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: placement always returns Replication distinct, in-range OSDs,
+// for arbitrary blob names.
+func TestPlacementReplicasDistinct(t *testing.T) {
+	s, err := NewObjectStore(ObjectStoreConfig{OSDs: 7, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(name string) bool {
+		ids := s.placement(name)
+		if len(ids) != 3 {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, id := range ids {
+			if id < 0 || id >= 7 || seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: placement is a pure function of the name — OSD up/down flaps
+// must not move blobs (rendezvous hashing owes its stability to ignoring
+// liveness; only read fallback handles it).
+func TestPlacementStableUnderFlaps(t *testing.T) {
+	s, err := NewObjectStore(ObjectStoreConfig{OSDs: 9, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	names := make([]string, 1000)
+	before := make([][]int, len(names))
+	for i := range names {
+		names[i] = fmt.Sprintf("ds/chunk-%06d.col%d", rng.Intn(1_000_000), rng.Intn(4))
+		before[i] = s.placement(names[i])
+	}
+	for flap := 0; flap < 50; flap++ {
+		id := rng.Intn(9)
+		if err := s.FailOSD(id); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(2) == 0 {
+			if err := s.RecoverOSD(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, name := range names {
+			after := s.placement(name)
+			for r := range after {
+				if after[r] != before[i][r] {
+					t.Fatalf("flap %d moved %q: %v -> %v", flap, name, before[i], after)
+				}
+			}
+		}
+	}
+}
+
+// Property: rendezvous placement balances load — on 10k equally sized
+// blobs, every OSD's byte count stays within 2x of the mean (and above
+// half of it).
+func TestPlacementBalanceTenThousandBlobs(t *testing.T) {
+	s, err := NewObjectStore(ObjectStoreConfig{OSDs: 7, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := make([]byte, 64)
+	for i := 0; i < 10_000; i++ {
+		if err := s.Put(fmt.Sprintf("bench/chunk-%06d.bases", i), blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bytes := s.OSDBytes()
+	var total int64
+	for _, b := range bytes {
+		total += b
+	}
+	mean := total / int64(len(bytes))
+	for id, b := range bytes {
+		if b > 2*mean || b < mean/2 {
+			t.Fatalf("OSD %d holds %d bytes, mean is %d: skew beyond 2x (%v)", id, b, mean, bytes)
+		}
+	}
+}

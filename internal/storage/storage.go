@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"persona/internal/agd"
 )
@@ -47,7 +48,19 @@ type ObjectStore struct {
 	osds    []*osd
 	repl    int
 	version uint64
-	stats   ObjectStoreStats
+	stats   objectStats
+
+	// Async read machinery: one request queue per OSD, served by a worker
+	// goroutine, so a batch of reads fans out across primaries concurrently
+	// (see async.go). Started lazily on first async use. closeMu orders
+	// enqueues against Close: requests sent under the read lock are fully
+	// enqueued before Close (write lock) lets the workers drain and exit,
+	// so no future is ever stranded unresolved.
+	asyncOnce sync.Once
+	queues    []chan readReq
+	stop      chan struct{}
+	closeMu   sync.RWMutex
+	closed    bool
 }
 
 // ObjectStoreStats counts traffic through the store.
@@ -57,6 +70,24 @@ type ObjectStoreStats struct {
 	BytesOut          int64
 	ReplicatedBytesIn int64 // physical bytes including replicas
 	DegradedReads     int64 // reads served by a non-primary replica
+	AsyncGets         int64 // reads issued through GetAsync/GetBatch
+	Batches           int64 // GetBatch calls
+	MaxInFlight       int64 // peak concurrent async reads in flight
+}
+
+// objectStats is the store's live counter set. Counters are atomics so the
+// read path can bump them without holding the write lock — Get serves
+// concurrent readers under RLock.
+type objectStats struct {
+	puts, gets        atomic.Int64
+	bytesIn           atomic.Int64
+	bytesOut          atomic.Int64
+	replicatedBytesIn atomic.Int64
+	degradedReads     atomic.Int64
+	asyncGets         atomic.Int64
+	batches           atomic.Int64
+	inFlight          atomic.Int64
+	maxInFlight       atomic.Int64
 }
 
 type osd struct {
@@ -136,18 +167,19 @@ func (s *ObjectStore) Put(name string, data []byte) error {
 	if placed == 0 {
 		return fmt.Errorf("storage: no OSD up for %q", name)
 	}
-	s.stats.Puts++
-	s.stats.BytesIn += int64(len(data))
-	s.stats.ReplicatedBytesIn += int64(len(data) * placed)
+	s.stats.puts.Add(1)
+	s.stats.bytesIn.Add(int64(len(data)))
+	s.stats.replicatedBytesIn.Add(int64(len(data) * placed))
 	return nil
 }
 
-// Get implements Store, reading the newest version among up replicas
-// (primary-first for accounting; a stale primary after recovery is
-// overruled by fresher replicas).
-func (s *ObjectStore) Get(name string) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// read returns the newest version among up replicas and whether the read was
+// degraded (served by a non-primary). It takes only the read lock, so any
+// number of readers — sync callers and OSD queue workers alike — proceed in
+// parallel; stats are the callers' job.
+func (s *ObjectStore) read(name string) (data []byte, degraded bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	bestIdx := -1
 	var best blob
 	for i, id := range s.placement(name) {
@@ -164,14 +196,30 @@ func (s *ObjectStore) Get(name string) ([]byte, error) {
 		}
 	}
 	if bestIdx < 0 {
-		return nil, fmt.Errorf("%w: %q", agd.ErrNotFound, name)
+		return nil, false, fmt.Errorf("%w: %q", agd.ErrNotFound, name)
 	}
-	s.stats.Gets++
-	s.stats.BytesOut += int64(len(best.data))
-	if bestIdx > 0 {
-		s.stats.DegradedReads++
+	return best.data, bestIdx > 0, nil
+}
+
+// Get implements Store, reading the newest version among up replicas
+// (primary-first for accounting; a stale primary after recovery is
+// overruled by fresher replicas).
+func (s *ObjectStore) Get(name string) ([]byte, error) {
+	data, degraded, err := s.read(name)
+	if err != nil {
+		return nil, err
 	}
-	return best.data, nil
+	s.countRead(data, degraded)
+	return data, nil
+}
+
+// countRead bumps the read counters for one served blob.
+func (s *ObjectStore) countRead(data []byte, degraded bool) {
+	s.stats.gets.Add(1)
+	s.stats.bytesOut.Add(int64(len(data)))
+	if degraded {
+		s.stats.degradedReads.Add(1)
+	}
 }
 
 // Delete implements Store.
@@ -258,11 +306,19 @@ func (s *ObjectStore) RecoverOSD(id int) error {
 	return nil
 }
 
-// Stats returns traffic counters.
+// Stats returns a snapshot of the traffic counters.
 func (s *ObjectStore) Stats() ObjectStoreStats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.stats
+	return ObjectStoreStats{
+		Puts:              s.stats.puts.Load(),
+		Gets:              s.stats.gets.Load(),
+		BytesIn:           s.stats.bytesIn.Load(),
+		BytesOut:          s.stats.bytesOut.Load(),
+		ReplicatedBytesIn: s.stats.replicatedBytesIn.Load(),
+		DegradedReads:     s.stats.degradedReads.Load(),
+		AsyncGets:         s.stats.asyncGets.Load(),
+		Batches:           s.stats.batches.Load(),
+		MaxInFlight:       s.stats.maxInFlight.Load(),
+	}
 }
 
 // OSDBytes returns per-OSD stored bytes (placement balance accounting).

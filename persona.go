@@ -111,6 +111,10 @@ type AlignOptions struct {
 	ExecutorThreads int
 	// MaxDist is the aligner's maximum edit distance; 0 means 12.
 	MaxDist int
+	// Prefetch is the input stream's chunk-fetch window: how many chunks'
+	// column blobs the pipeline keeps in flight, counting the one being
+	// decoded. 1 fetches synchronously; 0 picks the pipeline default.
+	Prefetch int
 }
 
 // Align runs the single-server Persona alignment pipeline over a dataset,
@@ -122,6 +126,7 @@ func Align(ctx context.Context, store Store, dataset string, idx *Index, opts Al
 		Index:           idx,
 		Aligner:         snap.Config{MaxDist: opts.MaxDist},
 		ExecutorThreads: opts.ExecutorThreads,
+		Prefetch:        opts.Prefetch,
 	})
 }
 
@@ -248,6 +253,7 @@ func AlignPaired(ctx context.Context, store Store, dataset string, idx *Index, o
 		Index:           idx,
 		Aligner:         snap.Config{MaxDist: opts.MaxDist},
 		ExecutorThreads: opts.ExecutorThreads,
+		Prefetch:        opts.Prefetch,
 		Paired:          true,
 	})
 }
