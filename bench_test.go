@@ -15,11 +15,14 @@ import (
 
 	"persona"
 	"persona/internal/agd"
+	"persona/internal/agdsort"
 	"persona/internal/align"
 	"persona/internal/align/bwa"
 	"persona/internal/align/snap"
 	"persona/internal/experiments"
+	"persona/internal/formats/bam"
 	"persona/internal/formats/fastq"
+	"persona/internal/formats/sam"
 	"persona/internal/genome"
 	"persona/internal/reads"
 	"persona/internal/simulate"
@@ -36,6 +39,7 @@ func benchScale() experiments.Scale {
 // --- Table 1: single-server alignment, SNAP row-oriented vs Persona AGD ---
 
 func BenchmarkTable1_Modeled(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := simulate.Table1(simulate.DefaultPaperParams()); err != nil {
 			b.Fatal(err)
@@ -121,18 +125,37 @@ func copyStore(src, dst agd.BlobStore, prefixes ...string) error {
 
 // --- Table 2: sorting ---
 
+// BenchmarkTable2_Sorts measures Persona's AGD external merge sort itself:
+// the aligned fixture (SNAP index build + alignment) is constructed once
+// outside the measured region, so ns/op and allocs/op track the sort path,
+// not the harness. The full tool comparison against the samtools/Picard
+// baselines remains experiments.RunTable2 (persona-bench table2).
 func BenchmarkTable2_Sorts(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunTable2(io.Discard, benchScale()); err != nil {
-			b.Fatal(err)
-		}
+	sc := benchScale()
+	store := agd.NewMemStore()
+	f, err := testutil.BuildE(store, "ds", testutil.Config{
+		GenomeSize: sc.GenomeSize, NumReads: sc.NumReads, ReadLen: sc.ReadLen,
+		ChunkSize: sc.ChunkSize, DupFrac: sc.DupFrac, Seed: sc.Seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, by := range []agdsort.Key{agdsort.ByLocation, agdsort.ByMetadata} {
+		b.Run("by="+by.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := agdsort.SortDataset(f.Dataset, agdsort.Options{By: by, OutputName: "sorted"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 // --- Table 3: TCO model ---
 
 func BenchmarkTable3_TCO(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := tco.Default().Evaluate(); err != nil {
 			b.Fatal(err)
@@ -143,6 +166,7 @@ func BenchmarkTable3_TCO(b *testing.B) {
 // --- Figure 5: CPU utilization traces ---
 
 func BenchmarkFig5_UtilizationTraces(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := simulate.Fig5(simulate.DefaultPaperParams()); err != nil {
 			b.Fatal(err)
@@ -153,6 +177,7 @@ func BenchmarkFig5_UtilizationTraces(b *testing.B) {
 // --- Figure 6: thread scaling ---
 
 func BenchmarkFig6_Model(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		simulate.Fig6(simulate.DefaultPaperParams())
 	}
@@ -161,6 +186,7 @@ func BenchmarkFig6_Model(b *testing.B) {
 func BenchmarkFig6_MeasuredThreadSweep(b *testing.B) {
 	sc := benchScale()
 	sc.NumReads = 800
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig6Measured(io.Discard, sc, 2); err != nil {
 			b.Fatal(err)
@@ -172,6 +198,7 @@ func BenchmarkFig6_MeasuredThreadSweep(b *testing.B) {
 
 func BenchmarkFig7_DES(b *testing.B) {
 	counts := []int{1, 8, 32, 60, 100}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := simulate.Fig7(simulate.DefaultPaperParams(), counts); err != nil {
 			b.Fatal(err)
@@ -182,6 +209,7 @@ func BenchmarkFig7_DES(b *testing.B) {
 func BenchmarkFig7_MeasuredCluster(b *testing.B) {
 	sc := benchScale()
 	sc.NumReads = 800
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig7Measured(io.Discard, sc, []int{2}); err != nil {
 			b.Fatal(err)
@@ -194,6 +222,7 @@ func BenchmarkFig7_MeasuredCluster(b *testing.B) {
 func BenchmarkFig8_Profiles(b *testing.B) {
 	sc := benchScale()
 	sc.NumReads = 500
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig8(io.Discard, sc); err != nil {
 			b.Fatal(err)
@@ -212,13 +241,89 @@ func BenchmarkDupmark_Comparison(b *testing.B) {
 	}
 }
 
+// BenchmarkConversion_ImportExport measures the conversion paths
+// themselves (the §5.7 workloads): FASTQ→AGD import plus the SAM and BAM
+// exporters, with the FASTQ text and the aligned dataset built once outside
+// the measured region. The throughput experiment stays
+// experiments.RunConversion (persona-bench conversion).
 func BenchmarkConversion_ImportExport(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunConversion(io.Discard, benchScale()); err != nil {
+	sc := benchScale()
+	g, err := genome.Synthesize(genome.DefaultSyntheticConfig(sc.GenomeSize, sc.Seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := reads.NewSimulator(g, reads.SimConfig{
+		Seed: sc.Seed + 1, N: sc.NumReads, ReadLen: sc.ReadLen,
+		ErrorRate: 0.003, DuplicateFraction: sc.DupFrac,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, _ := sim.All()
+	var fq bytes.Buffer
+	fw := fastq.NewWriter(&fq)
+	for i := range rs {
+		if err := fw.Write(&rs[i]); err != nil {
 			b.Fatal(err)
 		}
 	}
+	if err := fw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	store := agd.NewMemStore()
+	f, err := testutil.BuildE(store, "ds", testutil.Config{
+		GenomeSize: sc.GenomeSize, NumReads: sc.NumReads, ReadLen: sc.ReadLen,
+		ChunkSize: sc.ChunkSize, DupFrac: sc.DupFrac, Seed: sc.Seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("fastq_import", func(b *testing.B) {
+		b.SetBytes(int64(fq.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst := agd.NewMemStore()
+			if _, _, err := fastq.Import(dst, "conv", bytes.NewReader(fq.Bytes()), fastq.ImportOptions{ChunkSize: sc.ChunkSize}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sam_export", func(b *testing.B) {
+		cw := &countWriter{}
+		if _, err := sam.Export(f.Dataset, cw); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(cw.n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sam.Export(f.Dataset, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bam_export", func(b *testing.B) {
+		cw := &countWriter{}
+		if _, err := bam.Export(f.Dataset, cw); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(cw.n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bam.Export(f.Dataset, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
 }
 
 // --- Kernel microbenchmarks ---
@@ -389,11 +494,68 @@ func BenchmarkKernel_FASTQParse(b *testing.B) {
 	}
 }
 
+// BenchmarkKernel_RecordArenaAppend is the shared arena's append path: the
+// per-record cost every staging/writer hot loop now pays instead of a heap
+// allocation.
+func BenchmarkKernel_RecordArenaAppend(b *testing.B) {
+	const perRound = 1024
+	a := agd.NewRecordArena(perRound*64, perRound)
+	rec := bytes.Repeat([]byte("r"), 64)
+	b.SetBytes(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.Len() >= perRound {
+			a.Reset()
+		}
+		a.Append(rec)
+	}
+}
+
+// BenchmarkKernel_ResultViewDecode is the zero-copy results decode used by
+// sort key extraction, export, filtering and duplicate marking.
+func BenchmarkKernel_ResultViewDecode(b *testing.B) {
+	r := agd.Result{Location: 123456, MateLocation: -1, TemplateLen: 0, Score: 3,
+		MapQ: 60, Flags: agd.FlagReverse, Cigar: "101M"}
+	enc := agd.EncodeResult(nil, &r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agd.DecodeResultView(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernel_SAMLineWrite is the append-based SAM record renderer on
+// the export hot path (one aligned record per iteration).
+func BenchmarkKernel_SAMLineWrite(b *testing.B) {
+	refs := []agd.RefSeq{{Name: "chr1", Length: 1 << 20}}
+	refmap := sam.NewRefMap(refs)
+	w, err := sam.NewWriter(io.Discard, refs, "coordinate")
+	if err != nil {
+		b.Fatal(err)
+	}
+	name := []byte("sim.12345")
+	seq := bytes.Repeat([]byte("ACGT"), 25)
+	qual := bytes.Repeat([]byte("I"), 100)
+	v := agd.ResultView{Location: 99_000, MateLocation: -1, MapQ: 60, Cigar: []byte("100M")}
+	b.SetBytes(int64(len(seq)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteView(name, seq, qual, &v, refmap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md §6 design choices) ---
 
 func BenchmarkAblation_ChunkSize(b *testing.B) {
 	sc := benchScale()
 	sc.NumReads = 1000
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunChunkSizeAblation(io.Discard, sc); err != nil {
 			b.Fatal(err)
@@ -402,6 +564,7 @@ func BenchmarkAblation_ChunkSize(b *testing.B) {
 }
 
 func BenchmarkAblation_Compression(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunCompressionAblation(io.Discard, benchScale()); err != nil {
 			b.Fatal(err)
@@ -412,6 +575,7 @@ func BenchmarkAblation_Compression(b *testing.B) {
 func BenchmarkAblation_Subchunks(b *testing.B) {
 	sc := benchScale()
 	sc.NumReads = 1000
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunSubchunkAblation(io.Discard, sc); err != nil {
 			b.Fatal(err)

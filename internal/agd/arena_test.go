@@ -1,0 +1,164 @@
+package agd
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestRecordArenaAppendAndRecord(t *testing.T) {
+	var a RecordArena // zero value must be usable
+	recs := [][]byte{[]byte("alpha"), {}, []byte("b"), []byte("gamma-gamma")}
+	for _, r := range recs {
+		a.Append(r)
+	}
+	if a.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", a.Len(), len(recs))
+	}
+	want := 0
+	for i, r := range recs {
+		if got := a.Record(i); !bytes.Equal(got, r) {
+			t.Fatalf("record %d = %q, want %q", i, got, r)
+		}
+		want += len(r)
+	}
+	if a.DataLen() != want {
+		t.Fatalf("DataLen = %d, want %d", a.DataLen(), want)
+	}
+}
+
+func TestRecordArenaGrow(t *testing.T) {
+	// Start tiny and append far past the initial capacity; every record must
+	// survive the grow-by-doubling relocations.
+	a := NewRecordArena(8, 2)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		a.Append([]byte(fmt.Sprintf("record-%05d", i)))
+	}
+	if a.Len() != n {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		if got, want := string(a.Record(i)), fmt.Sprintf("record-%05d", i); got != want {
+			t.Fatalf("record %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestRecordArenaAliasSafetyUnderAppend(t *testing.T) {
+	// Appending a record that aliases the arena's own buffer must stay
+	// correct even when the append reallocates the backing array mid-copy.
+	var a RecordArena
+	a.Append(bytes.Repeat([]byte("x"), 3))
+	for i := 0; i < 2000; i++ {
+		// Re-append the previous record (an alias into a.data).
+		a.Append(a.Record(a.Len() - 1))
+	}
+	for i := 0; i < a.Len(); i++ {
+		if got := a.Record(i); !bytes.Equal(got, []byte("xxx")) {
+			t.Fatalf("record %d corrupted: %q", i, got)
+		}
+	}
+}
+
+func TestRecordArenaReset(t *testing.T) {
+	a := NewRecordArena(64, 4)
+	a.Append([]byte("one"))
+	a.Append([]byte("two"))
+	dataCap, offsCap := cap(a.data), cap(a.offs)
+	a.Reset()
+	if a.Len() != 0 || a.DataLen() != 0 {
+		t.Fatalf("after Reset: Len=%d DataLen=%d", a.Len(), a.DataLen())
+	}
+	a.Append([]byte("three"))
+	if got := a.Record(0); !bytes.Equal(got, []byte("three")) {
+		t.Fatalf("record after reset = %q", got)
+	}
+	if cap(a.data) != dataCap || cap(a.offs) != offsCap {
+		t.Fatalf("Reset dropped backing arrays (data %d→%d, offs %d→%d)",
+			dataCap, cap(a.data), offsCap, cap(a.offs))
+	}
+}
+
+func TestRecordArenaBufCommit(t *testing.T) {
+	var a RecordArena
+	r := Result{Location: 42, MateLocation: -1, MapQ: 60, Flags: FlagReverse, Cigar: "10M"}
+	a.Commit(EncodeResult(a.Buf(), &r))
+	a.AppendResult(&r)
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for i := 0; i < 2; i++ {
+		got, err := DecodeResult(a.Record(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r {
+			t.Fatalf("record %d = %+v, want %+v", i, got, r)
+		}
+	}
+}
+
+func TestRecordArenaAppendChunk(t *testing.T) {
+	b := NewChunkBuilder(TypeRaw, 0)
+	var want [][]byte
+	for i := 0; i < 37; i++ {
+		rec := []byte(fmt.Sprintf("rec-%02d", i))
+		if i%5 == 0 {
+			rec = nil // empty records must keep their boundaries
+		}
+		b.Append(rec)
+		want = append(want, rec)
+	}
+	var a RecordArena
+	a.AppendChunk(b.Chunk())
+	a.AppendChunk(b.Chunk()) // twice: boundaries must chain correctly
+	if a.Len() != 2*len(want) {
+		t.Fatalf("Len = %d, want %d", a.Len(), 2*len(want))
+	}
+	for i := 0; i < a.Len(); i++ {
+		if got := a.Record(i); !bytes.Equal(got, want[i%len(want)]) {
+			t.Fatalf("record %d = %q, want %q", i, got, want[i%len(want)])
+		}
+	}
+}
+
+func TestRecordArenaAppendAllocs(t *testing.T) {
+	a := NewRecordArena(1<<16, 1024)
+	rec := bytes.Repeat([]byte("r"), 32)
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Reset()
+		for i := 0; i < 1000; i++ {
+			a.Append(rec)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Append allocates (%v allocs/run)", allocs)
+	}
+}
+
+func TestResultViewRoundTrip(t *testing.T) {
+	in := Result{
+		Location: 123456, MateLocation: 654321, TemplateLen: -250, Score: 17,
+		MapQ: 60, Flags: FlagPaired | FlagReverse, Cigar: "50M1I49M",
+	}
+	enc := EncodeResult(nil, &in)
+	v, err := DecodeResultView(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Result(); got != in {
+		t.Fatalf("view round trip = %+v, want %+v", got, in)
+	}
+	// Encoding the borrowed view must be byte-identical to EncodeResult.
+	if enc2 := EncodeResultView(nil, &v); !bytes.Equal(enc, enc2) {
+		t.Fatalf("EncodeResultView differs: %x vs %x", enc, enc2)
+	}
+	loc, err := ResultLocation(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc != in.Location {
+		t.Fatalf("ResultLocation = %d, want %d", loc, in.Location)
+	}
+}

@@ -221,6 +221,21 @@ func (b *ChunkBuilder) AppendBases(bases []byte) {
 	b.lengths = append(b.lengths, uint32(len(b.data)-before))
 }
 
+// AppendResult encodes one alignment result straight into the data block —
+// no intermediate record buffer.
+func (b *ChunkBuilder) AppendResult(r *Result) {
+	before := len(b.data)
+	b.data = EncodeResult(b.data, r)
+	b.lengths = append(b.lengths, uint32(len(b.data)-before))
+}
+
+// AppendResultView is AppendResult for the borrowing form.
+func (b *ChunkBuilder) AppendResultView(v *ResultView) {
+	before := len(b.data)
+	b.data = EncodeResultView(b.data, v)
+	b.lengths = append(b.lengths, uint32(len(b.data)-before))
+}
+
 // NumRecords returns how many records have been appended.
 func (b *ChunkBuilder) NumRecords() int { return len(b.lengths) }
 

@@ -57,31 +57,119 @@ func (r *Result) IsReverse() bool { return r.Flags&FlagReverse != 0 }
 // IsDuplicate reports whether the read is marked as a PCR duplicate.
 func (r *Result) IsDuplicate() bool { return r.Flags&FlagDuplicate != 0 }
 
+// ResultView is a Result decoded without copying: the CIGAR aliases the
+// source record. It is the zero-allocation decode the hot paths use (export,
+// sorting, filtering, duplicate marking); Result remains the owning form.
+type ResultView struct {
+	Location     int64
+	MateLocation int64
+	TemplateLen  int32
+	Score        int32
+	MapQ         uint8
+	Flags        uint16
+	// Cigar aliases the decoded record; valid only while the record's buffer
+	// is.
+	Cigar []byte
+}
+
+// IsUnmapped reports whether the read failed to align.
+func (v *ResultView) IsUnmapped() bool { return v.Flags&FlagUnmapped != 0 || v.Location < 0 }
+
+// IsReverse reports whether the read aligned to the reverse strand.
+func (v *ResultView) IsReverse() bool { return v.Flags&FlagReverse != 0 }
+
+// IsDuplicate reports whether the read is marked as a PCR duplicate.
+func (v *ResultView) IsDuplicate() bool { return v.Flags&FlagDuplicate != 0 }
+
+// Result materializes an owning Result (copies the CIGAR).
+func (v *ResultView) Result() Result {
+	return Result{
+		Location:     v.Location,
+		MateLocation: v.MateLocation,
+		TemplateLen:  v.TemplateLen,
+		Score:        v.Score,
+		MapQ:         v.MapQ,
+		Flags:        v.Flags,
+		Cigar:        string(v.Cigar),
+	}
+}
+
+// View returns the borrowing form of r (the CIGAR bytes alias r's string).
+func (r *Result) View() ResultView {
+	return ResultView{
+		Location:     r.Location,
+		MateLocation: r.MateLocation,
+		TemplateLen:  r.TemplateLen,
+		Score:        r.Score,
+		MapQ:         r.MapQ,
+		Flags:        r.Flags,
+		Cigar:        []byte(r.Cigar),
+	}
+}
+
 // EncodeResult appends the binary encoding of r to dst.
 func EncodeResult(dst []byte, r *Result) []byte {
+	v := ResultView{
+		Location:     r.Location,
+		MateLocation: r.MateLocation,
+		TemplateLen:  r.TemplateLen,
+		Score:        r.Score,
+		MapQ:         r.MapQ,
+		Flags:        r.Flags,
+	}
+	return encodeResultView(dst, &v, r.Cigar)
+}
+
+// EncodeResultView is EncodeResult for the borrowing form.
+func EncodeResultView(dst []byte, v *ResultView) []byte {
+	return encodeResultView(dst, v, "")
+}
+
+// encodeResultView appends the encoding; the CIGAR comes from v.Cigar unless
+// the string form is non-empty (EncodeResult's path, avoiding a []byte
+// conversion).
+func encodeResultView(dst []byte, v *ResultView, cigarStr string) []byte {
 	var tmp [binary.MaxVarintLen64]byte
-	put := func(v int64) {
-		n := binary.PutVarint(tmp[:], v)
+	put := func(x int64) {
+		n := binary.PutVarint(tmp[:], x)
 		dst = append(dst, tmp[:n]...)
 	}
-	putU := func(v uint64) {
-		n := binary.PutUvarint(tmp[:], v)
+	putU := func(x uint64) {
+		n := binary.PutUvarint(tmp[:], x)
 		dst = append(dst, tmp[:n]...)
 	}
-	put(r.Location)
-	put(r.MateLocation)
-	put(int64(r.TemplateLen))
-	put(int64(r.Score))
-	putU(uint64(r.MapQ))
-	putU(uint64(r.Flags))
-	putU(uint64(len(r.Cigar)))
-	dst = append(dst, r.Cigar...)
+	cigarLen := len(v.Cigar)
+	if cigarStr != "" {
+		cigarLen = len(cigarStr)
+	}
+	put(v.Location)
+	put(v.MateLocation)
+	put(int64(v.TemplateLen))
+	put(int64(v.Score))
+	putU(uint64(v.MapQ))
+	putU(uint64(v.Flags))
+	putU(uint64(cigarLen))
+	if cigarStr != "" {
+		dst = append(dst, cigarStr...)
+	} else {
+		dst = append(dst, v.Cigar...)
+	}
 	return dst
 }
 
 // DecodeResult parses one encoded Result from src.
 func DecodeResult(src []byte) (Result, error) {
-	var r Result
+	v, err := DecodeResultView(src)
+	if err != nil {
+		return Result{}, err
+	}
+	return v.Result(), nil
+}
+
+// DecodeResultView parses one encoded Result from src without allocating;
+// the returned view's Cigar aliases src.
+func DecodeResultView(src []byte) (ResultView, error) {
+	var r ResultView
 	off := 0
 	get := func() (int64, error) {
 		v, n := binary.Varint(src[off:])
@@ -130,8 +218,18 @@ func DecodeResult(src []byte) (Result, error) {
 	if off+int(u) > len(src) {
 		return r, fmt.Errorf("%w: result CIGAR truncated", ErrCorrupt)
 	}
-	r.Cigar = string(src[off : off+int(u)])
+	r.Cigar = src[off : off+int(u)]
 	return r, nil
+}
+
+// ResultLocation decodes just the alignment location of an encoded Result —
+// the sort key — without touching the rest of the record.
+func ResultLocation(src []byte) (int64, error) {
+	v, n := binary.Varint(src)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad result varint", ErrCorrupt)
+	}
+	return v, nil
 }
 
 // DecodeResultRecord decodes record i of a TypeResults chunk.
@@ -141,4 +239,14 @@ func (c *Chunk) DecodeResultRecord(i int) (Result, error) {
 		return Result{}, err
 	}
 	return DecodeResult(rec)
+}
+
+// DecodeResultViewRecord decodes record i of a TypeResults chunk without
+// allocating; the view's CIGAR aliases the chunk's data.
+func (c *Chunk) DecodeResultViewRecord(i int) (ResultView, error) {
+	rec, err := c.Record(i)
+	if err != nil {
+		return ResultView{}, err
+	}
+	return DecodeResultView(rec)
 }

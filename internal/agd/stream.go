@@ -102,6 +102,17 @@ func (sc *StreamChunk) Release() {
 	sc.chunks = nil
 }
 
+// NewChunkPool returns a bounded pool of decoded chunks for stream
+// consumers (StreamOptions.Pool): size chunks, Reset applied on recycle.
+// Size it to columns × (prefetch window + 1) so the stream's fetches never
+// starve while the consumer holds one delivered row group.
+func NewChunkPool(size int) *dataflow.ItemPool[*Chunk] {
+	return dataflow.NewItemPool(size,
+		func() *Chunk { return new(Chunk) },
+		func(c *Chunk) *Chunk { c.Reset(); return c },
+	)
+}
+
 // Stream opens a prefetching iterator over the dataset's chunks.
 func (d *Dataset) Stream(opts StreamOptions) (*ChunkStream, error) {
 	cols := opts.Columns

@@ -3,17 +3,23 @@
 // "superchunks"; a final merge stage streams the superchunks into the
 // sorted output dataset. Datasets can be sorted by aligned location or by
 // read ID (metadata), the two orders downstream tools need.
+//
+// The sort never materializes per-record objects: each superchunk batch
+// stages its columns in shared agd.RecordArenas (contiguous buffers + offset
+// indexes), sorts a compact array of packed {key, row} entries, and the
+// k-way merge runs a hand-rolled heap of superchunk iterators with reused
+// field scratch — the whole record path is allocation-free in steady state
+// (the AGD thesis of §3: records are slices of big buffers, not objects).
 package agdsort
 
 import (
 	"bytes"
-	"container/heap"
 	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"persona/internal/agd"
@@ -37,6 +43,9 @@ func (k Key) String() string {
 	return "metadata"
 }
 
+// unmappedKey sorts unmapped reads after every mapped location.
+const unmappedKey = uint64(1) << 62
+
 // Options configures a sort.
 type Options struct {
 	// By selects the sort key.
@@ -50,13 +59,6 @@ type Options struct {
 	// OutputChunkSize is records per output chunk; default: same as input
 	// manifest's first chunk.
 	OutputChunkSize int
-}
-
-// row is one record across all columns plus its sort key.
-type row struct {
-	key    int64  // ByLocation
-	keyStr []byte // ByMetadata
-	fields [][]byte
 }
 
 // Sort externally sorts a dataset and writes a new sorted dataset,
@@ -91,6 +93,10 @@ func SortDataset(ds *agd.Dataset, opts Options) (*agd.Manifest, error) {
 			opts.OutputChunkSize = agd.DefaultChunkSize
 		}
 	}
+	keyCol := keyColumn(m.Columns, opts.By)
+	if keyCol < 0 {
+		return nil, fmt.Errorf("agdsort: key column missing")
+	}
 	store := ds.Store()
 
 	// Phase 1: produce sorted superchunks. Batches are independent, so
@@ -113,13 +119,13 @@ func SortDataset(ds *agd.Dataset, opts Options) (*agd.Manifest, error) {
 		go func(b, start, end int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rows, err := loadRows(ds, start, end, opts.By)
+			cols, keys, err := stageRun(ds, start, end, keyCol, opts.By)
 			if err != nil {
 				errs <- err
 				return
 			}
-			sortRows(rows, opts.By)
-			if err := writeSuperchunk(store, superNames[b], rows); err != nil {
+			sortKeys(cols[keyCol], keys, opts.By)
+			if err := writeSuperchunk(store, superNames[b], cols, keys); err != nil {
 				errs <- err
 			}
 		}(b, start, end)
@@ -132,7 +138,7 @@ func SortDataset(ds *agd.Dataset, opts Options) (*agd.Manifest, error) {
 	}
 
 	// Phase 2: k-way merge of superchunks into the output dataset.
-	manifest, err := mergeSuperchunks(store, superNames, ds, opts)
+	manifest, err := mergeSuperchunks(store, superNames, ds, keyCol, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -145,99 +151,151 @@ func SortDataset(ds *agd.Dataset, opts Options) (*agd.Manifest, error) {
 	return manifest, nil
 }
 
+// keyColumn locates the column the sort key is derived from.
+func keyColumn(columns []string, by Key) int {
+	want := agd.ColResults
+	if by == ByMetadata {
+		want = agd.ColMetadata
+	}
+	for i, name := range columns {
+		if name == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// sortEntry is one row's packed sort key: the 64-bit primary key (location,
+// or the metadata's big-endian 8-byte prefix) plus the row's index into the
+// staging arenas. Sorting moves these 12-byte entries, never record bytes.
+type sortEntry struct {
+	key uint64
+	row uint32
+}
+
 // loadPrefetch is the chunk-fetch window of the run-staging stream: each
 // superchunk batch keeps this many chunks' column blobs in flight, so the
 // next row group's fetch overlaps with key extraction over the current one.
 const loadPrefetch = 4
 
-// loadRows materializes rows for chunks [start, end), streaming all columns
-// with prefetch. Rows alias the streamed chunks' data, so the stream runs
-// pool-less — each chunk's backing memory lives as long as its rows.
-func loadRows(ds *agd.Dataset, start, end int, by Key) ([]row, error) {
+// stageRun copies chunks [start, end) into per-column record arenas and
+// extracts one packed sort entry per row. Arena staging copies each column
+// chunk once (bulk, via AppendChunk) and allocates nothing per record.
+func stageRun(ds *agd.Dataset, start, end, keyCol int, by Key) ([]*agd.RecordArena, []sortEntry, error) {
 	m := ds.Manifest
 	stream, err := ds.Stream(agd.StreamOptions{
 		Start: start, End: end, Prefetch: loadPrefetch,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer stream.Close()
-	var rows []row
+	cols := make([]*agd.RecordArena, len(m.Columns))
+	numRows := 0
+	for c := start; c < end; c++ {
+		numRows += int(m.Chunks[c].Records)
+	}
+	for i := range cols {
+		cols[i] = agd.NewRecordArena(0, numRows)
+	}
+	keys := make([]sortEntry, 0, numRows)
 	for {
 		sc, err := stream.Next(context.Background())
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		// The stream validates every column chunk's record count against the
+		// manifest, so the columns are known row-aligned here.
 		chunks := sc.Chunks()
 		n := chunks[0].NumRecords()
+		for col, c := range chunks {
+			cols[col].AppendChunk(c)
+		}
+		keyChunk := chunks[keyCol]
+		base := uint32(len(keys))
 		for r := 0; r < n; r++ {
-			fields := make([][]byte, len(chunks))
-			for col, c := range chunks {
-				rec, err := c.Record(r)
-				if err != nil {
-					return nil, err
-				}
-				fields[col] = rec
-			}
-			rw := row{fields: fields}
-			if err := fillKey(&rw, m.Columns, by); err != nil {
-				return nil, err
-			}
-			rows = append(rows, rw)
-		}
-	}
-	return rows, nil
-}
-
-// fillKey computes the sort key of a row.
-func fillKey(rw *row, columns []string, by Key) error {
-	for col, name := range columns {
-		switch {
-		case by == ByLocation && name == agd.ColResults:
-			res, err := agd.DecodeResult(rw.fields[col])
+			rec, err := keyChunk.Record(r)
 			if err != nil {
-				return err
+				return nil, nil, err
 			}
-			if res.IsUnmapped() {
-				rw.key = int64(1) << 62 // unmapped last
-			} else {
-				rw.key = res.Location
+			k, err := packKey(rec, by)
+			if err != nil {
+				return nil, nil, err
 			}
-			return nil
-		case by == ByMetadata && name == agd.ColMetadata:
-			rw.keyStr = rw.fields[col]
-			return nil
+			keys = append(keys, sortEntry{key: k, row: base + uint32(r)})
 		}
 	}
-	return fmt.Errorf("agdsort: key column missing")
+	return cols, keys, nil
 }
 
-// sortRows sorts in-memory rows; the paper notes Persona's in-memory phase
-// is "currently naive, using std::sort() across chunks" — sort.SliceStable
-// is the Go equivalent.
-func sortRows(rows []row, by Key) {
+// packKey derives a row's 64-bit primary key from its key-column record.
+func packKey(rec []byte, by Key) (uint64, error) {
 	if by == ByLocation {
-		sort.SliceStable(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
-	} else {
-		sort.SliceStable(rows, func(i, j int) bool { return bytes.Compare(rows[i].keyStr, rows[j].keyStr) < 0 })
+		v, err := agd.DecodeResultView(rec)
+		if err != nil {
+			return 0, err
+		}
+		if v.IsUnmapped() {
+			return unmappedKey, nil
+		}
+		return uint64(v.Location), nil
 	}
+	return prefixKey(rec), nil
 }
 
-// writeSuperchunk encodes sorted rows into one temporary blob: each record
-// is the concatenation of uvarint-length-prefixed fields. Temporaries are
-// deleted right after the merge, so they are stored uncompressed — paying
-// gzip twice on data that lives for seconds would only burn the cores the
-// merge needs.
-func writeSuperchunk(store agd.BlobStore, name string, rows []row) error {
+// prefixKey packs up to 8 leading bytes big-endian, so uint64 comparison
+// orders like bytes.Compare on the prefix; ties fall back to the full bytes.
+func prefixKey(b []byte) uint64 {
+	var k uint64
+	n := len(b)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		k |= uint64(b[i]) << (56 - 8*i)
+	}
+	return k
+}
+
+// sortKeys orders the packed entries. The paper notes Persona's in-memory
+// phase is "currently naive, using std::sort() across chunks";
+// slices.SortFunc (pdqsort) is the Go equivalent, moving 12-byte entries
+// instead of whole rows. Ties break on row index, which both reproduces a
+// stable sort's order and (for ByMetadata) resolves equal 8-byte prefixes
+// by comparing the full key bytes in the arena.
+func sortKeys(keyArena *agd.RecordArena, keys []sortEntry, by Key) {
+	slices.SortFunc(keys, func(a, b sortEntry) int {
+		if a.key != b.key {
+			if a.key < b.key {
+				return -1
+			}
+			return 1
+		}
+		if by == ByMetadata {
+			if c := bytes.Compare(keyArena.Record(int(a.row)), keyArena.Record(int(b.row))); c != 0 {
+				return c
+			}
+		}
+		return int(a.row) - int(b.row)
+	})
+}
+
+// writeSuperchunk encodes the sorted rows into one temporary blob, reading
+// fields straight from the staging arenas: each record is the concatenation
+// of uvarint-length-prefixed fields. Temporaries are deleted right after the
+// merge, so they are stored uncompressed — paying gzip twice on data that
+// lives for seconds would only burn the cores the merge needs.
+func writeSuperchunk(store agd.BlobStore, name string, cols []*agd.RecordArena, keys []sortEntry) error {
 	b := agd.NewChunkBuilder(agd.TypeRaw, 0)
 	var buf []byte
 	var tmp [binary.MaxVarintLen64]byte
-	for i := range rows {
+	for _, e := range keys {
 		buf = buf[:0]
-		for _, f := range rows[i].fields {
+		for _, col := range cols {
+			f := col.Record(int(e.row))
 			n := binary.PutUvarint(tmp[:], uint64(len(f)))
 			buf = append(buf, tmp[:n]...)
 			buf = append(buf, f...)
@@ -251,26 +309,30 @@ func writeSuperchunk(store agd.BlobStore, name string, rows []row) error {
 	return store.Put(name, blob)
 }
 
-// superIter iterates rows of a superchunk.
+// superIter iterates rows of a superchunk. Its field scratch is allocated
+// once and re-sliced per row, so advancing is allocation-free.
 type superIter struct {
-	chunk *agd.Chunk
-	next  int
-	cols  int
-	by    Key
+	chunk  *agd.Chunk
+	next   int
+	keyCol int
+	by     Key
+	ord    int // superchunk ordinal, the final merge tiebreak
 
-	cur row
+	key      uint64 // packed primary key of the current row
+	keyBytes []byte // full metadata key (ByMetadata tie resolution)
+	fields   [][]byte
 }
 
-func openSuperchunk(blob []byte, cols int, by Key) (*superIter, error) {
+func openSuperchunk(blob []byte, cols, keyCol int, by Key, ord int) (*superIter, error) {
 	c, err := agd.DecodeChunk(blob)
 	if err != nil {
 		return nil, err
 	}
-	return &superIter{chunk: c, cols: cols, by: by}, nil
+	return &superIter{chunk: c, keyCol: keyCol, by: by, ord: ord, fields: make([][]byte, cols)}, nil
 }
 
 // advance loads the next row; returns false at the end.
-func (it *superIter) advance(columns []string) (bool, error) {
+func (it *superIter) advance() (bool, error) {
 	if it.next >= it.chunk.NumRecords() {
 		return false, nil
 	}
@@ -279,51 +341,92 @@ func (it *superIter) advance(columns []string) (bool, error) {
 		return false, err
 	}
 	it.next++
-	fields := make([][]byte, it.cols)
 	off := 0
-	for c := 0; c < it.cols; c++ {
+	for c := range it.fields {
 		l, n := binary.Uvarint(rec[off:])
-		if n <= 0 {
+		// The length is range-checked as uint64 before conversion: a corrupt
+		// huge varint must not wrap int and slip past the bound.
+		if n <= 0 || l > uint64(len(rec)-off-n) {
 			return false, fmt.Errorf("agdsort: corrupt superchunk record")
 		}
 		off += n
-		fields[c] = rec[off : off+int(l)]
+		it.fields[c] = rec[off : off+int(l)]
 		off += int(l)
 	}
-	it.cur = row{fields: fields}
-	if err := fillKey(&it.cur, columns, it.by); err != nil {
+	if it.key, err = packKey(it.fields[it.keyCol], it.by); err != nil {
 		return false, err
 	}
+	it.keyBytes = it.fields[it.keyCol]
 	return true, nil
 }
 
-// rowHeap is a min-heap of superchunk iterators keyed by current row.
-type rowHeap struct {
-	items []*superIter
-	by    Key
+// less orders iterators by current row; ties break on superchunk ordinal so
+// the merge is deterministic and preserves phase-1 order.
+func (it *superIter) less(other *superIter) bool {
+	if it.key != other.key {
+		return it.key < other.key
+	}
+	if it.by == ByMetadata {
+		if c := bytes.Compare(it.keyBytes, other.keyBytes); c != 0 {
+			return c < 0
+		}
+	}
+	return it.ord < other.ord
 }
 
-func (h *rowHeap) Len() int { return len(h.items) }
-func (h *rowHeap) Less(i, j int) bool {
-	a, b := &h.items[i].cur, &h.items[j].cur
-	if h.by == ByLocation {
-		return a.key < b.key
-	}
-	return bytes.Compare(a.keyStr, b.keyStr) < 0
+// mergeHeap is a hand-rolled binary min-heap of superchunk iterators. Unlike
+// container/heap it works on the concrete type, so no per-operation
+// interface boxing: the k-way merge allocates nothing per record.
+type mergeHeap struct {
+	items []*superIter
 }
-func (h *rowHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *rowHeap) Push(x any)    { h.items = append(h.items, x.(*superIter)) }
-func (h *rowHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+
+func (h *mergeHeap) push(it *superIter) {
+	h.items = append(h.items, it)
+	for i := len(h.items) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.items[i].less(h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// fix restores heap order after the root's current row changed.
+func (h *mergeHeap) fix() {
+	i, n := 0, len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		min := i
+		if left < n && h.items[left].less(h.items[min]) {
+			min = left
+		}
+		if right < n && h.items[right].less(h.items[min]) {
+			min = right
+		}
+		if min == i {
+			return
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+}
+
+// pop removes the root (an exhausted iterator).
+func (h *mergeHeap) pop() {
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items[n] = nil
+	h.items = h.items[:n]
+	if n > 0 {
+		h.fix()
+	}
 }
 
 // mergeSuperchunks streams the heap-merge of all superchunks into the
 // output dataset.
-func mergeSuperchunks(store agd.BlobStore, superNames []string, ds *agd.Dataset, opts Options) (*agd.Manifest, error) {
+func mergeSuperchunks(store agd.BlobStore, superNames []string, ds *agd.Dataset, keyCol int, opts Options) (*agd.Manifest, error) {
 	m := ds.Manifest
 	cols := make([]agd.ColumnSpec, len(m.Columns))
 	for i, name := range m.Columns {
@@ -343,41 +446,40 @@ func mergeSuperchunks(store agd.BlobStore, superNames []string, ds *agd.Dataset,
 	// row, so fetch them as one batch — the blobs stream in concurrently
 	// (per-OSD fan-out on the object store) while the first arrivals decode.
 	futs := agd.AsyncOf(store).GetBatch(superNames)
-	h := &rowHeap{by: opts.By}
+	h := &mergeHeap{items: make([]*superIter, 0, len(superNames))}
 	for i := range superNames {
 		blob, err := futs[i].Wait(context.Background())
 		if err != nil {
 			return nil, err
 		}
-		it, err := openSuperchunk(blob, len(m.Columns), opts.By)
+		it, err := openSuperchunk(blob, len(m.Columns), keyCol, opts.By, i)
 		if err != nil {
 			return nil, err
 		}
-		ok, err := it.advance(m.Columns)
+		ok, err := it.advance()
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			h.items = append(h.items, it)
+			h.push(it)
 		}
 	}
-	heap.Init(h)
 
 	// Superchunk rows hold every column in stored representation (bases
 	// stay compacted), so the merge moves bytes without re-encoding.
-	for h.Len() > 0 {
+	for len(h.items) > 0 {
 		it := h.items[0]
-		if err := w.AppendStored(it.cur.fields...); err != nil {
+		if err := w.AppendStored(it.fields...); err != nil {
 			return nil, err
 		}
-		ok, err := it.advance(m.Columns)
+		ok, err := it.advance()
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			heap.Fix(h, 0)
+			h.fix()
 		} else {
-			heap.Pop(h)
+			h.pop()
 		}
 	}
 	return w.Close()
@@ -390,7 +492,6 @@ func columnType(name string) agd.RecordType {
 		return agd.TypeCompactBases
 	case agd.ColResults:
 		return agd.TypeResults
-	default:
-		return agd.TypeRaw
 	}
+	return agd.TypeRaw
 }

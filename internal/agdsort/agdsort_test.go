@@ -190,6 +190,66 @@ func TestSortPreservesBases(t *testing.T) {
 	}
 }
 
+// TestSortByMetadataSharedPrefix exercises the packed-key fallback: the
+// sort compares 8-byte big-endian prefixes first, so keys that agree on the
+// first 8 bytes (and keys shorter than 8 bytes that are prefixes of longer
+// ones) must fall back to full lexicographic comparison.
+func TestSortByMetadataSharedPrefix(t *testing.T) {
+	store := agd.NewMemStore()
+	metas := []string{
+		"sharedprefix-zz",
+		"sharedprefix-aa",
+		"sharedpre",       // 9 bytes, shares the full 8-byte prefix
+		"sharedpr",        // exactly 8 bytes
+		"shared",          // shorter than the prefix width
+		"sharedprefix-aa", // duplicate key
+		"sharedprefix-mm",
+		"aaa",
+		"zzz",
+	}
+	w, err := agd.NewWriter(store, "ds", []agd.ColumnSpec{{Name: agd.ColMetadata, Type: agd.TypeRaw}},
+		agd.WriterOptions{ChunkSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metas {
+		if err := w.Append([]byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := agd.Open(store, "ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ChunksPerSuperchunk 2 forces a multi-superchunk merge, so both the
+	// in-memory sort and the heap merge hit the prefix-tie path.
+	m, err := SortDataset(ds, Options{By: ByMetadata, ChunksPerSuperchunk: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := agd.Open(store, m.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sorted.ReadAllColumn(agd.ColMetadata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]string{}, metas...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("sorted %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("order wrong at %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
 func TestSortCleansTemporaries(t *testing.T) {
 	store := agd.NewMemStore()
 	f := testutil.Build(t, store, "ds", testutil.Config{

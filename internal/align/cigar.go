@@ -115,6 +115,40 @@ func ParseCigar(s string) (Cigar, error) {
 	return c, nil
 }
 
+// ParseCigarBytes parses a SAM CIGAR from byte text, appending elements to
+// dst (usually dst[:0] of a reused scratch) so steady-state parsing
+// allocates nothing. "*" and empty parse to dst unchanged.
+func ParseCigarBytes(dst Cigar, s []byte) (Cigar, error) {
+	if len(s) == 0 || (len(s) == 1 && s[0] == '*') {
+		return dst, nil
+	}
+	n := 0
+	sawDigit := false
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if ch >= '0' && ch <= '9' {
+			n = n*10 + int(ch-'0')
+			sawDigit = true
+			continue
+		}
+		if !sawDigit || n == 0 {
+			return dst, fmt.Errorf("align: bad cigar %q: op %q without length", s, ch)
+		}
+		switch op := CigarOp(ch); op {
+		case CigarMatch, CigarIns, CigarDel, CigarSkip, CigarSoftClip, CigarHardClip, CigarPad, CigarEqual, CigarDiff:
+			dst = append(dst, CigarElem{Len: n, Op: op})
+		default:
+			return dst, fmt.Errorf("align: bad cigar %q: unknown op %q", s, ch)
+		}
+		n = 0
+		sawDigit = false
+	}
+	if sawDigit {
+		return dst, fmt.Errorf("align: bad cigar %q: trailing length", s)
+	}
+	return dst, nil
+}
+
 // ReadLen returns the read bases consumed by the CIGAR (M/I/S/=/X).
 func (c Cigar) ReadLen() int {
 	n := 0

@@ -99,45 +99,16 @@ type parsedChunk struct {
 	bases, qual *agd.Chunk
 }
 
-// alignedChunk travels aligner → writer: encoded result records. encoded[i]
-// aliases one of the arenas; the writer recycles the arenas once the records
-// are folded into the output chunk.
+// alignedChunk travels aligner → writer: per-subchunk arenas of encoded
+// result records, in record order (arenas[s] holds subchunk s's contiguous
+// range). The writer folds the records into the output chunk and recycles
+// the arenas.
 type alignedChunk struct {
-	idx     int
-	first   uint64
-	encoded [][]byte
-	arenas  []*resultArena
-	reads   int
-	bases   int64
-}
-
-// resultArena accumulates the encoded results of one subchunk in a single
-// reusable buffer, replacing a per-read allocation with a per-subchunk pool
-// checkout (the paper's "pass handles, not copies" discipline of §4.5).
-type resultArena struct {
-	buf  []byte
-	offs []int
-}
-
-// add appends one encoded result.
-func (ra *resultArena) add(r *agd.Result) {
-	ra.offs = append(ra.offs, len(ra.buf))
-	ra.buf = agd.EncodeResult(ra.buf, r)
-}
-
-// finalize records the end offset and points encoded[lo+i] at record i's
-// bytes. Only safe once the arena stops growing.
-func (ra *resultArena) finalize(encoded [][]byte, lo int) {
-	ra.offs = append(ra.offs, len(ra.buf))
-	for i := 0; i+1 < len(ra.offs); i++ {
-		encoded[lo+i] = ra.buf[ra.offs[i]:ra.offs[i+1]]
-	}
-}
-
-func (ra *resultArena) reset() *resultArena {
-	ra.buf = ra.buf[:0]
-	ra.offs = ra.offs[:0]
-	return ra
+	idx    int
+	first  uint64
+	arenas []*agd.RecordArena
+	reads  int
+	bases  int64
 }
 
 // Align runs the full Persona alignment graph over a dataset and registers
@@ -176,16 +147,15 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 	// row group checks out two chunks (bases, qual). Sized so every stage
 	// can hold its share with a little slack; exhaustion blocks the
 	// streamers, which is the intended back-pressure.
-	chunkPool := dataflow.NewItemPool(
-		2*(cfg.Parsers+2*cfg.AlignerNodes)+2,
-		func() *agd.Chunk { return new(agd.Chunk) },
-		func(c *agd.Chunk) *agd.Chunk { c.Reset(); return c },
-	)
-	// arenaPool recycles per-subchunk result arenas aligner→writer.
+	chunkPool := agd.NewChunkPool(2*(cfg.Parsers+2*cfg.AlignerNodes) + 2)
+	// arenaPool recycles per-subchunk result arenas aligner→writer. The
+	// shared agd.RecordArena replaces core's private arena (ROADMAP's
+	// "arena-backed results column": one implementation now serves core,
+	// agdsort and the converters).
 	arenaPool := dataflow.NewItemPool(
 		(2*cfg.AlignerNodes+2*cfg.Writers)*cfg.Subchunks+cfg.ExecutorThreads,
-		func() *resultArena { return &resultArena{buf: make([]byte, 0, 4096)} },
-		func(ra *resultArena) *resultArena { return ra.reset() },
+		func() *agd.RecordArena { return agd.NewRecordArena(4096, 64) },
+		func(ra *agd.RecordArena) *agd.RecordArena { ra.Reset(); return ra },
 	)
 	// builderPool recycles the writers' output chunk builders.
 	builderPool := dataflow.NewItemPool(
@@ -253,7 +223,6 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 				}
 				pc := msg.(parsedChunk)
 				n := pc.bases.NumRecords()
-				encoded := make([][]byte, n)
 				var chunkBases int64
 				sub := cfg.Subchunks
 				if sub > n {
@@ -262,7 +231,7 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 				if sub == 0 {
 					sub = 1
 				}
-				arenas := make([]*resultArena, sub)
+				arenas := make([]*agd.RecordArena, sub)
 				err := exec.SubmitWait(ctx, sub, func(s int) dataflow.Task {
 					lo, hi := s*n/sub, (s+1)*n/sub
 					if cfg.Paired {
@@ -277,13 +246,12 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 						if err != nil {
 							// Cancelled mid-run: fall back to a throwaway
 							// arena so the subchunk still completes.
-							ra = &resultArena{}
+							ra = &agd.RecordArena{}
 						}
 						arenas[s] = ra
 						a := <-aligners
 						defer func() { aligners <- a }()
 						alignRange(a, pc.bases, ra, lo, hi, cfg.Paired)
-						ra.finalize(encoded, lo)
 					}
 				})
 				if err != nil {
@@ -308,7 +276,7 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 				nc.Processed(1)
 				if err := out.Put(ctx, alignedChunk{
 					idx: pc.idx, first: first,
-					encoded: encoded, arenas: arenas, reads: n, bases: chunkBases,
+					arenas: arenas, reads: n, bases: chunkBases,
 				}); err != nil {
 					return err
 				}
@@ -336,15 +304,18 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 					return err
 				}
 				builder.Reset(agd.TypeResults, ac.first)
-				for _, rec := range ac.encoded {
-					builder.Append(rec)
-				}
-				// The records are copied into the builder; the exhausted
-				// arenas go back to the aligner nodes' pool.
+				// Subchunk arenas hold contiguous record ranges in order, so
+				// appending arena by arena reproduces record order. The
+				// records are copied into the builder; the exhausted arenas
+				// go back to the aligner nodes' pool.
 				for _, ra := range ac.arenas {
-					if ra != nil {
-						arenaPool.Put(ra)
+					if ra == nil {
+						continue
 					}
+					for i := 0; i < ra.Len(); i++ {
+						builder.Append(ra.Record(i))
+					}
+					arenaPool.Put(ra)
 				}
 				blob, err := codec.Encode(builder.Chunk(), agd.CompressGzip)
 				builderPool.Put(builder)
@@ -423,17 +394,17 @@ var unmappedResult = agd.Result{
 // the batch interface (BWA's per-batch insert-size inference), falling back
 // to pair-at-a-time. All decode and encode scratch is reused, so the
 // steady-state loop performs no per-read allocation.
-func alignRange(a ReadAligner, basesChunk *agd.Chunk, ra *resultArena, lo, hi int, paired bool) {
+func alignRange(a ReadAligner, basesChunk *agd.Chunk, ra *agd.RecordArena, lo, hi int, paired bool) {
 	if !paired {
 		var scratch []byte
 		for r := lo; r < hi; r++ {
 			bases, err := basesChunk.ExpandBasesRecord(scratch[:0], r)
 			if err != nil {
-				ra.add(&unmappedResult)
+				ra.AppendResult(&unmappedResult)
 				continue
 			}
 			res := a.AlignRead(bases)
-			ra.add(&res)
+			ra.AppendResult(&res)
 			scratch = bases
 		}
 		return
@@ -455,12 +426,12 @@ func alignRange(a ReadAligner, basesChunk *agd.Chunk, ra *resultArena, lo, hi in
 		results, _ := batch.AlignPairBatch(p1, p2)
 		for p := 0; p < numPairs; p++ {
 			if p1[p] == nil {
-				ra.add(&unmappedResult)
-				ra.add(&unmappedResult)
+				ra.AppendResult(&unmappedResult)
+				ra.AppendResult(&unmappedResult)
 				continue
 			}
-			ra.add(&results[2*p])
-			ra.add(&results[2*p+1])
+			ra.AppendResult(&results[2*p])
+			ra.AppendResult(&results[2*p+1])
 		}
 		return
 	}
@@ -472,11 +443,11 @@ func alignRange(a ReadAligner, basesChunk *agd.Chunk, ra *resultArena, lo, hi in
 		for r := lo; r < lo+2*numPairs; r++ {
 			bases, err := basesChunk.ExpandBasesRecord(scratch[:0], r)
 			if err != nil {
-				ra.add(&unmappedResult)
+				ra.AppendResult(&unmappedResult)
 				continue
 			}
 			res := a.AlignRead(bases)
-			ra.add(&res)
+			ra.AppendResult(&res)
 			scratch = bases
 		}
 		return
@@ -487,12 +458,12 @@ func alignRange(a ReadAligner, basesChunk *agd.Chunk, ra *resultArena, lo, hi in
 		b2, err2 := basesChunk.ExpandBasesRecord(s2[:0], lo+2*p+1)
 		s1, s2 = b1, b2
 		if err1 != nil || err2 != nil {
-			ra.add(&unmappedResult)
-			ra.add(&unmappedResult)
+			ra.AppendResult(&unmappedResult)
+			ra.AppendResult(&unmappedResult)
 			continue
 		}
 		r1, r2 := pa.AlignPair(b1, b2)
-		ra.add(&r1)
-		ra.add(&r2)
+		ra.AppendResult(&r1)
+		ra.AppendResult(&r2)
 	}
 }

@@ -1,48 +1,53 @@
 // Package filter implements dataset filtering, one of the pipeline stages
 // the paper names in its goal list (§1: "including (but not limited to)
 // read alignment, sorting, duplicate marking, filtering, and variant
-// calling"). A filter pass streams a dataset chunk by chunk, keeps the rows
-// matching a predicate over their alignment results, and writes a new
-// row-grouped dataset.
+// calling"). A filter pass streams a dataset chunk by chunk (prefetching
+// blob fetches through agd.ChunkStream), keeps the rows matching a
+// predicate over their alignment results, and writes a new row-grouped
+// dataset. Predicates see zero-copy result views, so a pass performs no
+// per-record allocation.
 package filter
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"runtime"
 
 	"persona/internal/agd"
 )
 
-// Predicate decides whether a record stays, given its alignment result.
-type Predicate func(res *agd.Result) bool
+// Predicate decides whether a record stays, given a borrowed view of its
+// alignment result (valid only for the duration of the call).
+type Predicate func(res *agd.ResultView) bool
 
 // MinMapQ keeps reads with mapping quality of at least q.
 func MinMapQ(q uint8) Predicate {
-	return func(res *agd.Result) bool { return !res.IsUnmapped() && res.MapQ >= q }
+	return func(res *agd.ResultView) bool { return !res.IsUnmapped() && res.MapQ >= q }
 }
 
 // MappedOnly keeps aligned reads.
 func MappedOnly() Predicate {
-	return func(res *agd.Result) bool { return !res.IsUnmapped() }
+	return func(res *agd.ResultView) bool { return !res.IsUnmapped() }
 }
 
 // DropDuplicates keeps reads not flagged as PCR duplicates (run markdup
 // first).
 func DropDuplicates() Predicate {
-	return func(res *agd.Result) bool { return !res.IsDuplicate() }
+	return func(res *agd.ResultView) bool { return !res.IsDuplicate() }
 }
 
 // Region keeps reads whose leftmost base falls in [start, end) of the
 // global coordinate space.
 func Region(start, end int64) Predicate {
-	return func(res *agd.Result) bool {
+	return func(res *agd.ResultView) bool {
 		return !res.IsUnmapped() && res.Location >= start && res.Location < end
 	}
 }
 
 // And combines predicates conjunctively.
 func And(ps ...Predicate) Predicate {
-	return func(res *agd.Result) bool {
+	return func(res *agd.ResultView) bool {
 		for _, p := range ps {
 			if !p(res) {
 				return false
@@ -63,6 +68,9 @@ type Options struct {
 	OutputName string
 	// OutputChunkSize is records per output chunk; defaults to the input's.
 	OutputChunkSize int
+	// Prefetch is the chunk-fetch window (agd.ChunkStream); 0 selects
+	// agd.DefaultPrefetch.
+	Prefetch int
 }
 
 // Run filters a dataset into a new dataset, preserving all columns.
@@ -111,24 +119,36 @@ func RunDataset(ds *agd.Dataset, pred Predicate, opts Options) (*agd.Manifest, S
 		return nil, Stats{}, err
 	}
 
+	window := opts.Prefetch
+	if window <= 0 {
+		window = agd.DefaultPrefetch
+	}
+	chunkPool := agd.NewChunkPool(len(m.Columns) * (window + 1))
+	stream, err := ds.Stream(agd.StreamOptions{Prefetch: opts.Prefetch, Pool: chunkPool})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer stream.Close()
+
 	var stats Stats
 	fields := make([][]byte, len(m.Columns))
-	for ci := range m.Chunks {
-		chunks := make([]*agd.Chunk, len(m.Columns))
-		for col := range m.Columns {
-			c, err := ds.ReadChunk(m.Columns[col], ci)
-			if err != nil {
-				return nil, stats, err
-			}
-			chunks[col] = c
+	ctx := context.Background()
+	for {
+		sc, err := stream.Next(ctx)
+		if err == io.EOF {
+			break
 		}
+		if err != nil {
+			return nil, stats, err
+		}
+		chunks := sc.Chunks()
 		for r := 0; r < chunks[0].NumRecords(); r++ {
 			stats.In++
 			rec, err := chunks[resCol].Record(r)
 			if err != nil {
 				return nil, stats, err
 			}
-			res, err := agd.DecodeResult(rec)
+			res, err := agd.DecodeResultView(rec)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -149,6 +169,9 @@ func RunDataset(ds *agd.Dataset, pred Predicate, opts Options) (*agd.Manifest, S
 			}
 			stats.Kept++
 		}
+		// AppendStored copied the kept rows into the writer's builders;
+		// recycle the streamed chunks.
+		sc.Release()
 	}
 	if stats.Kept == 0 {
 		return nil, stats, fmt.Errorf("filter: no records of %q match", m.Name)

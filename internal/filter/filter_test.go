@@ -122,13 +122,13 @@ func TestFilterRegion(t *testing.T) {
 
 func TestFilterAnd(t *testing.T) {
 	p := And(MappedOnly(), MinMapQ(50))
-	if p(&agd.Result{Location: 5, MapQ: 60}) != true {
+	if p(&agd.ResultView{Location: 5, MapQ: 60}) != true {
 		t.Fatal("both-true rejected")
 	}
-	if p(&agd.Result{Location: 5, MapQ: 10}) {
+	if p(&agd.ResultView{Location: 5, MapQ: 10}) {
 		t.Fatal("low mapq accepted")
 	}
-	if p(&agd.Result{Location: agd.UnmappedLocation, Flags: agd.FlagUnmapped, MapQ: 60}) {
+	if p(&agd.ResultView{Location: agd.UnmappedLocation, Flags: agd.FlagUnmapped, MapQ: 60}) {
 		t.Fatal("unmapped accepted")
 	}
 }

@@ -59,9 +59,10 @@ type blockWriter interface {
 
 // Writer emits a BAM file.
 type Writer struct {
-	z    blockWriter
-	refs map[string]int32
-	buf  bytes.Buffer
+	z     blockWriter
+	refs  map[string]int32
+	buf   bytes.Buffer
+	cigar align.Cigar // reused parse scratch (WriteView)
 }
 
 // NewWriter writes the BAM header (text header plus reference dictionary)
@@ -186,11 +187,96 @@ func (w *Writer) Write(r *sam.Record) error {
 	return err
 }
 
+// WriteView emits one alignment record assembled from AGD column bytes and
+// a decoded result view — the zero-allocation export path. seq and qual
+// must already be in SAM orientation.
+func (w *Writer) WriteView(name, seq, qual []byte, v *agd.ResultView, refmap *sam.RefMap) error {
+	refID, pos := int32(-1), int64(-1)
+	cigar := w.cigar[:0]
+	if !v.IsUnmapped() {
+		ref, p, err := refmap.Locate(v.Location)
+		if err != nil {
+			return err
+		}
+		if refID, err = w.refID(ref); err != nil {
+			return err
+		}
+		pos = p
+		if cigar, err = align.ParseCigarBytes(cigar, v.Cigar); err != nil {
+			return err
+		}
+	}
+	w.cigar = cigar
+	nextRefID, pnext := int32(-1), int64(-1)
+	if v.Flags&agd.FlagPaired != 0 && v.MateLocation >= 0 {
+		ref, p, err := refmap.Locate(v.MateLocation)
+		if err != nil {
+			return err
+		}
+		if nextRefID, err = w.refID(ref); err != nil {
+			return err
+		}
+		pnext = p
+	}
+	w.writeRecord(refID, pos, nextRefID, pnext, v.MapQ, v.Flags, v.TemplateLen, name, cigar, seq, qual)
+	return w.flushRecord()
+}
+
+// put32 appends one little-endian uint32 to the record buffer. A method
+// (not a closure) so the hot writeRecord loop does not allocate a capture.
+func (w *Writer) put32(v uint32) {
+	var n4 [4]byte
+	binary.LittleEndian.PutUint32(n4[:], v)
+	w.buf.Write(n4[:])
+}
+
+// writeRecord renders one record into the reused buffer.
+func (w *Writer) writeRecord(refID int32, pos int64, nextRefID int32, pnext int64, mapq uint8, flags uint16, tlen int32, name []byte, cigar align.Cigar, seq, qual []byte) {
+	w.buf.Reset()
+	w.put32(uint32(refID))
+	w.put32(uint32(int32(pos)))
+	// l_read_name | mapq<<8 | bin<<16 (bin left 0: indexing unused here)
+	w.put32(uint32(len(name)+1) | uint32(mapq)<<8)
+	w.put32(uint32(len(cigar)) | uint32(flags)<<16)
+	w.put32(uint32(len(seq)))
+	w.put32(uint32(nextRefID))
+	w.put32(uint32(int32(pnext)))
+	w.put32(uint32(tlen))
+	w.buf.Write(name)
+	w.buf.WriteByte(0)
+	for _, e := range cigar {
+		w.put32(uint32(e.Len)<<4 | uint32(e.Op.BAMCode()))
+	}
+	for i := 0; i < len(seq); i += 2 {
+		b := seqNibble(seq[i]) << 4
+		if i+1 < len(seq) {
+			b |= seqNibble(seq[i+1])
+		}
+		w.buf.WriteByte(b)
+	}
+	for i := 0; i < len(qual); i++ {
+		w.buf.WriteByte(qual[i] - '!')
+	}
+}
+
+// flushRecord emits the buffered record with its length prefix.
+func (w *Writer) flushRecord() error {
+	var n4 [4]byte
+	binary.LittleEndian.PutUint32(n4[:], uint32(w.buf.Len()))
+	if _, err := w.z.Write(n4[:]); err != nil {
+		return err
+	}
+	_, err := w.z.Write(w.buf.Bytes())
+	return err
+}
+
 // Close flushes the BGZF stream and writes its EOF marker.
 func (w *Writer) Close() error { return w.z.Close() }
 
-// Export streams an AGD dataset out as BAM (§5.7's export path). It returns
-// the number of records written.
+// Export streams an AGD dataset out as BAM (§5.7's export path). Records
+// render straight from the streamed column bytes (sam.StreamRecords), so
+// the export performs no per-record allocation. It returns the number of
+// records written.
 func Export(ds *agd.Dataset, dst io.Writer) (uint64, error) {
 	if !ds.Manifest.HasColumn(agd.ColResults) {
 		return 0, fmt.Errorf("bam: dataset %q has no results column", ds.Manifest.Name)
@@ -205,17 +291,12 @@ func Export(ds *agd.Dataset, dst io.Writer) (uint64, error) {
 		return 0, err
 	}
 	var n uint64
-	for i := 0; i < ds.NumChunks(); i++ {
-		recs, err := sam.ChunkRecords(ds, refmap, i)
-		if err != nil {
-			return n, err
-		}
-		for j := range recs {
-			if err := w.Write(&recs[j]); err != nil {
-				return n, err
-			}
-			n++
-		}
+	err = sam.StreamRecords(ds, func(meta, seq, qual []byte, v *agd.ResultView) error {
+		n++
+		return w.WriteView(meta, seq, qual, v, refmap)
+	})
+	if err != nil {
+		return n, err
 	}
 	return n, w.Close()
 }

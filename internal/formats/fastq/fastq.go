@@ -7,7 +7,6 @@ package fastq
 
 import (
 	"bufio"
-	"bytes"
 	"compress/gzip"
 	"fmt"
 	"io"
@@ -15,11 +14,16 @@ import (
 	"persona/internal/reads"
 )
 
-// Scanner parses FASTQ records from a stream.
+// Scanner parses FASTQ records from a stream. Each record's fields are read
+// into reused buffers: View exposes them zero-copy (the import hot path),
+// Read materializes an owning reads.Read.
 type Scanner struct {
 	r       *bufio.Reader
 	lineNum int
-	rec     reads.Read
+	meta    []byte
+	bases   []byte
+	quals   []byte
+	plus    []byte // '+' separator line scratch
 	err     error
 }
 
@@ -43,7 +47,8 @@ func (s *Scanner) Scan() bool {
 	if s.err != nil {
 		return false
 	}
-	name, err := s.line()
+	var err error
+	s.meta, err = s.line(s.meta[:0])
 	if err == io.EOF {
 		return false
 	}
@@ -51,50 +56,68 @@ func (s *Scanner) Scan() bool {
 		s.err = err
 		return false
 	}
-	if len(name) == 0 || name[0] != '@' {
-		s.err = fmt.Errorf("fastq: line %d: record does not start with '@': %q", s.lineNum, name)
+	if len(s.meta) == 0 || s.meta[0] != '@' {
+		s.err = fmt.Errorf("fastq: line %d: record does not start with '@': %q", s.lineNum, s.meta)
 		return false
 	}
-	bases, err := s.line()
+	s.bases, err = s.line(s.bases[:0])
 	if err != nil {
 		s.err = fmt.Errorf("fastq: line %d: missing bases: %v", s.lineNum, err)
 		return false
 	}
-	plus, err := s.line()
-	if err != nil || len(plus) == 0 || plus[0] != '+' {
+	s.plus, err = s.line(s.plus[:0])
+	if err != nil || len(s.plus) == 0 || s.plus[0] != '+' {
 		s.err = fmt.Errorf("fastq: line %d: missing '+' separator", s.lineNum)
 		return false
 	}
-	quals, err := s.line()
+	s.quals, err = s.line(s.quals[:0])
 	if err != nil {
 		s.err = fmt.Errorf("fastq: line %d: missing qualities: %v", s.lineNum, err)
 		return false
 	}
-	if len(quals) != len(bases) {
-		s.err = fmt.Errorf("fastq: line %d: %d bases but %d qualities", s.lineNum, len(bases), len(quals))
+	if len(s.quals) != len(s.bases) {
+		s.err = fmt.Errorf("fastq: line %d: %d bases but %d qualities", s.lineNum, len(s.bases), len(s.quals))
 		return false
-	}
-	s.rec = reads.Read{
-		Meta:  string(name[1:]),
-		Bases: append([]byte{}, bases...),
-		Quals: append([]byte{}, quals...),
 	}
 	return true
 }
 
-// line reads one line, trimming the terminator.
-func (s *Scanner) line() ([]byte, error) {
-	line, err := s.r.ReadBytes('\n')
-	if len(line) == 0 && err != nil {
-		return nil, err
+// line reads one line into buf (reusing its backing array), trimming the
+// terminator. io.EOF is returned only when no bytes remain.
+func (s *Scanner) line(buf []byte) ([]byte, error) {
+	for {
+		frag, err := s.r.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if len(buf) == 0 && err != nil {
+			return nil, err
+		}
+		s.lineNum++
+		for len(buf) > 0 && (buf[len(buf)-1] == '\n' || buf[len(buf)-1] == '\r') {
+			buf = buf[:len(buf)-1]
+		}
+		return buf, nil
 	}
-	s.lineNum++
-	line = bytes.TrimRight(line, "\r\n")
-	return line, nil
 }
 
-// Read returns the current record. Valid until the next Scan.
-func (s *Scanner) Read() reads.Read { return s.rec }
+// View returns the current record's fields (name without '@'), aliasing the
+// scanner's reused buffers: valid only until the next Scan. This is the
+// zero-allocation path the AGD importer uses.
+func (s *Scanner) View() (meta, bases, quals []byte) {
+	return s.meta[1:], s.bases, s.quals
+}
+
+// Read returns an owning copy of the current record.
+func (s *Scanner) Read() reads.Read {
+	meta, bases, quals := s.View()
+	return reads.Read{
+		Meta:  string(meta),
+		Bases: append([]byte{}, bases...),
+		Quals: append([]byte{}, quals...),
+	}
+}
 
 // Err returns the first error encountered (nil at clean EOF).
 func (s *Scanner) Err() error { return s.err }
@@ -120,16 +143,39 @@ func (w *Writer) Write(r *reads.Read) error {
 	if _, err := w.w.WriteString(r.Meta); err != nil {
 		return err
 	}
+	return w.tail(r.Bases, r.Quals)
+}
+
+// WriteFields emits one record from raw field bytes — the export hot path,
+// no reads.Read materialization.
+func (w *Writer) WriteFields(meta, bases, quals []byte) error {
+	if len(bases) == 0 {
+		return fmt.Errorf("reads: %q has no bases", meta)
+	}
+	if len(bases) != len(quals) {
+		return fmt.Errorf("reads: %q has %d bases but %d quals", meta, len(bases), len(quals))
+	}
+	if err := w.w.WriteByte('@'); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(meta); err != nil {
+		return err
+	}
+	return w.tail(bases, quals)
+}
+
+// tail writes the bases / separator / qualities lines.
+func (w *Writer) tail(bases, quals []byte) error {
 	if err := w.w.WriteByte('\n'); err != nil {
 		return err
 	}
-	if _, err := w.w.Write(r.Bases); err != nil {
+	if _, err := w.w.Write(bases); err != nil {
 		return err
 	}
 	if _, err := w.w.WriteString("\n+\n"); err != nil {
 		return err
 	}
-	if _, err := w.w.Write(r.Quals); err != nil {
+	if _, err := w.w.Write(quals); err != nil {
 		return err
 	}
 	return w.w.WriteByte('\n')

@@ -1,6 +1,7 @@
 package sam
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,9 +19,37 @@ func reverseString(s string) string {
 	return string(b)
 }
 
+// ExportScratch is the reused per-record buffers of a streaming export:
+// expanded bases, the reverse-complemented sequence and the reversed
+// qualities of reverse-strand reads. The zero value is ready to use; one
+// scratch serves any number of exports, one at a time.
+type ExportScratch struct {
+	bases []byte
+	rc    []byte
+	qrev  []byte
+}
+
+// Orient returns a record's SEQ and QUAL in SAM orientation: reverse-strand
+// mapped reads are reverse-complemented / reversed into the scratch (the SAM
+// convention; AGD stores reads as sequenced). The returned slices are valid
+// until the next call.
+func (s *ExportScratch) Orient(bases, qual []byte, v *agd.ResultView) (seq, q []byte) {
+	if v.Flags&agd.FlagReverse == 0 || v.Flags&agd.FlagUnmapped != 0 {
+		return bases, qual
+	}
+	s.rc = genome.ReverseComplementScratch(s.rc, bases)
+	s.qrev = genome.ReverseScratch(s.qrev, qual)
+	return s.rc, s.qrev
+}
+
+// exportColumns is the column order Export and bam.Export stream.
+var exportColumns = []string{agd.ColBases, agd.ColQual, agd.ColMetadata, agd.ColResults}
+
 // Export streams an AGD dataset (with a results column) out as SAM — the
-// compatibility output subgraph of §4.4. It returns the number of records
-// written.
+// compatibility output subgraph of §4.4. Chunks arrive through a prefetching
+// ChunkStream and each record is rendered from the column bytes in place, so
+// the export performs no per-record allocation. It returns the number of
+// records written.
 func Export(ds *agd.Dataset, dst io.Writer) (uint64, error) {
 	if !ds.Manifest.HasColumn(agd.ColResults) {
 		return 0, fmt.Errorf("sam: dataset %q has no results column", ds.Manifest.Name)
@@ -35,19 +64,72 @@ func Export(ds *agd.Dataset, dst io.Writer) (uint64, error) {
 		return 0, err
 	}
 	var n uint64
-	for i := 0; i < ds.NumChunks(); i++ {
-		recs, err := ChunkRecords(ds, refmap, i)
-		if err != nil {
-			return n, err
-		}
-		for j := range recs {
-			if err := w.Write(&recs[j]); err != nil {
-				return n, err
-			}
-			n++
-		}
+	err = StreamRecords(ds, func(meta, seq, qual []byte, v *agd.ResultView) error {
+		n++
+		return w.WriteView(meta, seq, qual, v, refmap)
+	})
+	if err != nil {
+		return n, err
 	}
 	return n, w.Flush()
+}
+
+// StreamRecords streams every record of an aligned dataset in SAM
+// orientation through fn(meta, seq, qual, result view). The slices alias
+// reused buffers, valid only for the duration of the call — the shared
+// zero-allocation walk under the SAM and BAM exporters.
+func StreamRecords(ds *agd.Dataset, fn func(meta, seq, qual []byte, v *agd.ResultView) error) error {
+	chunkPool := agd.NewChunkPool(len(exportColumns) * (agd.DefaultPrefetch + 1))
+	stream, err := ds.Stream(agd.StreamOptions{Columns: exportColumns, Pool: chunkPool})
+	if err != nil {
+		return err
+	}
+	defer stream.Close()
+	var scratch ExportScratch
+	// v is hoisted out of the record loop: its address is passed to fn, so a
+	// loop-local view would escape (one heap allocation per record).
+	var v agd.ResultView
+	for {
+		sc, err := stream.Next(context.Background())
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		chunks := sc.Chunks()
+		basesChunk, qualChunk, metaChunk, resChunk := chunks[0], chunks[1], chunks[2], chunks[3]
+		n := basesChunk.NumRecords()
+		if qualChunk.NumRecords() != n || metaChunk.NumRecords() != n || resChunk.NumRecords() != n {
+			return fmt.Errorf("sam: chunk %d columns disagree on record count", sc.Index)
+		}
+		for r := 0; r < n; r++ {
+			scratch.bases, err = basesChunk.ExpandBasesRecord(scratch.bases[:0], r)
+			if err != nil {
+				return err
+			}
+			qual, err := qualChunk.Record(r)
+			if err != nil {
+				return err
+			}
+			meta, err := metaChunk.Record(r)
+			if err != nil {
+				return err
+			}
+			rec, err := resChunk.Record(r)
+			if err != nil {
+				return err
+			}
+			if v, err = agd.DecodeResultView(rec); err != nil {
+				return err
+			}
+			seq, q := scratch.Orient(scratch.bases, qual, &v)
+			if err := fn(meta, seq, q, &v); err != nil {
+				return err
+			}
+		}
+		sc.Release()
+	}
 }
 
 // ChunkRecords materializes the SAM records of one AGD chunk.

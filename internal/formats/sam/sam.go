@@ -8,7 +8,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -48,12 +47,22 @@ func NewRefMap(seqs []agd.RefSeq) *RefMap {
 }
 
 // Locate translates a global position to (contig name, 0-based offset).
+// The binary search is hand-rolled: sort.Search's closure would allocate on
+// every call, and Locate runs once (or twice, paired) per exported record.
 func (m *RefMap) Locate(global int64) (string, int64, error) {
 	if global < 0 || global >= m.offsets[len(m.offsets)-1] {
 		return "", 0, fmt.Errorf("sam: global position %d out of range", global)
 	}
-	i := sort.Search(len(m.seqs), func(i int) bool { return m.offsets[i+1] > global })
-	return m.seqs[i].Name, global - m.offsets[i], nil
+	lo, hi := 0, len(m.seqs)-1 // first contig whose end exceeds global
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.offsets[mid+1] > global {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return m.seqs[lo].Name, global - m.offsets[lo], nil
 }
 
 // Global translates (contig name, 0-based offset) to a global position.
@@ -69,12 +78,29 @@ func (m *RefMap) Global(ref string, pos int64) (int64, error) {
 	return 0, fmt.Errorf("sam: unknown reference %q", ref)
 }
 
+// GlobalBytes is Global for a byte-slice reference name (the import hot
+// path; the comparison converts without allocating).
+func (m *RefMap) GlobalBytes(ref []byte, pos int64) (int64, error) {
+	for i, s := range m.seqs {
+		if s.Name == string(ref) {
+			if pos < 0 || pos >= s.Length {
+				return 0, fmt.Errorf("sam: position %d out of range for %q", pos, ref)
+			}
+			return m.offsets[i] + pos, nil
+		}
+	}
+	return 0, fmt.Errorf("sam: unknown reference %q", ref)
+}
+
 // Seqs returns the underlying reference sequences.
 func (m *RefMap) Seqs() []agd.RefSeq { return m.seqs }
 
-// Writer emits a SAM file: header then records.
+// Writer emits a SAM file: header then records. Records are rendered into a
+// reused line buffer with append-based encoding, so writing is
+// allocation-free in steady state.
 type Writer struct {
-	w *bufio.Writer
+	w    *bufio.Writer
+	line []byte
 }
 
 // NewWriter writes a SAM header for the given references and returns a
@@ -111,8 +137,94 @@ func (w *Writer) Write(r *Record) error {
 	if rnext == "" {
 		rnext = "*"
 	}
-	_, err := fmt.Fprintf(w.w, "%s\t%d\t%s\t%d\t%d\t%s\t%s\t%d\t%d\t%s\t%s\n",
-		r.Name, r.Flags, ref, r.Pos, r.MapQ, cigar, rnext, r.PNext, r.TLen, r.Seq, r.Qual)
+	b := w.line[:0]
+	b = append(b, r.Name...)
+	b = appendFixedFields(b, r.Flags, ref, r.Pos, r.MapQ)
+	b = append(b, cigar...)
+	b = appendMateFields(b, rnext, r.PNext, r.TLen)
+	b = append(b, r.Seq...)
+	b = append(b, '\t')
+	b = append(b, r.Qual...)
+	b = append(b, '\n')
+	return w.writeLine(b)
+}
+
+// WriteView emits one record assembled from AGD column bytes and a decoded
+// result view — the zero-allocation export path. seq and qual must already
+// be in SAM orientation (reverse-strand reads reverse-complemented /
+// reversed by the caller).
+func (w *Writer) WriteView(name, seq, qual []byte, v *agd.ResultView, refmap *RefMap) error {
+	ref, pos := "*", int64(0)
+	cigar := v.Cigar
+	if v.IsUnmapped() {
+		cigar = nil
+	} else {
+		r, p, err := refmap.Locate(v.Location)
+		if err != nil {
+			return err
+		}
+		ref, pos = r, p+1
+	}
+	rnext, pnext := "*", int64(0)
+	if v.Flags&agd.FlagPaired != 0 && v.MateLocation >= 0 {
+		r, p, err := refmap.Locate(v.MateLocation)
+		if err != nil {
+			return err
+		}
+		if ref != "*" && r == ref {
+			rnext = "="
+		} else {
+			rnext = r
+		}
+		pnext = p + 1
+	}
+	b := w.line[:0]
+	b = append(b, name...)
+	b = appendFixedFields(b, v.Flags, ref, pos, v.MapQ)
+	if len(cigar) == 0 {
+		b = append(b, '*')
+	} else {
+		b = append(b, cigar...)
+	}
+	b = appendMateFields(b, rnext, pnext, v.TemplateLen)
+	b = append(b, seq...)
+	b = append(b, '\t')
+	b = append(b, qual...)
+	b = append(b, '\n')
+	return w.writeLine(b)
+}
+
+// appendFixedFields renders "\t<flags>\t<ref>\t<pos>\t<mapq>\t" — the fields
+// between the name and the CIGAR.
+func appendFixedFields(b []byte, flags uint16, ref string, pos int64, mapq uint8) []byte {
+	b = append(b, '\t')
+	b = strconv.AppendUint(b, uint64(flags), 10)
+	b = append(b, '\t')
+	b = append(b, ref...)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, pos, 10)
+	b = append(b, '\t')
+	b = strconv.AppendUint(b, uint64(mapq), 10)
+	b = append(b, '\t')
+	return b
+}
+
+// appendMateFields renders "\t<rnext>\t<pnext>\t<tlen>\t" — the fields
+// between the CIGAR and the sequence.
+func appendMateFields(b []byte, rnext string, pnext int64, tlen int32) []byte {
+	b = append(b, '\t')
+	b = append(b, rnext...)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, pnext, 10)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, int64(tlen), 10)
+	b = append(b, '\t')
+	return b
+}
+
+func (w *Writer) writeLine(b []byte) error {
+	w.line = b
+	_, err := w.w.Write(b)
 	return err
 }
 

@@ -87,6 +87,26 @@ func ReverseComplement(dst, src []byte) []byte {
 	return dst
 }
 
+// ReverseComplementScratch is ReverseComplement over a reusable scratch:
+// dst's backing array is grown as needed and reused otherwise, so hot loops
+// (SAM import/export, pileup) flip strands without allocating.
+func ReverseComplementScratch(dst, src []byte) []byte {
+	if cap(dst) < len(src) {
+		dst = make([]byte, len(src))
+	}
+	return ReverseComplement(dst[:0], src)
+}
+
+// ReverseScratch copies src reversed into a reusable scratch (the quality
+// string of a reverse-strand read, flipped alongside its bases).
+func ReverseScratch(dst, src []byte) []byte {
+	dst = append(dst[:0], src...)
+	for i, j := 0, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
 // Contig is a named contiguous reference sequence (a chromosome in hg19
 // terms). Offset is the contig's start in the genome's global coordinate
 // space, which is how AGD results store positions.

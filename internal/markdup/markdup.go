@@ -7,17 +7,31 @@
 // Because only alignment positions matter, Persona reads and rewrites just
 // the results column — the selective-column-I/O advantage §5.6 measures
 // (Samblaster must stream entire SAM rows). The paper's implementation uses
-// Google's dense_hash_map; Go's built-in map plays that role here.
+// Google's dense_hash_map; Go's built-in map plays that role here. Chunks
+// arrive through a prefetching agd.ChunkStream and results re-encode
+// straight into pooled chunk builders, so the sequential mark pass performs
+// no per-record allocation.
 package markdup
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
 	"persona/internal/agd"
 	"persona/internal/align"
+	"persona/internal/dataflow"
 )
+
+// Options configures a marking pass.
+type Options struct {
+	// Prefetch is the results-column chunk-fetch window (agd.ChunkStream):
+	// how many chunks' blobs are kept in flight, counting the one being
+	// marked. 0 selects agd.DefaultPrefetch.
+	Prefetch int
+}
 
 // Stats reports what a marking pass did.
 type Stats struct {
@@ -45,6 +59,11 @@ func Mark(store agd.BlobStore, name string) (Stats, error) {
 
 // MarkDataset is Mark over an open dataset.
 func MarkDataset(ds *agd.Dataset) (Stats, error) {
+	return MarkDatasetOptions(ds, Options{})
+}
+
+// MarkDatasetOptions is MarkDataset with explicit options.
+func MarkDatasetOptions(ds *agd.Dataset, opts Options) (Stats, error) {
 	m := ds.Manifest
 	if !m.HasColumn(agd.ColResults) {
 		return Stats{}, fmt.Errorf("markdup: dataset %q has no results column", m.Name)
@@ -52,42 +71,83 @@ func MarkDataset(ds *agd.Dataset) (Stats, error) {
 	var stats Stats
 	seen := make(map[signature]struct{}, m.NumRecords())
 
+	window := opts.Prefetch
+	if window <= 0 {
+		window = agd.DefaultPrefetch
+	}
+	// The streamed chunks recycle through a pool sized to the fetch window;
+	// marking releases each chunk once its records are re-encoded.
+	chunkPool := agd.NewChunkPool(window + 1)
+	stream, err := ds.Stream(agd.StreamOptions{
+		Columns:  []string{agd.ColResults},
+		Prefetch: opts.Prefetch,
+		Pool:     chunkPool,
+	})
+	if err != nil {
+		return stats, err
+	}
+	defer stream.Close()
+
 	// Marking is order-dependent (the first occurrence survives), so the
 	// decode/mark pass is sequential; compressing and storing the rewritten
-	// chunks is not, and runs on background workers.
-	sem := make(chan struct{}, runtime.NumCPU())
+	// chunks is not, and runs on background workers with pooled builders.
+	workers := runtime.NumCPU()
+	builderPool := dataflow.NewItemPool(workers+1,
+		func() *agd.ChunkBuilder { return agd.NewChunkBuilder(agd.TypeResults, 0) },
+		nil,
+	)
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	asyncErrs := make(chan error, len(m.Chunks))
-	for ci := range m.Chunks {
-		chunk, err := ds.ReadChunk(agd.ColResults, ci)
+	asyncErrs := make(chan error, 1)
+	var cigar align.Cigar // reused unclipped-position parse scratch
+	ctx := context.Background()
+	for {
+		sc, err := stream.Next(ctx)
+		if err == io.EOF {
+			break
+		}
 		if err != nil {
+			wg.Wait()
 			return stats, err
 		}
-		builder := agd.NewChunkBuilder(agd.TypeResults, chunk.FirstOrdinal)
+		chunk := sc.Chunks()[0]
+		builder, err := builderPool.Get(ctx)
+		if err != nil {
+			wg.Wait()
+			return stats, err
+		}
+		builder.Reset(agd.TypeResults, chunk.FirstOrdinal)
 		for r := 0; r < chunk.NumRecords(); r++ {
-			res, err := chunk.DecodeResultRecord(r)
+			v, err := chunk.DecodeResultViewRecord(r)
 			if err != nil {
+				wg.Wait()
 				return stats, err
 			}
 			stats.Reads++
-			if !res.IsUnmapped() {
-				sig, err := signatureOf(&res)
+			if !v.IsUnmapped() {
+				var sig signature
+				sig, cigar, err = signatureOf(&v, cigar)
 				if err != nil {
+					wg.Wait()
 					return stats, err
 				}
 				if _, dup := seen[sig]; dup {
-					res.Flags |= agd.FlagDuplicate
+					v.Flags |= agd.FlagDuplicate
 					stats.Duplicates++
 				} else {
 					seen[sig] = struct{}{}
 				}
 			}
-			builder.Append(agd.EncodeResult(nil, &res))
+			builder.AppendResultView(&v)
 		}
-		blobName, err := ds.ChunkBlobName(agd.ColResults, ci)
+		blobName, err := ds.ChunkBlobName(agd.ColResults, sc.Index)
 		if err != nil {
+			wg.Wait()
 			return stats, err
 		}
+		// The records are re-encoded into the builder; the streamed chunk
+		// goes back to the pool.
+		sc.Release()
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(builder *agd.ChunkBuilder, blobName string) {
@@ -97,6 +157,7 @@ func MarkDataset(ds *agd.Dataset) (Stats, error) {
 			if err == nil {
 				err = ds.Store().Put(blobName, blob)
 			}
+			builderPool.Put(builder)
 			if err != nil {
 				select {
 				case asyncErrs <- err:
@@ -114,17 +175,18 @@ func MarkDataset(ds *agd.Dataset) (Stats, error) {
 	return stats, nil
 }
 
-// signatureOf computes a read's duplication signature.
-func signatureOf(res *agd.Result) (signature, error) {
-	pos, err := UnclippedPos(res)
+// signatureOf computes a read's duplication signature, parsing its CIGAR
+// into scratch (returned for reuse).
+func signatureOf(v *agd.ResultView, scratch align.Cigar) (signature, align.Cigar, error) {
+	pos, scratch, err := unclippedPos(v, scratch)
 	if err != nil {
-		return signature{}, err
+		return signature{}, scratch, err
 	}
-	sig := signature{pos: pos, reverse: res.IsReverse(), matePos: agd.UnmappedLocation}
-	if res.Flags&agd.FlagPaired != 0 {
-		sig.matePos = res.MateLocation
+	sig := signature{pos: pos, reverse: v.IsReverse(), matePos: agd.UnmappedLocation}
+	if v.Flags&agd.FlagPaired != 0 {
+		sig.matePos = v.MateLocation
 	}
-	return sig, nil
+	return sig, scratch, nil
 }
 
 // UnclippedPos returns the 5'-end reference position of the read as if no
@@ -133,20 +195,28 @@ func signatureOf(res *agd.Result) (signature, error) {
 // Samblaster, this makes duplicates of the same fragment collide even when
 // their clipping differs.
 func UnclippedPos(res *agd.Result) (int64, error) {
-	cigar, err := align.ParseCigar(res.Cigar)
+	v := res.View()
+	pos, _, err := unclippedPos(&v, nil)
+	return pos, err
+}
+
+// unclippedPos is UnclippedPos over a borrowed view with a reusable CIGAR
+// parse scratch.
+func unclippedPos(v *agd.ResultView, scratch align.Cigar) (int64, align.Cigar, error) {
+	cigar, err := align.ParseCigarBytes(scratch[:0], v.Cigar)
 	if err != nil {
-		return 0, err
+		return 0, scratch, err
 	}
-	if !res.IsReverse() {
+	if !v.IsReverse() {
 		lead := 0
 		if len(cigar) > 0 && (cigar[0].Op == align.CigarSoftClip || cigar[0].Op == align.CigarHardClip) {
 			lead = cigar[0].Len
 		}
-		return res.Location - int64(lead), nil
+		return v.Location - int64(lead), cigar, nil
 	}
 	trail := 0
 	if n := len(cigar); n > 0 && (cigar[n-1].Op == align.CigarSoftClip || cigar[n-1].Op == align.CigarHardClip) {
 		trail = cigar[n-1].Len
 	}
-	return res.Location + int64(cigar.RefLen()) + int64(trail) - 1, nil
+	return v.Location + int64(cigar.RefLen()) + int64(trail) - 1, cigar, nil
 }

@@ -9,6 +9,7 @@
 package varcall
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -35,6 +36,9 @@ type Options struct {
 	// SkipDuplicates ignores reads flagged as duplicates (default true via
 	// NewOptions).
 	SkipDuplicates bool
+	// Prefetch is the chunk-fetch window of the pileup's input stream
+	// (agd.ChunkStream); 0 selects agd.DefaultPrefetch.
+	Prefetch int
 }
 
 // NewOptions returns the default calling options.
@@ -85,6 +89,12 @@ type Pileup struct {
 	depth  []int32
 	reads  int64
 	used   int64
+
+	// Reused per-read scratch: parsed CIGAR, reverse-complemented sequence
+	// and reversed qualities. Piling up allocates nothing per read.
+	cigar  align.Cigar
+	rcSeq  []byte
+	rcQual []byte
 }
 
 // NewPileup allocates a pileup over the whole genome. Memory is
@@ -98,29 +108,42 @@ func NewPileup(g *genome.Genome) *Pileup {
 	}
 }
 
-// AddDataset piles up every eligible read of an aligned dataset.
+// AddDataset piles up every eligible read of an aligned dataset, streaming
+// the three columns it needs through a prefetching agd.ChunkStream.
 func (p *Pileup) AddDataset(ds *agd.Dataset, opts Options) error {
 	opts = opts.withDefaults()
 	m := ds.Manifest
 	if !m.HasColumn(agd.ColResults) {
 		return fmt.Errorf("varcall: dataset %q has no results column", m.Name)
 	}
-	for ci := range m.Chunks {
-		basesChunk, err := ds.ReadChunk(agd.ColBases, ci)
+	window := opts.Prefetch
+	if window <= 0 {
+		window = agd.DefaultPrefetch
+	}
+	chunkPool := agd.NewChunkPool(3 * (window + 1))
+	stream, err := ds.Stream(agd.StreamOptions{
+		Columns:  []string{agd.ColBases, agd.ColQual, agd.ColResults},
+		Prefetch: opts.Prefetch,
+		Pool:     chunkPool,
+	})
+	if err != nil {
+		return err
+	}
+	defer stream.Close()
+	var scratch []byte
+	ctx := context.Background()
+	for {
+		sc, err := stream.Next(ctx)
+		if err == io.EOF {
+			return nil
+		}
 		if err != nil {
 			return err
 		}
-		qualChunk, err := ds.ReadChunk(agd.ColQual, ci)
-		if err != nil {
-			return err
-		}
-		resChunk, err := ds.ReadChunk(agd.ColResults, ci)
-		if err != nil {
-			return err
-		}
-		var scratch []byte
+		chunks := sc.Chunks()
+		basesChunk, qualChunk, resChunk := chunks[0], chunks[1], chunks[2]
 		for r := 0; r < basesChunk.NumRecords(); r++ {
-			res, err := resChunk.DecodeResultRecord(r)
+			res, err := resChunk.DecodeResultViewRecord(r)
 			if err != nil {
 				return err
 			}
@@ -145,26 +168,26 @@ func (p *Pileup) AddDataset(ds *agd.Dataset, opts Options) error {
 			}
 			p.used++
 		}
+		sc.Release()
 	}
-	return nil
 }
 
 // addRead walks one read's CIGAR, attributing aligned bases to reference
 // positions. Stored reads are in as-sequenced orientation; reverse-strand
-// CIGARs refer to the reverse complement, so the read is flipped first.
-func (p *Pileup) addRead(bases, qual []byte, res *agd.Result, opts Options) error {
-	cigar, err := align.ParseCigar(res.Cigar)
+// CIGARs refer to the reverse complement, so the read is flipped first
+// (into the pileup's reused scratch).
+func (p *Pileup) addRead(bases, qual []byte, res *agd.ResultView, opts Options) error {
+	cigar, err := align.ParseCigarBytes(p.cigar[:0], res.Cigar)
+	p.cigar = cigar
 	if err != nil {
 		return err
 	}
 	seq := bases
 	quals := qual
 	if res.IsReverse() {
-		seq = genome.ReverseComplement(make([]byte, len(bases)), bases)
-		quals = make([]byte, len(qual))
-		for i := range qual {
-			quals[i] = qual[len(qual)-1-i]
-		}
+		p.rcSeq = genome.ReverseComplementScratch(p.rcSeq, bases)
+		p.rcQual = genome.ReverseScratch(p.rcQual, qual)
+		seq, quals = p.rcSeq, p.rcQual
 	}
 	qi, ref := 0, res.Location
 	for _, e := range cigar {
