@@ -2,6 +2,10 @@ package agd
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
 )
 
 // This file is the asynchronous read layer of the storage interface (the
@@ -150,13 +154,82 @@ func (s *DirStore) GetAsync(name string) *Future {
 	return fut
 }
 
-// GetBatch implements AsyncBlobStore.
+// GetBatch implements AsyncBlobStore with a real batched read loop instead
+// of one goroutine per name: a bounded set of workers drains the batch via
+// an atomic cursor, and each blob is read with stat + a positional-read
+// (pread) loop into an exactly-sized buffer — the portable first step of
+// the io_uring-style DirStore (one syscall loop per worker, no per-name
+// goroutine spawn, no ReadFile readdir/grow overhead).
 func (s *DirStore) GetBatch(names []string) []*Future {
 	futs := make([]*Future, len(names))
-	for i, name := range names {
-		futs[i] = s.GetAsync(name)
+	if len(names) == 0 {
+		return futs
+	}
+	if s.sem == nil { // zero-value store: read synchronously
+		for i, name := range names {
+			futs[i] = ResolvedFuture(s.Get(name))
+		}
+		return futs
+	}
+	// Snapshot the names: the contract lets callers reuse the slice as soon
+	// as GetBatch returns, while the workers are still draining it.
+	batch := make([]string, len(names))
+	copy(batch, names)
+	resolves := make([]func([]byte, error), len(batch))
+	for i := range futs {
+		futs[i], resolves[i] = NewFuture()
+	}
+	workers := dirStoreParallelism
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	cursor := new(atomic.Int64)
+	for w := 0; w < workers; w++ {
+		// The semaphore still bounds total file concurrency across batches
+		// and GetAsync calls; acquire before spawning so a huge batch
+		// throttles the issuer, not the file-descriptor table.
+		s.sem <- struct{}{}
+		go func() {
+			defer func() { <-s.sem }()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(batch) {
+					return
+				}
+				resolves[i](s.readBlob(batch[i]))
+			}
+		}()
 	}
 	return futs
+}
+
+// readBlob reads one blob with stat + pread into an exactly-sized buffer.
+func (s *DirStore) readBlob(name string) ([]byte, error) {
+	f, err := os.Open(s.path(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, info.Size())
+	for off := 0; off < len(buf); {
+		n, err := f.ReadAt(buf[off:], int64(off))
+		off += n
+		if err == io.EOF {
+			// The file shrank between stat and read; return what exists.
+			return buf[:off], nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 var (

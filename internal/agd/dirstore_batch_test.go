@@ -1,0 +1,83 @@
+package agd
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestDirStoreGetBatch(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More blobs than the worker bound, so the batch loop wraps around.
+	const n = 3 * dirStoreParallelism
+	want := make(map[string][]byte, n)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("col/blob-%03d", i)
+		blob := bytes.Repeat([]byte{byte(i)}, 100+i*37)
+		want[names[i]] = blob
+		if err := store.Put(names[i], blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	futs := store.GetBatch(names)
+	// The contract says implementations must not retain the slice: clobber
+	// it while the reads are in flight.
+	for i := range names {
+		names[i] = "clobbered"
+	}
+	for i, fut := range futs {
+		name := fmt.Sprintf("col/blob-%03d", i)
+		got, err := fut.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("blob %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want[name]) {
+			t.Fatalf("blob %d: got %d bytes, want %d", i, len(got), len(want[name]))
+		}
+	}
+}
+
+func TestDirStoreGetBatchMissing(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	futs := store.GetBatch([]string{"a", "missing"})
+	if _, err := futs[0].Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := futs[1].Wait(context.Background()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing blob: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDirStoreGetBatchEmptyAndZeroValue(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if futs := store.GetBatch(nil); len(futs) != 0 {
+		t.Fatalf("empty batch returned %d futures", len(futs))
+	}
+	// The zero-value store (no semaphore) reads synchronously.
+	var zero DirStore
+	zero.root = store.root
+	if err := store.Put("z", []byte("zz")); err != nil {
+		t.Fatal(err)
+	}
+	futs := zero.GetBatch([]string{"z"})
+	got, err := futs[0].Wait(context.Background())
+	if err != nil || string(got) != "zz" {
+		t.Fatalf("zero-value GetBatch = %q, %v", got, err)
+	}
+}

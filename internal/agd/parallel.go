@@ -67,6 +67,18 @@ type Codec struct {
 	// blocks of at least 2*minMemberSize. Members only applies to
 	// CompressGzip; uncompressed chunks always use version 1.
 	Members int
+	// shard+1, when non-zero, is the executor shard member tasks are
+	// submitted to (WithShard): the shard that decoded a chunk re-encodes
+	// it with warm caches, and idle shards steal the surplus members.
+	shard int
+}
+
+// WithShard returns the codec with member tasks pinned (advisorily) to the
+// given executor shard. Pipelines derive the shard from the chunk index so
+// one chunk's decode, align and compress tasks land on the same worker.
+func (cd Codec) WithShard(shard int) Codec {
+	cd.shard = shard + 1
+	return cd
 }
 
 // exec returns the executor to run member tasks on.
@@ -162,9 +174,7 @@ func (cd Codec) encodeV2Append(dst []byte, c *Chunk, members int) ([]byte, error
 	}
 	if members == 1 {
 		run(0)
-	} else if err := cd.exec().SubmitWait(context.Background(), members, func(i int) dataflow.Task {
-		return func() { run(i) }
-	}); err != nil {
+	} else if err := cd.submitMembers(members, run); err != nil {
 		return nil, err
 	}
 	for _, err := range errs {
@@ -304,9 +314,7 @@ func (cd Codec) decodeMembers(dst []byte, dataBlock []byte) error {
 	}
 	if members == 1 {
 		run(0)
-	} else if err := cd.exec().SubmitWait(context.Background(), members, func(i int) dataflow.Task {
-		return func() { run(i) }
-	}); err != nil {
+	} else if err := cd.submitMembers(members, run); err != nil {
 		return err
 	}
 	for _, err := range errs {
@@ -315,4 +323,17 @@ func (cd Codec) decodeMembers(dst []byte, dataBlock []byte) error {
 		}
 	}
 	return nil
+}
+
+// submitMembers runs the member tasks on the codec's executor, pinned to the
+// codec's shard when WithShard set one.
+func (cd Codec) submitMembers(members int, run func(i int)) error {
+	if cd.shard > 0 {
+		return cd.exec().SubmitWaitTo(context.Background(), cd.shard-1, members, func(i int) dataflow.ShardTask {
+			return func(int) { run(i) }
+		})
+	}
+	return cd.exec().SubmitWait(context.Background(), members, func(i int) dataflow.Task {
+		return func() { run(i) }
+	})
 }

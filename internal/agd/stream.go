@@ -27,6 +27,13 @@ type StreamOptions struct {
 	// pool gives the stream the same back-pressure as the pipeline queues.
 	// When nil, chunks are freshly allocated and Release is a no-op.
 	Pool *dataflow.ItemPool[*Chunk]
+	// ShardedPool is Pool with per-executor-shard free lists
+	// (NewShardedChunkPool): chunk i checks its objects out of shard
+	// i % Shards()'s list and Release returns them there, so a chunk's
+	// buffers stay with the shard that aligns it. Takes precedence over
+	// Pool. The same shard is handed to the codec (Codec.WithShard), so a
+	// multi-member decode runs on the chunk's own shard too.
+	ShardedPool *dataflow.ShardedItemPool[*Chunk]
 	// Codec decodes the fetched blobs; the zero value is the package
 	// default. Pipelines pass their shared-executor codec.
 	Codec Codec
@@ -47,6 +54,7 @@ type ChunkStream struct {
 	cols  []string
 	codec Codec
 	pool  *dataflow.ItemPool[*Chunk]
+	spool *dataflow.ShardedItemPool[*Chunk]
 
 	window int
 	start  int
@@ -87,19 +95,35 @@ func (sc *StreamChunk) Col(name string) *Chunk {
 	return nil
 }
 
-// Release returns the chunks to the stream's pool. The caller must not
-// reference the chunks (or slices of their data) afterwards. On a pool-less
-// stream it is a no-op.
+// Release returns the chunks to the stream's pool — on a sharded pool, to
+// the chunk's own shard's free list. The caller must not reference the
+// chunks (or slices of their data) afterwards. On a pool-less stream it is
+// a no-op.
 func (sc *StreamChunk) Release() {
-	if sc.stream.pool == nil {
-		return
-	}
+	s := sc.stream
 	for _, c := range sc.chunks {
-		if c != nil {
-			sc.stream.pool.Put(c)
+		if c == nil {
+			continue
+		}
+		switch {
+		case s.spool != nil:
+			s.spool.Put(sc.Index%s.spool.Shards(), c)
+		case s.pool != nil:
+			s.pool.Put(c)
 		}
 	}
 	sc.chunks = nil
+}
+
+// Shard returns the executor shard this chunk is affine to (chunk index
+// modulo the sharded pool's shard count; 0 on unsharded streams). Consumers
+// pass it to Executor.SubmitWaitTo so the chunk's fine-grain tasks land on
+// the shard holding its pooled buffers.
+func (sc *StreamChunk) Shard() int {
+	if sp := sc.stream.spool; sp != nil {
+		return sc.Index % sp.Shards()
+	}
+	return 0
 }
 
 // NewChunkPool returns a bounded pool of decoded chunks for stream
@@ -108,6 +132,16 @@ func (sc *StreamChunk) Release() {
 // starve while the consumer holds one delivered row group.
 func NewChunkPool(size int) *dataflow.ItemPool[*Chunk] {
 	return dataflow.NewItemPool(size,
+		func() *Chunk { return new(Chunk) },
+		func(c *Chunk) *Chunk { c.Reset(); return c },
+	)
+}
+
+// NewShardedChunkPool is NewChunkPool with one free list per executor
+// shard (StreamOptions.ShardedPool): chunks decoded for shard S recycle on
+// shard S, keeping their backing arrays in that core's cache.
+func NewShardedChunkPool(shards, size int) *dataflow.ShardedItemPool[*Chunk] {
+	return dataflow.NewShardedItemPool(shards, size,
 		func() *Chunk { return new(Chunk) },
 		func(c *Chunk) *Chunk { c.Reset(); return c },
 	)
@@ -144,6 +178,7 @@ func (d *Dataset) Stream(opts StreamOptions) (*ChunkStream, error) {
 		cols:   cols,
 		codec:  opts.Codec,
 		pool:   opts.Pool,
+		spool:  opts.ShardedPool,
 		window: window,
 		start:  start,
 		end:    end,
@@ -186,13 +221,23 @@ func (s *ChunkStream) Next(ctx context.Context) (*StreamChunk, error) {
 	s.futs[i-s.start] = nil
 	s.mu.Unlock()
 
+	shard := 0
+	codec := s.codec
+	if s.spool != nil {
+		shard = i % s.spool.Shards()
+		codec = codec.WithShard(shard)
+	}
 	chunks := make([]*Chunk, len(futs))
 	fail := func(err error) (*StreamChunk, error) {
-		if s.pool != nil {
-			for _, c := range chunks {
-				if c != nil {
-					s.pool.Put(c)
-				}
+		for _, c := range chunks {
+			if c == nil {
+				continue
+			}
+			switch {
+			case s.spool != nil:
+				s.spool.Put(shard, c)
+			case s.pool != nil:
+				s.pool.Put(c)
 			}
 		}
 		return nil, err
@@ -203,13 +248,24 @@ func (s *ChunkStream) Next(ctx context.Context) (*StreamChunk, error) {
 			return fail(err)
 		}
 		var c *Chunk
-		if s.pool != nil {
+		switch {
+		case s.spool != nil:
+			if c, err = s.spool.Get(ctx, shard); err != nil {
+				return fail(err)
+			}
+			// Record the checkout before decoding, so a decode error
+			// releases this chunk too instead of leaking it from the
+			// bounded pool.
+			chunks[k] = c
+			err = codec.DecodeInto(c, blob)
+		case s.pool != nil:
 			if c, err = s.pool.Get(ctx); err != nil {
 				return fail(err)
 			}
-			err = s.codec.DecodeInto(c, blob)
-		} else {
-			c, err = s.codec.Decode(blob)
+			chunks[k] = c
+			err = codec.DecodeInto(c, blob)
+		default:
+			c, err = codec.Decode(blob)
 		}
 		if err != nil {
 			return fail(fmt.Errorf("agd: chunk %q: %w", chunkPath(s.ds.Manifest.Chunks[i], s.cols[k]), err))

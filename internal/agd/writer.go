@@ -30,6 +30,11 @@ func (c ColumnSpec) compression() Compression {
 	return c.Compression
 }
 
+// EffectiveCompression is the compression the Writer actually applies to
+// this column (the zero value means gzip). Parallel writers that must match
+// the Writer's bytes use it instead of re-encoding the default rule.
+func (c ColumnSpec) EffectiveCompression() Compression { return c.compression() }
+
 // StandardReadColumns returns the specs of the three sequencer-read columns
 // (bases, qual, metadata).
 func StandardReadColumns() []ColumnSpec {
@@ -59,6 +64,11 @@ type Writer struct {
 	chunkIdx int
 	entries  []ChunkEntry
 	closed   bool
+
+	// bpool recycles builder sets flush→startChunk so steady-state chunk
+	// rollover reuses the previous chunks' backing arrays instead of
+	// allocating a fresh builder per column per chunk.
+	bpool chan []*ChunkBuilder
 
 	flushers  chan struct{} // semaphore; nil means synchronous
 	flushWG   sync.WaitGroup
@@ -111,12 +121,24 @@ func NewWriter(store BlobStore, name string, cols []ColumnSpec, opts WriterOptio
 	if opts.ParallelFlush > 1 {
 		w.flushers = make(chan struct{}, opts.ParallelFlush)
 		w.flushErrs = make(chan error, opts.ParallelFlush)
+		w.bpool = make(chan []*ChunkBuilder, opts.ParallelFlush+1)
+	} else {
+		w.bpool = make(chan []*ChunkBuilder, 2)
 	}
 	w.startChunk()
 	return w, nil
 }
 
 func (w *Writer) startChunk() {
+	select {
+	case bs := <-w.bpool:
+		for i, c := range w.cols {
+			bs[i].Reset(c.Type, w.ordinal)
+		}
+		w.builders = bs
+		return
+	default:
+	}
 	w.builders = make([]*ChunkBuilder, len(w.cols))
 	for i, c := range w.cols {
 		w.builders[i] = NewChunkBuilder(c.Type, w.ordinal)
@@ -178,7 +200,7 @@ func (w *Writer) flushChunk() error {
 		return nil
 	}
 	entry := ChunkEntry{
-		Path:    fmt.Sprintf("%s/chunk-%06d", w.name, w.chunkIdx),
+		Path:    ChunkEntryPath(w.name, w.chunkIdx),
 		First:   w.builders[0].Chunk().FirstOrdinal,
 		Records: uint32(n),
 	}
@@ -211,7 +233,8 @@ func (w *Writer) flushChunk() error {
 	return nil
 }
 
-// encodeAndStore compresses and stores every column chunk of one row group.
+// encodeAndStore compresses and stores every column chunk of one row group,
+// then recycles the builder set for a future startChunk.
 func (w *Writer) encodeAndStore(entry ChunkEntry, builders []*ChunkBuilder) error {
 	for i, c := range w.cols {
 		blob, err := EncodeChunk(builders[i].Chunk(), c.compression())
@@ -221,6 +244,10 @@ func (w *Writer) encodeAndStore(entry ChunkEntry, builders []*ChunkBuilder) erro
 		if err := w.store.Put(chunkPath(entry, c.Name), blob); err != nil {
 			return err
 		}
+	}
+	select {
+	case w.bpool <- builders:
+	default:
 	}
 	return nil
 }
@@ -246,10 +273,7 @@ func (w *Writer) Close() (*Manifest, error) {
 		default:
 		}
 	}
-	m := &Manifest{Name: w.name, Version: 1, Chunks: w.entries, RefSeqs: w.refSeqs, SortedBy: w.sortedBy}
-	for _, c := range w.cols {
-		m.Columns = append(m.Columns, c.Name)
-	}
+	m := NewManifest(w.name, w.cols, w.entries, w.refSeqs, w.sortedBy)
 	if len(m.Chunks) == 0 {
 		return nil, fmt.Errorf("agd: dataset %q has no records", w.name)
 	}

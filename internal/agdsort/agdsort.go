@@ -6,20 +6,20 @@
 //
 // The sort never materializes per-record objects: each superchunk batch
 // stages its columns in shared agd.RecordArenas (contiguous buffers + offset
-// indexes), sorts a compact array of packed {key, row} entries, and the
-// k-way merge runs a hand-rolled heap of superchunk iterators with reused
-// field scratch — the whole record path is allocation-free in steady state
-// (the AGD thesis of §3: records are slices of big buffers, not objects).
+// indexes) and sorts a compact array of packed {key, row} entries with an
+// LSD radix sort over the key bytes that actually vary. Phase 2 is a
+// range-partitioned parallel merge (the sample-sort idiom): splitter keys
+// partition the sorted runs into independent key ranges, one merge per
+// range, each writing its own span of output chunks — so the merge uses the
+// same cores phase 1 does, with byte-identical output to the serial merge.
 package agdsort
 
 import (
-	"bytes"
 	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"runtime"
-	"slices"
 	"sync"
 
 	"persona/internal/agd"
@@ -59,6 +59,12 @@ type Options struct {
 	// OutputChunkSize is records per output chunk; default: same as input
 	// manifest's first chunk.
 	OutputChunkSize int
+	// MergeShards is the parallelism of the phase-2 merge: the sorted runs
+	// are range-partitioned by sampled splitter keys into this many
+	// independent merges, each emitting its own span of output chunks.
+	// 0 derives from GOMAXPROCS; 1 selects the serial heap merge. Output
+	// bytes are identical at every setting.
+	MergeShards int
 }
 
 // Sort externally sorts a dataset and writes a new sorted dataset,
@@ -137,7 +143,8 @@ func SortDataset(ds *agd.Dataset, opts Options) (*agd.Manifest, error) {
 	default:
 	}
 
-	// Phase 2: k-way merge of superchunks into the output dataset.
+	// Phase 2: range-partitioned merge of superchunks into the output
+	// dataset (see merge.go).
 	manifest, err := mergeSuperchunks(store, superNames, ds, keyCol, opts)
 	if err != nil {
 		return nil, err
@@ -260,29 +267,6 @@ func prefixKey(b []byte) uint64 {
 	return k
 }
 
-// sortKeys orders the packed entries. The paper notes Persona's in-memory
-// phase is "currently naive, using std::sort() across chunks";
-// slices.SortFunc (pdqsort) is the Go equivalent, moving 12-byte entries
-// instead of whole rows. Ties break on row index, which both reproduces a
-// stable sort's order and (for ByMetadata) resolves equal 8-byte prefixes
-// by comparing the full key bytes in the arena.
-func sortKeys(keyArena *agd.RecordArena, keys []sortEntry, by Key) {
-	slices.SortFunc(keys, func(a, b sortEntry) int {
-		if a.key != b.key {
-			if a.key < b.key {
-				return -1
-			}
-			return 1
-		}
-		if by == ByMetadata {
-			if c := bytes.Compare(keyArena.Record(int(a.row)), keyArena.Record(int(b.row))); c != 0 {
-				return c
-			}
-		}
-		return int(a.row) - int(b.row)
-	})
-}
-
 // writeSuperchunk encodes the sorted rows into one temporary blob, reading
 // fields straight from the staging arenas: each record is the concatenation
 // of uvarint-length-prefixed fields. Temporaries are deleted right after the
@@ -307,191 +291,4 @@ func writeSuperchunk(store agd.BlobStore, name string, cols []*agd.RecordArena, 
 		return err
 	}
 	return store.Put(name, blob)
-}
-
-// superIter iterates rows of a superchunk. Its field scratch is allocated
-// once and re-sliced per row, so advancing is allocation-free.
-type superIter struct {
-	chunk  *agd.Chunk
-	next   int
-	keyCol int
-	by     Key
-	ord    int // superchunk ordinal, the final merge tiebreak
-
-	key      uint64 // packed primary key of the current row
-	keyBytes []byte // full metadata key (ByMetadata tie resolution)
-	fields   [][]byte
-}
-
-func openSuperchunk(blob []byte, cols, keyCol int, by Key, ord int) (*superIter, error) {
-	c, err := agd.DecodeChunk(blob)
-	if err != nil {
-		return nil, err
-	}
-	return &superIter{chunk: c, keyCol: keyCol, by: by, ord: ord, fields: make([][]byte, cols)}, nil
-}
-
-// advance loads the next row; returns false at the end.
-func (it *superIter) advance() (bool, error) {
-	if it.next >= it.chunk.NumRecords() {
-		return false, nil
-	}
-	rec, err := it.chunk.Record(it.next)
-	if err != nil {
-		return false, err
-	}
-	it.next++
-	off := 0
-	for c := range it.fields {
-		l, n := binary.Uvarint(rec[off:])
-		// The length is range-checked as uint64 before conversion: a corrupt
-		// huge varint must not wrap int and slip past the bound.
-		if n <= 0 || l > uint64(len(rec)-off-n) {
-			return false, fmt.Errorf("agdsort: corrupt superchunk record")
-		}
-		off += n
-		it.fields[c] = rec[off : off+int(l)]
-		off += int(l)
-	}
-	if it.key, err = packKey(it.fields[it.keyCol], it.by); err != nil {
-		return false, err
-	}
-	it.keyBytes = it.fields[it.keyCol]
-	return true, nil
-}
-
-// less orders iterators by current row; ties break on superchunk ordinal so
-// the merge is deterministic and preserves phase-1 order.
-func (it *superIter) less(other *superIter) bool {
-	if it.key != other.key {
-		return it.key < other.key
-	}
-	if it.by == ByMetadata {
-		if c := bytes.Compare(it.keyBytes, other.keyBytes); c != 0 {
-			return c < 0
-		}
-	}
-	return it.ord < other.ord
-}
-
-// mergeHeap is a hand-rolled binary min-heap of superchunk iterators. Unlike
-// container/heap it works on the concrete type, so no per-operation
-// interface boxing: the k-way merge allocates nothing per record.
-type mergeHeap struct {
-	items []*superIter
-}
-
-func (h *mergeHeap) push(it *superIter) {
-	h.items = append(h.items, it)
-	for i := len(h.items) - 1; i > 0; {
-		parent := (i - 1) / 2
-		if !h.items[i].less(h.items[parent]) {
-			break
-		}
-		h.items[i], h.items[parent] = h.items[parent], h.items[i]
-		i = parent
-	}
-}
-
-// fix restores heap order after the root's current row changed.
-func (h *mergeHeap) fix() {
-	i, n := 0, len(h.items)
-	for {
-		left, right := 2*i+1, 2*i+2
-		min := i
-		if left < n && h.items[left].less(h.items[min]) {
-			min = left
-		}
-		if right < n && h.items[right].less(h.items[min]) {
-			min = right
-		}
-		if min == i {
-			return
-		}
-		h.items[i], h.items[min] = h.items[min], h.items[i]
-		i = min
-	}
-}
-
-// pop removes the root (an exhausted iterator).
-func (h *mergeHeap) pop() {
-	n := len(h.items) - 1
-	h.items[0] = h.items[n]
-	h.items[n] = nil
-	h.items = h.items[:n]
-	if n > 0 {
-		h.fix()
-	}
-}
-
-// mergeSuperchunks streams the heap-merge of all superchunks into the
-// output dataset.
-func mergeSuperchunks(store agd.BlobStore, superNames []string, ds *agd.Dataset, keyCol int, opts Options) (*agd.Manifest, error) {
-	m := ds.Manifest
-	cols := make([]agd.ColumnSpec, len(m.Columns))
-	for i, name := range m.Columns {
-		cols[i] = agd.ColumnSpec{Name: name, Type: columnType(name)}
-	}
-	w, err := agd.NewWriter(store, opts.OutputName, cols, agd.WriterOptions{
-		ChunkSize:     opts.OutputChunkSize,
-		RefSeqs:       m.RefSeqs,
-		SortedBy:      opts.By.String(),
-		ParallelFlush: runtime.NumCPU(),
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// The merge needs every superchunk resident before it can emit a single
-	// row, so fetch them as one batch — the blobs stream in concurrently
-	// (per-OSD fan-out on the object store) while the first arrivals decode.
-	futs := agd.AsyncOf(store).GetBatch(superNames)
-	h := &mergeHeap{items: make([]*superIter, 0, len(superNames))}
-	for i := range superNames {
-		blob, err := futs[i].Wait(context.Background())
-		if err != nil {
-			return nil, err
-		}
-		it, err := openSuperchunk(blob, len(m.Columns), keyCol, opts.By, i)
-		if err != nil {
-			return nil, err
-		}
-		ok, err := it.advance()
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			h.push(it)
-		}
-	}
-
-	// Superchunk rows hold every column in stored representation (bases
-	// stay compacted), so the merge moves bytes without re-encoding.
-	for len(h.items) > 0 {
-		it := h.items[0]
-		if err := w.AppendStored(it.fields...); err != nil {
-			return nil, err
-		}
-		ok, err := it.advance()
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			h.fix()
-		} else {
-			h.pop()
-		}
-	}
-	return w.Close()
-}
-
-// columnType returns the record type convention for a standard column name.
-func columnType(name string) agd.RecordType {
-	switch name {
-	case agd.ColBases:
-		return agd.TypeCompactBases
-	case agd.ColResults:
-		return agd.TypeResults
-	}
-	return agd.TypeRaw
 }

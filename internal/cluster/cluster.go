@@ -213,7 +213,10 @@ func runNode(node int, manifestAddr string, store storage.Store, ds *agd.Dataset
 		}
 
 		// Fine-grain split: subchunk tasks into the shared executor, one
-		// output slot per record (Fig. 4).
+		// output slot per record (Fig. 4). The whole batch is pinned to the
+		// chunk's shard — the worker that decodes the chunk pops its
+		// subchunks LIFO while they are cache-hot, and idle shards steal
+		// the tail of the batch.
 		encoded := make([][]byte, n)
 		sub := cfg.Subchunks
 		if sub > n {
@@ -222,10 +225,10 @@ func runNode(node int, manifestAddr string, store storage.Store, ds *agd.Dataset
 		if sub == 0 {
 			sub = 1
 		}
-		err = exec.SubmitWait(ctx, sub, func(s int) dataflow.Task {
+		err = exec.SubmitWaitTo(ctx, chunkIdx%exec.NumShards(), sub, func(s int) dataflow.ShardTask {
 			lo := s * n / sub
 			hi := (s + 1) * n / sub
-			return func() {
+			return func(int) {
 				a := <-aligners
 				defer func() { aligners <- a }()
 				var scratch []byte

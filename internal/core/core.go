@@ -93,9 +93,11 @@ type AlignReport struct {
 	Stats snap.Stats
 }
 
-// parsedChunk travels streamer → aligner: decoded chunk objects.
+// parsedChunk travels streamer → aligner: decoded chunk objects plus the
+// executor shard the chunk's pooled buffers are affine to.
 type parsedChunk struct {
 	idx         int
+	shard       int
 	bases, qual *agd.Chunk
 }
 
@@ -105,6 +107,7 @@ type parsedChunk struct {
 // the arenas.
 type alignedChunk struct {
 	idx    int
+	shard  int
 	first  uint64
 	arenas []*agd.RecordArena
 	reads  int
@@ -143,16 +146,20 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 	// parallelism draw from one set of compute threads (Fig. 4).
 	codec := agd.Codec{Exec: exec}
 
-	// chunkPool recycles parsed chunk objects streamer→aligner; each parsed
-	// row group checks out two chunks (bases, qual). Sized so every stage
-	// can hold its share with a little slack; exhaustion blocks the
-	// streamers, which is the intended back-pressure.
-	chunkPool := agd.NewChunkPool(2*(cfg.Parsers+2*cfg.AlignerNodes) + 2)
-	// arenaPool recycles per-subchunk result arenas aligner→writer. The
-	// shared agd.RecordArena replaces core's private arena (ROADMAP's
-	// "arena-backed results column": one implementation now serves core,
-	// agdsort and the converters).
-	arenaPool := dataflow.NewItemPool(
+	// chunkPool recycles parsed chunk objects streamer→aligner with one
+	// free list per executor shard: chunk i's buffers check out of (and
+	// return to) shard i%N's list, so they stay hot in the cache of the
+	// worker its subchunk tasks are pinned to. Each parsed row group checks
+	// out two chunks (bases, qual). Sized so every stage can hold its share
+	// with a little slack; exhaustion blocks the streamers, which is the
+	// intended back-pressure.
+	chunkPool := agd.NewShardedChunkPool(exec.NumShards(), 2*(cfg.Parsers+2*cfg.AlignerNodes)+2)
+	// arenaPool recycles per-subchunk result arenas aligner→writer, also
+	// sharded: a subchunk task checks its arena out of the shard actually
+	// running it (stolen tasks use the thief's list), and the writer
+	// returns it to the chunk's home shard.
+	arenaPool := dataflow.NewShardedItemPool(
+		exec.NumShards(),
 		(2*cfg.AlignerNodes+2*cfg.Writers)*cfg.Subchunks+cfg.ExecutorThreads,
 		func() *agd.RecordArena { return agd.NewRecordArena(4096, 64) },
 		func(ra *agd.RecordArena) *agd.RecordArena { ra.Reset(); return ra },
@@ -175,10 +182,10 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 	// pipeline one Get at a time; the streamer nodes wait on the window's
 	// head, decode into pooled chunks, and feed the aligners.
 	stream, err := ds.Stream(agd.StreamOptions{
-		Columns:  []string{agd.ColBases, agd.ColQual},
-		Prefetch: cfg.Prefetch,
-		Pool:     chunkPool,
-		Codec:    codec,
+		Columns:     []string{agd.ColBases, agd.ColQual},
+		Prefetch:    cfg.Prefetch,
+		ShardedPool: chunkPool,
+		Codec:       codec,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -200,7 +207,7 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 				}
 				cols := sc.Chunks()
 				nc.Processed(1)
-				if err := out.Put(ctx, parsedChunk{idx: sc.Index, bases: cols[0], qual: cols[1]}); err != nil {
+				if err := out.Put(ctx, parsedChunk{idx: sc.Index, shard: sc.Shard(), bases: cols[0], qual: cols[1]}); err != nil {
 					return err
 				}
 			}
@@ -232,7 +239,10 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 					sub = 1
 				}
 				arenas := make([]*agd.RecordArena, sub)
-				err := exec.SubmitWait(ctx, sub, func(s int) dataflow.Task {
+				// All subchunks go to the chunk's shard (Fig. 4 + sharding):
+				// the shard's worker pops them LIFO against its warm cache
+				// and idle shards steal the batch's tail.
+				err := exec.SubmitWaitTo(ctx, pc.shard, sub, func(s int) dataflow.ShardTask {
 					lo, hi := s*n/sub, (s+1)*n/sub
 					if cfg.Paired {
 						// Subchunk boundaries must not split pairs.
@@ -241,8 +251,11 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 							hi = n
 						}
 					}
-					return func() {
-						ra, err := arenaPool.Get(ctx)
+					return func(es int) {
+						// The arena comes from the free list of the shard
+						// actually running the task — a stolen subchunk
+						// writes into the thief's cache-warm arena.
+						ra, err := arenaPool.Get(ctx, es)
 						if err != nil {
 							// Cancelled mid-run: fall back to a throwaway
 							// arena so the subchunk still completes.
@@ -270,12 +283,13 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 				}
 				first := pc.bases.FirstOrdinal
 				// The encoded results no longer reference the parsed
-				// chunks; recycle them for the parsers.
-				chunkPool.Put(pc.bases)
-				chunkPool.Put(pc.qual)
+				// chunks; recycle them on the chunk's shard for the
+				// streamers.
+				chunkPool.Put(pc.shard, pc.bases)
+				chunkPool.Put(pc.shard, pc.qual)
 				nc.Processed(1)
 				if err := out.Put(ctx, alignedChunk{
-					idx: pc.idx, first: first,
+					idx: pc.idx, shard: pc.shard, first: first,
 					arenas: arenas, reads: n, bases: chunkBases,
 				}); err != nil {
 					return err
@@ -315,9 +329,12 @@ func Align(ctx context.Context, cfg AlignConfig) (*AlignReport, *agd.Manifest, e
 					for i := 0; i < ra.Len(); i++ {
 						builder.Append(ra.Record(i))
 					}
-					arenaPool.Put(ra)
+					arenaPool.Put(ac.shard, ra)
 				}
-				blob, err := codec.Encode(builder.Chunk(), agd.CompressGzip)
+				// Compression members are pinned to the chunk's shard, so
+				// one chunk's decode, align and compress land on the same
+				// worker while surplus members are stolen by idle shards.
+				blob, err := codec.WithShard(ac.shard).Encode(builder.Chunk(), agd.CompressGzip)
 				builderPool.Put(builder)
 				if err != nil {
 					return err

@@ -11,6 +11,9 @@ import (
 type Buffer struct {
 	data []byte
 	pool *Pool
+	// home is the shard whose free list this buffer was last checked out
+	// for (sharded pools only); Release routes it back there.
+	home int
 }
 
 // Bytes returns the current contents of the buffer.
@@ -74,8 +77,13 @@ type Pool struct {
 	free chan *Buffer
 	size int
 
+	// sharded, when non-nil (NewShardedPool), holds the buffers instead of
+	// free: per-shard hot lists with the ShardedItemPool steal/wake
+	// protocol, so the subtle blocking logic exists exactly once.
+	sharded *ShardedItemPool[*Buffer]
+
 	allocated atomic.Int64 // buffers ever created
-	recycled  atomic.Int64 // Put calls that returned a buffer to the pool
+	recycled  atomic.Int64 // unsharded Put calls that returned a buffer
 }
 
 // NewPool creates a pool holding at most size buffers, each initially with
@@ -93,12 +101,44 @@ func NewPool(size, bufCap int) *Pool {
 	return p
 }
 
+// NewShardedPool is NewPool with per-shard free lists: buffers checked out
+// via GetShard come back (through Release/Put) to the same shard's list, so
+// a shard's working set of buffers stays in its core's cache. Get/Put keep
+// working (with no shard preference). The buffers live in a
+// ShardedItemPool, which owns the steal/wake protocol.
+func NewShardedPool(shards, size, bufCap int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{size: size}
+	p.sharded = NewShardedItemPool(shards, size,
+		func() *Buffer {
+			p.allocated.Add(1)
+			return &Buffer{data: make([]byte, 0, bufCap), pool: p}
+		},
+		func(b *Buffer) *Buffer { b.Reset(); return b },
+	)
+	return p
+}
+
 // Size returns the pool's bound.
 func (p *Pool) Size() int { return p.size }
+
+// Shards returns the number of per-shard free lists (1 on an unsharded
+// pool).
+func (p *Pool) Shards() int {
+	if p.sharded == nil {
+		return 1
+	}
+	return p.sharded.Shards()
+}
 
 // Get obtains a buffer, blocking until one is free or ctx is cancelled.
 // The returned buffer has length zero.
 func (p *Pool) Get(ctx context.Context) (*Buffer, error) {
+	if p.sharded != nil {
+		return p.GetShard(ctx, 0)
+	}
 	select {
 	case b := <-p.free:
 		b.Reset()
@@ -108,8 +148,33 @@ func (p *Pool) Get(ctx context.Context) (*Buffer, error) {
 	}
 }
 
+// GetShard obtains a buffer with shard affinity: the shard's own free list
+// is tried first, then the shared list, then the other shards'. The buffer
+// remembers the shard, so Release returns it to the same list. On an
+// unsharded pool it is plain Get.
+func (p *Pool) GetShard(ctx context.Context, shard int) (*Buffer, error) {
+	if p.sharded == nil {
+		return p.Get(ctx)
+	}
+	b, err := p.sharded.Get(ctx, shard)
+	if err != nil {
+		return nil, err
+	}
+	b.Reset()
+	b.home = shard
+	return b, nil
+}
+
 // TryGet obtains a buffer without blocking.
 func (p *Pool) TryGet() (*Buffer, bool) {
+	if p.sharded != nil {
+		b, ok := p.sharded.TryGet(0)
+		if ok {
+			b.Reset()
+			b.home = 0
+		}
+		return b, ok
+	}
 	select {
 	case b := <-p.free:
 		b.Reset()
@@ -119,10 +184,15 @@ func (p *Pool) TryGet() (*Buffer, bool) {
 	}
 }
 
-// Put returns a buffer to the pool. Buffers from other pools or surplus
+// Put returns a buffer to the pool — on a sharded pool, to the free list of
+// the shard it was checked out for. Buffers from other pools or surplus
 // buffers are dropped for the garbage collector (leaky-bucket semantics).
 func (p *Pool) Put(b *Buffer) {
 	if b == nil || b.pool != p {
+		return
+	}
+	if p.sharded != nil {
+		p.sharded.Put(b.home, b)
 		return
 	}
 	select {
@@ -135,10 +205,27 @@ func (p *Pool) Put(b *Buffer) {
 }
 
 // Free returns the number of buffers currently available.
-func (p *Pool) Free() int { return len(p.free) }
+func (p *Pool) Free() int {
+	if p.sharded != nil {
+		return p.sharded.Free()
+	}
+	return len(p.free)
+}
+
+// LocalHits reports how many GetShard calls were served by the caller's own
+// shard list — the affinity hit rate (0 on an unsharded pool).
+func (p *Pool) LocalHits() int64 {
+	if p.sharded == nil {
+		return 0
+	}
+	return p.sharded.LocalHits()
+}
 
 // Stats reports total buffers allocated and total successful recycles.
 func (p *Pool) Stats() (allocated, recycled int64) {
+	if p.sharded != nil {
+		return p.allocated.Load(), p.sharded.Recycled()
+	}
 	return p.allocated.Load(), p.recycled.Load()
 }
 
