@@ -144,7 +144,7 @@ func BenchmarkTable2_Sorts(b *testing.B) {
 		b.Run("by="+by.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := agdsort.SortDataset(f.Dataset, agdsort.Options{By: by, OutputName: "sorted"}); err != nil {
+				if _, err := agdsort.SortDataset(context.Background(), f.Dataset, agdsort.Options{By: by, OutputName: "sorted"}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -284,35 +284,35 @@ func BenchmarkConversion_ImportExport(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			dst := agd.NewMemStore()
-			if _, _, err := fastq.Import(dst, "conv", bytes.NewReader(fq.Bytes()), fastq.ImportOptions{ChunkSize: sc.ChunkSize}); err != nil {
+			if _, _, err := fastq.Import(context.Background(), dst, "conv", bytes.NewReader(fq.Bytes()), fastq.ImportOptions{ChunkSize: sc.ChunkSize}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("sam_export", func(b *testing.B) {
 		cw := &countWriter{}
-		if _, err := sam.Export(f.Dataset, cw); err != nil {
+		if _, err := sam.Export(context.Background(), f.Dataset, cw); err != nil {
 			b.Fatal(err)
 		}
 		b.SetBytes(cw.n)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sam.Export(f.Dataset, io.Discard); err != nil {
+			if _, err := sam.Export(context.Background(), f.Dataset, io.Discard); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("bam_export", func(b *testing.B) {
 		cw := &countWriter{}
-		if _, err := bam.Export(f.Dataset, cw); err != nil {
+		if _, err := bam.Export(context.Background(), f.Dataset, cw); err != nil {
 			b.Fatal(err)
 		}
 		b.SetBytes(cw.n)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := bam.Export(f.Dataset, io.Discard); err != nil {
+			if _, err := bam.Export(context.Background(), f.Dataset, io.Discard); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -581,4 +581,89 @@ func BenchmarkAblation_Subchunks(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPipeline_WGS measures the WGS preprocessing chain
+// align → sort → markdup → export BAM two ways over identical reads:
+// "staged" uses the one-shot free functions (align writes results chunks,
+// sort materializes a sorted dataset, markdup rewrites it, export re-reads
+// it); "fused" runs the same stages as one Session/Pipeline graph, where
+// chunks stream stage-to-stage and only sort's temporary spill touches the
+// store. The BAM bytes are identical (asserted in TestPipelineMatchesStagedSAM);
+// the delta is the store round trips. Dataset setup is outside the timer.
+func BenchmarkPipeline_WGS(b *testing.B) {
+	sc := benchScale()
+	cfg := testutil.Config{
+		GenomeSize: sc.GenomeSize, NumReads: sc.NumReads, ReadLen: sc.ReadLen,
+		ChunkSize: sc.ChunkSize, DupFrac: sc.DupFrac, Seed: sc.Seed, SkipAlign: true,
+	}
+	seedStore := agd.NewMemStore()
+	f, err := testutil.BuildE(seedStore, "ds", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := f.Index
+	ctx := context.Background()
+
+	// freshStore clones the unaligned dataset into a new store per
+	// iteration (both paths mutate or require an unaligned input).
+	freshStore := func(b *testing.B) persona.Store {
+		names, err := seedStore.List("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := agd.NewMemStore()
+		for _, name := range names {
+			blob, err := seedStore.Get(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := dst.Put(name, blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return dst
+	}
+
+	b.Run("staged", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			store := freshStore(b)
+			b.StartTimer()
+			if _, _, err := persona.Align(ctx, store, "ds", idx, persona.AlignOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := persona.Sort(ctx, store, "ds", persona.ByLocation, "ds.sorted"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := persona.MarkDuplicates(ctx, store, "ds.sorted"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := persona.ExportBAM(ctx, store, "ds.sorted", io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			store := freshStore(b)
+			sess := persona.NewSession(store, persona.SessionOptions{})
+			b.StartTimer()
+			_, err := sess.Read("ds").
+				Align(idx, persona.AlignOptions{}).
+				Sort(persona.ByLocation).
+				MarkDuplicates().
+				ExportBAM(io.Discard).
+				Run(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			sess.Close()
+			b.StartTimer()
+		}
+	})
 }

@@ -15,8 +15,9 @@
 //	persona import-sam -store DIR -name DS [-sam FILE|-]
 //	persona export  -store DIR -name DS -format sam|bam|fastq [-o FILE|-]
 //	persona info    -store DIR -name DS
+//	persona run     -store DIR -name DS [-align] [-sort location|metadata] [-markdup] [-minmapq N] [-dedup] -format sam|bam|fastq [-o FILE|-]
 //
-// The synthetic reference substitutes for hg19 (DESIGN.md §3); `persona
+// The synthetic reference substitutes for hg19; `persona
 // index` persists it in the store so later commands can rebuild the seed
 // index deterministically.
 package main
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"persona"
 	"persona/internal/agd"
@@ -66,6 +68,8 @@ func main() {
 		err = cmdFilter(args)
 	case "varcall":
 		err = cmdVarcall(args)
+	case "run":
+		err = cmdRun(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -77,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: persona <import|import-sam|index|align|sort|markdup|filter|varcall|export|info> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: persona <import|import-sam|index|align|sort|markdup|filter|varcall|export|run|info> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'persona <command> -h' for command flags")
 }
 
@@ -173,7 +177,7 @@ func cmdImport(args []string) error {
 	if g, err := loadReference(store); err == nil {
 		refs = persona.RefSeqs(g)
 	}
-	m, n, err := persona.ImportFASTQ(store, *name, in, refs, *chunk)
+	m, n, err := persona.ImportFASTQ(context.Background(), store, *name, in, refs, *chunk)
 	if err != nil {
 		return err
 	}
@@ -204,7 +208,7 @@ func cmdAlign(args []string) error {
 		return err
 	}
 	if *nodes > 0 {
-		report, _, err := persona.AlignDistributed(store, *name, idx, *nodes, *threads)
+		report, _, err := persona.AlignDistributed(context.Background(), store, *name, idx, *nodes, *threads)
 		if err != nil {
 			return err
 		}
@@ -242,7 +246,7 @@ func cmdSort(args []string) error {
 	} else if *by != "location" {
 		return fmt.Errorf("unknown sort key %q", *by)
 	}
-	m, err := persona.Sort(store, *name, key, *out)
+	m, err := persona.Sort(context.Background(), store, *name, key, *out)
 	if err != nil {
 		return err
 	}
@@ -262,7 +266,7 @@ func cmdMarkdup(args []string) error {
 	if *name == "" {
 		return fmt.Errorf("missing -name")
 	}
-	stats, err := persona.MarkDuplicates(store, *name)
+	stats, err := persona.MarkDuplicates(context.Background(), store, *name)
 	if err != nil {
 		return err
 	}
@@ -297,11 +301,11 @@ func cmdExport(args []string) error {
 	var n uint64
 	switch *format {
 	case "sam":
-		n, err = persona.ExportSAM(store, *name, out)
+		n, err = persona.ExportSAM(context.Background(), store, *name, out)
 	case "bam":
-		n, err = persona.ExportBAM(store, *name, out)
+		n, err = persona.ExportBAM(context.Background(), store, *name, out)
 	case "fastq":
-		n, err = persona.ExportFASTQ(store, *name, out)
+		n, err = persona.ExportFASTQ(context.Background(), store, *name, out)
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
@@ -371,7 +375,7 @@ func cmdImportSAM(args []string) error {
 		defer f.Close()
 		in = f
 	}
-	m, n, err := persona.ImportSAM(store, *name, in, *chunk)
+	m, n, err := persona.ImportSAM(context.Background(), store, *name, in, *chunk)
 	if err != nil {
 		return err
 	}
@@ -409,7 +413,7 @@ func cmdFilter(args []string) error {
 	if len(preds) == 0 {
 		return fmt.Errorf("no predicate: pass -minmapq, -mapped and/or -dedup")
 	}
-	m, stats, err := persona.Filter(store, *name, persona.FilterAnd(preds...), *out)
+	m, stats, err := persona.Filter(context.Background(), store, *name, persona.FilterAnd(preds...), *out)
 	if err != nil {
 		return err
 	}
@@ -434,7 +438,7 @@ func cmdVarcall(args []string) error {
 	if err != nil {
 		return err
 	}
-	variants, err := persona.CallVariants(store, *name, ref)
+	variants, err := persona.CallVariants(context.Background(), store, *name, ref)
 	if err != nil {
 		return err
 	}
@@ -451,5 +455,95 @@ func cmdVarcall(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "called %d variants\n", len(variants))
+	return nil
+}
+
+// cmdRun composes one fused Session/Pipeline graph over a dataset: optional
+// align / sort / markdup / filter stages ending in an export — chunks
+// stream stage-to-stage, with no intermediate dataset written to the store.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory")
+	name := fs.String("name", "", "dataset name")
+	alignStage := fs.Bool("align", false, "align the dataset (needs 'persona index' first)")
+	sortBy := fs.String("sort", "", "sort stage: location or metadata")
+	markdup := fs.Bool("markdup", false, "mark duplicates")
+	minMapQ := fs.Int("minmapq", 0, "filter: keep reads with at least this mapping quality")
+	dedup := fs.Bool("dedup", false, "filter: drop duplicate-flagged reads")
+	format := fs.String("format", "sam", "output format: sam, bam or fastq")
+	outPath := fs.String("o", "-", "output file ('-' for stdout)")
+	fs.Parse(args)
+	store, err := openStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -name")
+	}
+
+	sess := persona.NewSession(store, persona.SessionOptions{})
+	defer sess.Close()
+	p := sess.Read(*name)
+	if *alignStage {
+		ref, err := loadReference(store)
+		if err != nil {
+			return err
+		}
+		idx, err := sess.Index(ref)
+		if err != nil {
+			return err
+		}
+		p = p.Align(idx, persona.AlignOptions{})
+	}
+	switch *sortBy {
+	case "":
+	case "location":
+		p = p.Sort(persona.ByLocation)
+	case "metadata":
+		p = p.Sort(persona.ByMetadata)
+	default:
+		return fmt.Errorf("unknown sort key %q", *sortBy)
+	}
+	if *markdup {
+		p = p.MarkDuplicates()
+	}
+	var preds []persona.FilterPredicate
+	if *minMapQ > 0 {
+		preds = append(preds, persona.FilterMinMapQ(uint8(*minMapQ)))
+	}
+	if *dedup {
+		preds = append(preds, persona.FilterDropDuplicates())
+	}
+	if len(preds) > 0 {
+		p = p.Filter(persona.FilterAnd(preds...))
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	switch *format {
+	case "sam":
+		p = p.ExportSAM(out)
+	case "bam":
+		p = p.ExportBAM(out)
+	case "fastq":
+		p = p.ExportFASTQ(out)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	report, err := p.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	for _, st := range report.Stages {
+		fmt.Fprintf(os.Stderr, "%-14s %8d records  %v\n", st.Stage, st.Records, st.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "%-14s %8d records  %v total\n", "pipeline", report.Records, report.Elapsed.Round(time.Millisecond))
 	return nil
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"log"
@@ -46,10 +47,10 @@ func main() {
 	fmt.Println("real distributed runtime (in-process nodes, TCP manifest server):")
 	for _, nodes := range []int{1, 2, 4} {
 		store := persona.NewMemStore()
-		if _, _, err := persona.ImportFASTQ(store, "ds", strings.NewReader(fq.String()), persona.RefSeqs(ref), 1000); err != nil {
+		if _, _, err := persona.ImportFASTQ(context.Background(), store, "ds", strings.NewReader(fq.String()), persona.RefSeqs(ref), 1000); err != nil {
 			log.Fatal(err)
 		}
-		report, _, err := persona.AlignDistributed(store, "ds", idx, nodes, 1)
+		report, _, err := persona.AlignDistributed(context.Background(), store, "ds", idx, nodes, 1)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,5 +1,6 @@
-// Quickstart: the smallest end-to-end Persona run — import reads, align
-// them against a reference, and look at the results.
+// Quickstart: the smallest end-to-end Persona run on the Session/Pipeline
+// API — open a session, import reads, then run one fused
+// align → sort → export graph with no intermediate datasets.
 //
 //	go run ./examples/quickstart
 package main
@@ -17,8 +18,10 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A deterministic synthetic reference stands in for hg19 (the real
-	// reference cannot ship with the repository; see DESIGN.md §3).
+	// reference cannot ship with the repository).
 	ref, err := persona.SynthesizeGenome(500_000, 42)
 	if err != nil {
 		log.Fatal(err)
@@ -43,55 +46,47 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 1. Import FASTQ into the AGD column store.
+	// A Session owns the runtime every pipeline shares: the store, one
+	// work-stealing executor, the chunk pools and the index cache.
 	store := persona.NewMemStore()
-	manifest, n, err := persona.ImportFASTQ(store, "patient", strings.NewReader(fq.String()),
-		persona.RefSeqs(ref), 1000)
+	sess := persona.NewSession(store, persona.SessionOptions{})
+	defer sess.Close()
+
+	// 1. Import FASTQ into the AGD column store — a two-stage pipeline:
+	// parse source, dataset sink.
+	imp, err := sess.ImportFASTQ(strings.NewReader(fq.String()), persona.RefSeqs(ref), 1000).
+		Write("patient").
+		Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("imported:  %d reads in %d AGD chunks (columns %v)\n",
-		n, len(manifest.Chunks), manifest.Columns)
+		imp.Records, len(imp.Manifest.Chunks), imp.Manifest.Columns)
 
-	// 2. Build the seed index and align.
-	idx, err := persona.BuildIndex(ref)
+	// 2. The whole analysis as ONE graph: read the dataset, align against
+	// the session-cached index, sort by coordinate, render SAM. Chunks flow
+	// stage-to-stage in memory — nothing lands in the store between stages.
+	idx, err := sess.Index(ref)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, _, err := persona.Align(context.Background(), store, "patient", idx, persona.AlignOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("aligned:   %d reads (%d bases) in %s — %.2f Mbases/s\n",
-		report.Reads, report.Bases, report.Elapsed.Round(1000_000), report.BasesPerSec/1e6)
-
-	// 3. Inspect a few results.
-	ds, err := persona.OpenDataset(store, "patient")
-	if err != nil {
-		log.Fatal(err)
-	}
-	results, err := ds.ReadAllResults()
-	if err != nil {
-		log.Fatal(err)
-	}
-	mapped := 0
-	for _, r := range results {
-		if !r.IsUnmapped() {
-			mapped++
-		}
-	}
-	fmt.Printf("mapped:    %d/%d (%.1f%%)\n", mapped, len(results), 100*float64(mapped)/float64(len(results)))
-	fmt.Println("first results:")
-	for i := 0; i < 3; i++ {
-		r := results[i]
-		fmt.Printf("  read %d: loc=%d mapq=%d cigar=%s\n", i, r.Location, r.MapQ, r.Cigar)
-	}
-
-	// 4. Export to SAM for downstream tools.
 	var sam bytes.Buffer
-	if _, err := persona.ExportSAM(store, "patient", &sam); err != nil {
+	report, err := sess.Read("patient").
+		Align(idx, persona.AlignOptions{}).
+		Sort(persona.ByLocation).
+		ExportSAM(&sam).
+		Run(ctx)
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("pipeline:  %d records in %s (%.2f Mbases/s aligned)\n",
+		report.Records, report.Elapsed.Round(1000_000), report.Align.BasesPerSec/1e6)
+	for _, st := range report.Stages {
+		fmt.Printf("  %-12s %8d records  %v\n", st.Stage, st.Records, st.Elapsed.Round(1000_000))
+	}
+	fmt.Printf("executor:  %d tasks, %d stolen\n", report.Executor.Completed, report.Executor.Steals)
+
+	// 3. The output is ordinary SAM for downstream tools.
 	lines := strings.SplitN(sam.String(), "\n", 6)
 	fmt.Println("SAM head:")
 	for _, line := range lines[:5] {

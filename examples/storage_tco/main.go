@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"log"
@@ -44,7 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, _, err := persona.ImportFASTQ(objStore, "ds", strings.NewReader(fq.String()), persona.RefSeqs(ref), 500); err != nil {
+	if _, _, err := persona.ImportFASTQ(context.Background(), objStore, "ds", strings.NewReader(fq.String()), persona.RefSeqs(ref), 500); err != nil {
 		log.Fatal(err)
 	}
 	stats := objStore.Stats()

@@ -1,6 +1,16 @@
 // WGS pipeline: the full whole-genome-sequencing preprocessing workflow the
 // paper targets (§1) — import, align, sort by coordinate, mark duplicates,
-// export BAM — with per-stage timing, mirroring how §5 measures each step.
+// export BAM — run two ways over the same reads:
+//
+//   - staged: the one-shot free functions, each materializing its output in
+//     the store (align writes results chunks, sort writes a ".sorted"
+//     dataset, markdup rewrites it, export re-reads it), and
+//   - fused: one Session/Pipeline graph, where chunks stream stage-to-stage
+//     in memory and nothing intermediate is written (sort spills its
+//     temporary runs only, and deletes them).
+//
+// The BAM bytes are identical; the wall-clock delta is the store round
+// trips the fused graph never pays. PERF.md records the measured numbers.
 //
 //	go run ./examples/wgs_pipeline
 package main
@@ -18,12 +28,14 @@ import (
 	"persona/internal/reads"
 )
 
-func stage(name string, fn func() error) {
+func stage(name string, fn func() error) time.Duration {
 	start := time.Now()
 	if err := fn(); err != nil {
 		log.Fatalf("%s: %v", name, err)
 	}
-	fmt.Printf("%-22s %v\n", name, time.Since(start).Round(time.Millisecond))
+	d := time.Since(start)
+	fmt.Printf("  %-22s %v\n", name, d.Round(time.Millisecond))
+	return d
 }
 
 func main() {
@@ -33,6 +45,7 @@ func main() {
 		readLen    = 101
 		dupFrac    = 0.12
 	)
+	ctx := context.Background()
 	fmt.Printf("workload: %d-base genome, %d x %d bp reads, %.0f%% duplicates\n\n",
 		genomeSize, numReads, readLen, dupFrac*100)
 
@@ -59,47 +72,68 @@ func main() {
 	}
 
 	store := persona.NewMemStore()
-	idx, err := persona.BuildIndex(ref)
+	sess := persona.NewSession(store, persona.SessionOptions{})
+	defer sess.Close()
+	idx, err := sess.Index(ref)
 	if err != nil {
 		log.Fatal(err)
 	}
+	for _, name := range []string{"wgs.staged", "wgs.fused"} {
+		if _, _, err := persona.ImportFASTQ(ctx, store, name, strings.NewReader(fq.String()), persona.RefSeqs(ref), 2000); err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	stage("import FASTQ -> AGD", func() error {
-		_, _, err := persona.ImportFASTQ(store, "wgs", strings.NewReader(fq.String()), persona.RefSeqs(ref), 2000)
+	// Staged path: every stage is a store round trip.
+	fmt.Println("staged (free functions, intermediate datasets):")
+	var stagedBAM bytes.Buffer
+	stagedTotal := stage("align (SNAP)", func() error {
+		_, _, err := persona.Align(ctx, store, "wgs.staged", idx, persona.AlignOptions{})
 		return err
 	})
-
-	var alignReport *persona.AlignReport
-	stage("align (SNAP)", func() error {
-		r, _, err := persona.Align(context.Background(), store, "wgs", idx, persona.AlignOptions{})
-		alignReport = r
+	stagedTotal += stage("sort by location", func() error {
+		_, err := persona.Sort(ctx, store, "wgs.staged", persona.ByLocation, "wgs.staged.sorted")
 		return err
 	})
-	fmt.Printf("%-22s %.2f Mbases/s, %d chunks\n", "  throughput", alignReport.BasesPerSec/1e6, alignReport.Chunks)
-
-	stage("sort by location", func() error {
-		_, err := persona.Sort(store, "wgs", persona.ByLocation, "wgs.sorted")
-		return err
-	})
-
 	var dups persona.DupStats
-	stage("mark duplicates", func() error {
+	stagedTotal += stage("mark duplicates", func() error {
 		var err error
-		dups, err = persona.MarkDuplicates(store, "wgs.sorted")
+		dups, err = persona.MarkDuplicates(ctx, store, "wgs.staged.sorted")
 		return err
 	})
-	fmt.Printf("%-22s %d/%d reads (%.1f%%)\n", "  duplicates",
+	stagedTotal += stage("export BAM", func() error {
+		_, err := persona.ExportBAM(ctx, store, "wgs.staged.sorted", &stagedBAM)
+		return err
+	})
+	fmt.Printf("  %-22s %v\n", "total", stagedTotal.Round(time.Millisecond))
+	fmt.Printf("  %-22s %d/%d reads (%.1f%%)\n\n", "duplicates",
 		dups.Duplicates, dups.Reads, 100*float64(dups.Duplicates)/float64(dups.Reads))
 
-	var bamSize int
-	stage("export BAM", func() error {
-		var bam bytes.Buffer
-		if _, err := persona.ExportBAM(store, "wgs.sorted", &bam); err != nil {
-			return err
-		}
-		bamSize = bam.Len()
-		return nil
-	})
-	fmt.Printf("%-22s %d bytes\n", "  BAM size", bamSize)
-	fmt.Println("\npipeline complete: wgs.sorted carries aligned, coordinate-sorted, duplicate-marked reads")
+	// Fused path: the same four stages as ONE streamed graph — no results
+	// writeback, no .sorted dataset, no re-read before export.
+	fmt.Println("fused (one Session/Pipeline graph, zero intermediates):")
+	var fusedBAM bytes.Buffer
+	report, err := sess.Read("wgs.fused").
+		Align(idx, persona.AlignOptions{}).
+		Sort(persona.ByLocation).
+		MarkDuplicates().
+		ExportBAM(&fusedBAM).
+		Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range report.Stages {
+		fmt.Printf("  %-22s %v\n", st.Stage, st.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("  %-22s %v\n", "total", report.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  %-22s %d/%d reads (%.1f%%)\n", "duplicates",
+		report.Dups.Duplicates, report.Dups.Reads, 100*float64(report.Dups.Duplicates)/float64(report.Dups.Reads))
+	fmt.Printf("  %-22s %d tasks, %d stolen\n\n", "executor", report.Executor.Completed, report.Executor.Steals)
+
+	if bytes.Equal(stagedBAM.Bytes(), fusedBAM.Bytes()) {
+		fmt.Printf("BAM outputs identical (%d bytes); fused is %.2fx the staged wall time\n",
+			fusedBAM.Len(), report.Elapsed.Seconds()/stagedTotal.Seconds())
+	} else {
+		log.Fatalf("BAM outputs differ: staged %d bytes, fused %d bytes", stagedBAM.Len(), fusedBAM.Len())
+	}
 }

@@ -1,0 +1,272 @@
+package agd
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+// This file defines the chunk-granularity dataflow edge between pipeline
+// stages: a pull-based stream of decoded row groups plus the dataset-level
+// metadata downstream stages need (columns, reference sequences, sort
+// order). Stages consume a GroupStream and return a new one, so a composed
+// pipeline moves chunks stage-to-stage in memory instead of materializing
+// an intermediate dataset in the store between every pair of stages (§4.1's
+// graph composition, §4.3's pipelines).
+
+// StreamMeta describes the rows flowing across a pipeline edge.
+type StreamMeta struct {
+	// Columns names the column of each chunk in a RowGroup, in order.
+	Columns []string
+	// RefSeqs is the reference the rows were (or will be) aligned against.
+	RefSeqs []RefSeq
+	// SortedBy is the row order ("", "location" or "metadata").
+	SortedBy string
+	// NumRecords is the total row count when known up front; 0 when the
+	// source is unbounded (e.g. a FASTQ import stream).
+	NumRecords uint64
+	// ChunkSize is the source's records-per-chunk (0 when unknown). Stages
+	// that re-chunk rows (sort's merge, the dataset sink) default to it, so
+	// a pipeline whose groups shrink mid-stream — a selective filter —
+	// still produces output chunked like its source rather than like the
+	// first surviving group.
+	ChunkSize int
+}
+
+// Col returns the index of the named column, or -1.
+func (m StreamMeta) Col(name string) int {
+	for i, c := range m.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasColumn reports whether the stream carries the named column.
+func (m StreamMeta) HasColumn(name string) bool { return m.Col(name) >= 0 }
+
+// WithColumn returns a copy of the metadata with one column appended.
+func (m StreamMeta) WithColumn(name string) StreamMeta {
+	cols := make([]string, 0, len(m.Columns)+1)
+	cols = append(cols, m.Columns...)
+	m.Columns = append(cols, name)
+	return m
+}
+
+// RowGroup is one row group in flight between stages: the decoded chunks of
+// every stream column, row-aligned. Groups are delivered in row order.
+//
+// Ownership: the consumer must finish with a group — and Release it — before
+// asking the stream for the next one. Stages that reuse builders or pooled
+// buffers recycle them on the next Next call, so a group's chunks are valid
+// only until Release or the following Next, whichever comes first.
+type RowGroup struct {
+	// Index is the group's position in the stream (0-based).
+	Index int
+	// Shard is the executor shard the group's pooled buffers are affine to
+	// (0 when the source is unsharded).
+	Shard int
+	// Chunks holds one decoded chunk per StreamMeta.Columns entry.
+	Chunks []*Chunk
+	// release returns pooled resources; nil when nothing is pooled.
+	release func()
+}
+
+// NewRowGroup assembles a group for delivery, with an optional release hook
+// (run once, on Release) returning pooled resources — for a derived group,
+// typically the upstream group's Release.
+func NewRowGroup(index, shard int, chunks []*Chunk, release func()) *RowGroup {
+	return &RowGroup{Index: index, Shard: shard, Chunks: chunks, release: release}
+}
+
+// NumRecords returns the group's row count.
+func (g *RowGroup) NumRecords() int {
+	if len(g.Chunks) == 0 {
+		return 0
+	}
+	return g.Chunks[0].NumRecords()
+}
+
+// Col returns the chunk of the named column per meta, or nil.
+func (g *RowGroup) Col(meta StreamMeta, name string) *Chunk {
+	if i := meta.Col(name); i >= 0 && i < len(g.Chunks) {
+		return g.Chunks[i]
+	}
+	return nil
+}
+
+// Release returns the group's pooled resources to their owners. The caller
+// must not reference the chunks (or slices of their data) afterwards.
+// Releasing twice is a no-op.
+func (g *RowGroup) Release() {
+	if g.release != nil {
+		r := g.release
+		g.release = nil
+		g.Chunks = nil
+		r()
+	}
+}
+
+// GroupStream is the pull-based edge between pipeline stages. Next returns
+// groups in row order and io.EOF when the stream is exhausted; Close stops
+// the stream early and releases stage resources (temporary spill blobs,
+// upstream streams). Next also checks the context before delivering, so a
+// cancelled pipeline stops within one chunk at every stage.
+type GroupStream struct {
+	// Meta describes the rows this edge carries.
+	Meta StreamMeta
+
+	next   func(ctx context.Context) (*RowGroup, error)
+	stop   func()
+	closed bool
+}
+
+// NewGroupStream assembles a stream from a delivery function and an optional
+// stop hook (run once, on the first Close).
+func NewGroupStream(meta StreamMeta, next func(ctx context.Context) (*RowGroup, error), stop func()) *GroupStream {
+	return &GroupStream{Meta: meta, next: next, stop: stop}
+}
+
+// Next delivers the next row group, or io.EOF at the end of the stream. The
+// context's cancellation and deadline are checked per group.
+func (s *GroupStream) Next(ctx context.Context) (*RowGroup, error) {
+	if s.closed {
+		return nil, io.EOF
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.next(ctx)
+}
+
+// Close stops the stream. Groups already delivered stay valid until
+// released; subsequent Next calls return io.EOF. Close is idempotent.
+func (s *GroupStream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.stop != nil {
+		s.stop()
+	}
+}
+
+// Groups opens a GroupStream over the dataset's chunks — the pipeline
+// source form of Stream. Column order follows opts.Columns (every manifest
+// column when empty), and the group metadata carries the manifest's
+// reference sequences and sort order.
+func (d *Dataset) Groups(opts StreamOptions) (*GroupStream, error) {
+	cs, err := d.Stream(opts)
+	if err != nil {
+		return nil, err
+	}
+	meta := StreamMeta{
+		Columns:    cs.cols,
+		RefSeqs:    d.Manifest.RefSeqs,
+		SortedBy:   d.Manifest.SortedBy,
+		NumRecords: d.Manifest.NumRecords(),
+	}
+	if len(d.Manifest.Chunks) > 0 {
+		meta.ChunkSize = int(d.Manifest.Chunks[0].Records)
+	}
+	next := func(ctx context.Context) (*RowGroup, error) {
+		sc, err := cs.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &RowGroup{
+			Index:   sc.Index,
+			Shard:   sc.Shard(),
+			Chunks:  sc.Chunks(),
+			release: sc.Release,
+		}, nil
+	}
+	return NewGroupStream(meta, next, cs.Close), nil
+}
+
+// SpecsForColumns maps standard column names to their column specs (the
+// record-type convention shared by sort, filter and the pipeline writer).
+func SpecsForColumns(columns []string) []ColumnSpec {
+	cols := make([]ColumnSpec, len(columns))
+	for i, name := range columns {
+		cols[i] = ColumnSpec{Name: name, Type: SpecTypeFor(name)}
+	}
+	return cols
+}
+
+// SpecTypeFor returns the record-type convention for a standard column name.
+func SpecTypeFor(name string) RecordType {
+	switch name {
+	case ColBases:
+		return TypeCompactBases
+	case ColResults:
+		return TypeResults
+	}
+	return TypeRaw
+}
+
+// WriteGroups drains a stream into a new dataset: every row is appended in
+// stored representation through a Writer (re-chunking to opts.ChunkSize,
+// which defaults to the stream's source chunk size, then the first group's
+// size, so chunking survives a fused pipeline), and the manifest is
+// written on EOF. It is the pipeline's dataset sink.
+func WriteGroups(ctx context.Context, in *GroupStream, store BlobStore, name string, opts WriterOptions) (*Manifest, error) {
+	if opts.RefSeqs == nil {
+		opts.RefSeqs = in.Meta.RefSeqs
+	}
+	if opts.SortedBy == "" {
+		opts.SortedBy = in.Meta.SortedBy
+	}
+	var w *Writer
+	fields := make([][]byte, len(in.Meta.Columns))
+	writeGroup := func(g *RowGroup) error {
+		if len(g.Chunks) != len(fields) {
+			return fmt.Errorf("agd: group %d has %d columns, stream declares %d", g.Index, len(g.Chunks), len(fields))
+		}
+		n := g.NumRecords()
+		for r := 0; r < n; r++ {
+			for c, chunk := range g.Chunks {
+				f, err := chunk.Record(r)
+				if err != nil {
+					return err
+				}
+				fields[c] = f
+			}
+			if err := w.AppendStored(fields...); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for {
+		g, err := in.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if w == nil {
+			if opts.ChunkSize <= 0 {
+				opts.ChunkSize = in.Meta.ChunkSize
+			}
+			if opts.ChunkSize <= 0 {
+				opts.ChunkSize = g.NumRecords()
+			}
+			if w, err = NewWriter(store, name, SpecsForColumns(in.Meta.Columns), opts); err != nil {
+				g.Release()
+				return nil, err
+			}
+		}
+		err = writeGroup(g)
+		g.Release()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if w == nil {
+		return nil, fmt.Errorf("agd: stream for dataset %q has no records", name)
+	}
+	return w.Close()
+}

@@ -65,20 +65,26 @@ type Options struct {
 	// 0 derives from GOMAXPROCS; 1 selects the serial heap merge. Output
 	// bytes are identical at every setting.
 	MergeShards int
+	// TempPrefix is where phase-1 spill blobs (superchunks) go for streamed
+	// sorts (SortStream); default "agdsort.stream/tmp". Concurrent streamed
+	// sorts against one store must use distinct prefixes. Dataset sorts
+	// ignore it and spill under "<OutputName>/tmp".
+	TempPrefix string
 }
 
 // Sort externally sorts a dataset and writes a new sorted dataset,
-// returning its manifest.
-func Sort(store agd.BlobStore, name string, opts Options) (*agd.Manifest, error) {
+// returning its manifest. Cancellation and deadline of ctx are checked per
+// chunk in both phases.
+func Sort(ctx context.Context, store agd.BlobStore, name string, opts Options) (*agd.Manifest, error) {
 	ds, err := agd.Open(store, name)
 	if err != nil {
 		return nil, err
 	}
-	return SortDataset(ds, opts)
+	return SortDataset(ctx, ds, opts)
 }
 
 // SortDataset is Sort over an already-open dataset.
-func SortDataset(ds *agd.Dataset, opts Options) (*agd.Manifest, error) {
+func SortDataset(ctx context.Context, ds *agd.Dataset, opts Options) (*agd.Manifest, error) {
 	m := ds.Manifest
 	if opts.By == ByLocation && !m.HasColumn(agd.ColResults) {
 		return nil, fmt.Errorf("agdsort: dataset %q has no results column to sort by", m.Name)
@@ -120,12 +126,15 @@ func SortDataset(ds *agd.Dataset, opts Options) (*agd.Manifest, error) {
 		if end > len(m.Chunks) {
 			end = len(m.Chunks)
 		}
+		if err := ctx.Err(); err != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(b, start, end int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			cols, keys, err := stageRun(ds, start, end, keyCol, opts.By)
+			cols, keys, err := stageRun(ctx, ds, start, end, keyCol, opts.By)
 			if err != nil {
 				errs <- err
 				return
@@ -137,16 +146,29 @@ func SortDataset(ds *agd.Dataset, opts Options) (*agd.Manifest, error) {
 		}(b, start, end)
 	}
 	wg.Wait()
+	// On any failure (including cancellation) the spilled superchunks must
+	// not outlive the call: delete whatever phase 1 managed to write.
+	dropTemps := func() {
+		for _, sn := range superNames {
+			store.Delete(sn)
+		}
+	}
 	select {
 	case err := <-errs:
+		dropTemps()
 		return nil, err
 	default:
+	}
+	if err := ctx.Err(); err != nil {
+		dropTemps()
+		return nil, err
 	}
 
 	// Phase 2: range-partitioned merge of superchunks into the output
 	// dataset (see merge.go).
-	manifest, err := mergeSuperchunks(store, superNames, ds, keyCol, opts)
+	manifest, err := mergeSuperchunks(ctx, store, superNames, ds, keyCol, opts)
 	if err != nil {
+		dropTemps()
 		return nil, err
 	}
 	// Drop temporaries.
@@ -188,7 +210,7 @@ const loadPrefetch = 4
 // stageRun copies chunks [start, end) into per-column record arenas and
 // extracts one packed sort entry per row. Arena staging copies each column
 // chunk once (bulk, via AppendChunk) and allocates nothing per record.
-func stageRun(ds *agd.Dataset, start, end, keyCol int, by Key) ([]*agd.RecordArena, []sortEntry, error) {
+func stageRun(ctx context.Context, ds *agd.Dataset, start, end, keyCol int, by Key) ([]*agd.RecordArena, []sortEntry, error) {
 	m := ds.Manifest
 	stream, err := ds.Stream(agd.StreamOptions{
 		Start: start, End: end, Prefetch: loadPrefetch,
@@ -207,7 +229,7 @@ func stageRun(ds *agd.Dataset, start, end, keyCol int, by Key) ([]*agd.RecordAre
 	}
 	keys := make([]sortEntry, 0, numRows)
 	for {
-		sc, err := stream.Next(context.Background())
+		sc, err := stream.Next(ctx)
 		if err == io.EOF {
 			break
 		}
@@ -217,25 +239,36 @@ func stageRun(ds *agd.Dataset, start, end, keyCol int, by Key) ([]*agd.RecordAre
 		// The stream validates every column chunk's record count against the
 		// manifest, so the columns are known row-aligned here.
 		chunks := sc.Chunks()
-		n := chunks[0].NumRecords()
-		for col, c := range chunks {
-			cols[col].AppendChunk(c)
-		}
-		keyChunk := chunks[keyCol]
-		base := uint32(len(keys))
-		for r := 0; r < n; r++ {
-			rec, err := keyChunk.Record(r)
-			if err != nil {
-				return nil, nil, err
-			}
-			k, err := packKey(rec, by)
-			if err != nil {
-				return nil, nil, err
-			}
-			keys = append(keys, sortEntry{key: k, row: base + uint32(r)})
+		keys, err = stageGroup(cols, keys, chunks, keyCol, by)
+		if err != nil {
+			return nil, nil, err
 		}
 	}
 	return cols, keys, nil
+}
+
+// stageGroup bulk-appends one row group's column chunks into the staging
+// arenas and extracts its packed sort entries — shared by the dataset and
+// stream staging paths.
+func stageGroup(cols []*agd.RecordArena, keys []sortEntry, chunks []*agd.Chunk, keyCol int, by Key) ([]sortEntry, error) {
+	n := chunks[0].NumRecords()
+	for col, c := range chunks {
+		cols[col].AppendChunk(c)
+	}
+	keyChunk := chunks[keyCol]
+	base := uint32(len(keys))
+	for r := 0; r < n; r++ {
+		rec, err := keyChunk.Record(r)
+		if err != nil {
+			return keys, err
+		}
+		k, err := packKey(rec, by)
+		if err != nil {
+			return keys, err
+		}
+		keys = append(keys, sortEntry{key: k, row: base + uint32(r)})
+	}
+	return keys, nil
 }
 
 // packKey derives a row's 64-bit primary key from its key-column record.

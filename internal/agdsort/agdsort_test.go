@@ -1,6 +1,7 @@
 package agdsort
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"math/rand"
@@ -17,7 +18,7 @@ func TestSortByLocation(t *testing.T) {
 		GenomeSize: 150_000, NumReads: 600, ReadLen: 80, ChunkSize: 100, Seed: 51,
 	})
 
-	m, err := SortDataset(f.Dataset, Options{By: ByLocation, ChunksPerSuperchunk: 2})
+	m, err := SortDataset(context.Background(), f.Dataset, Options{By: ByLocation, ChunksPerSuperchunk: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestSortRowsStayAligned(t *testing.T) {
 		byMeta[string(origMeta[i])] = origResults[i]
 	}
 
-	m, err := SortDataset(f.Dataset, Options{By: ByLocation})
+	m, err := SortDataset(context.Background(), f.Dataset, Options{By: ByLocation})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestSortByMetadata(t *testing.T) {
 	f := testutil.Build(t, store, "ds", testutil.Config{
 		GenomeSize: 80_000, NumReads: 250, ReadLen: 60, ChunkSize: 50, Seed: 53,
 	})
-	m, err := SortDataset(f.Dataset, Options{By: ByMetadata, OutputName: "byid"})
+	m, err := SortDataset(context.Background(), f.Dataset, Options{By: ByMetadata, OutputName: "byid"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestSortPreservesBases(t *testing.T) {
 	for i := range inMeta {
 		byMeta[string(inMeta[i])] = string(inBases[i])
 	}
-	m, err := SortDataset(f.Dataset, Options{By: ByLocation})
+	m, err := SortDataset(context.Background(), f.Dataset, Options{By: ByLocation})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestSortByMetadataSharedPrefix(t *testing.T) {
 	}
 	// ChunksPerSuperchunk 2 forces a multi-superchunk merge, so both the
 	// in-memory sort and the heap merge hit the prefix-tie path.
-	m, err := SortDataset(ds, Options{By: ByMetadata, ChunksPerSuperchunk: 2})
+	m, err := SortDataset(context.Background(), ds, Options{By: ByMetadata, ChunksPerSuperchunk: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func sortWithShards(t *testing.T, src agd.BlobStore, by Key, p int) map[string][
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := SortDataset(ds, Options{
+	if _, err := SortDataset(context.Background(), ds, Options{
 		By: by, ChunksPerSuperchunk: 3, OutputName: "sorted", MergeShards: p,
 	}); err != nil {
 		t.Fatalf("MergeShards=%d: %v", p, err)
@@ -423,7 +424,7 @@ func TestSortCleansTemporaries(t *testing.T) {
 	f := testutil.Build(t, store, "ds", testutil.Config{
 		GenomeSize: 50_000, NumReads: 100, ReadLen: 50, ChunkSize: 25, Seed: 55,
 	})
-	if _, err := SortDataset(f.Dataset, Options{By: ByLocation, OutputName: "out"}); err != nil {
+	if _, err := SortDataset(context.Background(), f.Dataset, Options{By: ByLocation, OutputName: "out"}); err != nil {
 		t.Fatal(err)
 	}
 	tmp, err := store.List("out/tmp/")
@@ -440,10 +441,10 @@ func TestSortErrors(t *testing.T) {
 	f := testutil.Build(t, store, "noresults", testutil.Config{
 		GenomeSize: 50_000, NumReads: 60, ReadLen: 50, ChunkSize: 30, Seed: 56, SkipAlign: true,
 	})
-	if _, err := SortDataset(f.Dataset, Options{By: ByLocation}); err == nil {
+	if _, err := SortDataset(context.Background(), f.Dataset, Options{By: ByLocation}); err == nil {
 		t.Fatal("sort by location without results column succeeded")
 	}
-	if _, err := Sort(store, "missing", Options{}); err == nil {
+	if _, err := Sort(context.Background(), store, "missing", Options{}); err == nil {
 		t.Fatal("sorting a missing dataset succeeded")
 	}
 }

@@ -167,45 +167,40 @@ func (h *mergeHeap) emit(n int, sink func(fields [][]byte)) error {
 // columnSpecs builds the output dataset's column specs (all gzip, the
 // writer default).
 func columnSpecs(m *agd.Manifest) []agd.ColumnSpec {
-	cols := make([]agd.ColumnSpec, len(m.Columns))
-	for i, name := range m.Columns {
-		cols[i] = agd.ColumnSpec{Name: name, Type: columnType(name)}
-	}
-	return cols
+	return agd.SpecsForColumns(m.Columns)
 }
 
-// columnType returns the record type convention for a standard column name.
-func columnType(name string) agd.RecordType {
-	switch name {
-	case agd.ColBases:
-		return agd.TypeCompactBases
-	case agd.ColResults:
-		return agd.TypeResults
+// fetchRuns fetches and decodes every superchunk as one batch — the blobs
+// stream in concurrently (per-OSD fan-out on the object store) while the
+// first arrivals decode.
+func fetchRuns(ctx context.Context, store agd.BlobStore, superNames []string) ([]*agd.Chunk, int, error) {
+	futs := agd.AsyncOf(store).GetBatch(superNames)
+	runs := make([]*agd.Chunk, len(superNames))
+	total := 0
+	for i := range superNames {
+		blob, err := futs[i].Wait(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
+		c, err := agd.DecodeChunk(blob)
+		if err != nil {
+			return nil, 0, err
+		}
+		runs[i] = c
+		total += c.NumRecords()
 	}
-	return agd.TypeRaw
+	return runs, total, nil
 }
 
 // mergeSuperchunks fetches and decodes every superchunk, then merges them
 // into the output dataset — serially, or range-partitioned across
 // opts.MergeShards independent merges.
-func mergeSuperchunks(store agd.BlobStore, superNames []string, ds *agd.Dataset, keyCol int, opts Options) (*agd.Manifest, error) {
+func mergeSuperchunks(ctx context.Context, store agd.BlobStore, superNames []string, ds *agd.Dataset, keyCol int, opts Options) (*agd.Manifest, error) {
 	// The merge needs every superchunk resident before it can emit a single
-	// row, so fetch them as one batch — the blobs stream in concurrently
-	// (per-OSD fan-out on the object store) while the first arrivals decode.
-	futs := agd.AsyncOf(store).GetBatch(superNames)
-	runs := make([]*agd.Chunk, len(superNames))
-	total := 0
-	for i := range superNames {
-		blob, err := futs[i].Wait(context.Background())
-		if err != nil {
-			return nil, err
-		}
-		c, err := agd.DecodeChunk(blob)
-		if err != nil {
-			return nil, err
-		}
-		runs[i] = c
-		total += c.NumRecords()
+	// row.
+	runs, total, err := fetchRuns(ctx, store, superNames)
+	if err != nil {
+		return nil, err
 	}
 
 	p := opts.MergeShards
@@ -216,14 +211,14 @@ func mergeSuperchunks(store agd.BlobStore, superNames []string, ds *agd.Dataset,
 		p = total
 	}
 	if p <= 1 {
-		return mergeSerial(store, runs, ds, keyCol, opts)
+		return mergeSerial(ctx, store, runs, ds, keyCol, opts)
 	}
-	return mergeParallel(store, runs, ds, keyCol, opts, p, total)
+	return mergeParallel(ctx, store, runs, ds, keyCol, opts, p, total)
 }
 
 // mergeSerial streams the heap-merge of all superchunks into the output
 // dataset through a single writer.
-func mergeSerial(store agd.BlobStore, runs []*agd.Chunk, ds *agd.Dataset, keyCol int, opts Options) (*agd.Manifest, error) {
+func mergeSerial(ctx context.Context, store agd.BlobStore, runs []*agd.Chunk, ds *agd.Dataset, keyCol int, opts Options) (*agd.Manifest, error) {
 	m := ds.Manifest
 	w, err := agd.NewWriter(store, opts.OutputName, columnSpecs(m), agd.WriterOptions{
 		ChunkSize:     opts.OutputChunkSize,
@@ -247,8 +242,16 @@ func mergeSerial(store agd.BlobStore, runs []*agd.Chunk, ds *agd.Dataset, keyCol
 	}
 
 	// Superchunk rows hold every column in stored representation (bases
-	// stay compacted), so the merge moves bytes without re-encoding.
+	// stay compacted), so the merge moves bytes without re-encoding. The
+	// context is checked once per output chunk's worth of rows.
+	row := 0
 	for len(h.items) > 0 {
+		if row%opts.OutputChunkSize == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		row++
 		it := h.items[0]
 		if err := w.AppendStored(it.fields...); err != nil {
 			return nil, err
@@ -385,7 +388,7 @@ type partPiece struct {
 // mergePartition heap-merges one key range (rows [lo[r], hi[r]) of every
 // run): output chunks wholly inside the partition are built, encoded and
 // stored here; seam chunks' rows come back as pieces.
-func mergePartition(store agd.BlobStore, runs []*agd.Chunk, cols []agd.ColumnSpec, keyCol int, opts Options, lo, hi []int, startRow, total int, entries []agd.ChunkEntry) ([]partPiece, error) {
+func mergePartition(ctx context.Context, store agd.BlobStore, runs []*agd.Chunk, cols []agd.ColumnSpec, keyCol int, opts Options, lo, hi []int, startRow, total int, entries []agd.ChunkEntry) ([]partPiece, error) {
 	chunkSize := opts.OutputChunkSize
 	end := startRow
 	for r := range runs {
@@ -410,6 +413,9 @@ func mergePartition(store agd.BlobStore, runs []*agd.Chunk, cols []agd.ColumnSpe
 	builders := make([]*agd.ChunkBuilder, len(cols))
 	row := startRow
 	for row < end {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cIdx := row / chunkSize
 		cStart := cIdx * chunkSize
 		cEnd := cStart + chunkSize
@@ -484,7 +490,7 @@ func storeChunk(store agd.BlobStore, entry agd.ChunkEntry, cols []agd.ColumnSpec
 // mergeParallel is the range-partitioned merge: p independent heap merges
 // over splitter-aligned key ranges, then a stitch pass for the chunks that
 // straddle partition seams.
-func mergeParallel(store agd.BlobStore, runs []*agd.Chunk, ds *agd.Dataset, keyCol int, opts Options, p, total int) (*agd.Manifest, error) {
+func mergeParallel(ctx context.Context, store agd.BlobStore, runs []*agd.Chunk, ds *agd.Dataset, keyCol int, opts Options, p, total int) (*agd.Manifest, error) {
 	m := ds.Manifest
 	cols := columnSpecs(m)
 	by := opts.By
@@ -544,7 +550,7 @@ func mergeParallel(store agd.BlobStore, runs []*agd.Chunk, ds *agd.Dataset, keyC
 		go func(j int) {
 			defer wg.Done()
 			piecesByPart[j], partErrs[j] = mergePartition(
-				store, runs, cols, keyCol, opts, bounds[j], bounds[j+1], starts[j], total, entries)
+				ctx, store, runs, cols, keyCol, opts, bounds[j], bounds[j+1], starts[j], total, entries)
 		}(j)
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package agdsort
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -98,7 +99,7 @@ func BenchmarkTable2_MergeShards(b *testing.B) {
 		b.Run(fmt.Sprintf("shards=%d", p), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := SortDataset(ds, Options{
+				if _, err := SortDataset(context.Background(), ds, Options{
 					By: ByMetadata, OutputName: "sorted", MergeShards: p,
 				}); err != nil {
 					b.Fatal(err)

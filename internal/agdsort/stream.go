@@ -1,0 +1,251 @@
+package agdsort
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"persona/internal/agd"
+)
+
+// SortStream is the stream-in/stream-out form of Sort, used by composed
+// pipelines. The sort is a global barrier, so it cannot be fused record-to-
+// record: phase 1 drains the input stream, staging superchunk batches in
+// record arenas and spilling each sorted run to the store under
+// opts.TempPrefix (the same external-sort spill as the dataset path — the
+// paper's §4.3 sort always materializes runs). What the streamed form
+// avoids is everything else: the input is never written as a dataset, and
+// the merged output feeds the next stage chunk-by-chunk from the heap merge
+// instead of being stored and re-read. Spill blobs are deleted when the
+// output stream is drained or closed.
+func SortStream(ctx context.Context, store agd.BlobStore, in *agd.GroupStream, opts Options) (*agd.GroupStream, error) {
+	keyCol := keyColumn(in.Meta.Columns, opts.By)
+	if keyCol < 0 {
+		if opts.By == ByLocation {
+			return nil, fmt.Errorf("agdsort: stream has no results column to sort by")
+		}
+		return nil, fmt.Errorf("agdsort: stream has no metadata column")
+	}
+	if opts.ChunksPerSuperchunk <= 0 {
+		opts.ChunksPerSuperchunk = 8
+	}
+	if opts.TempPrefix == "" {
+		opts.TempPrefix = "agdsort.stream/tmp"
+	}
+	if opts.OutputChunkSize <= 0 {
+		// Prefer the source's chunking: after a selective filter the first
+		// group's size is an arbitrary kept-row count.
+		opts.OutputChunkSize = in.Meta.ChunkSize
+	}
+
+	// Phase 1: drain the input, spilling one sorted superchunk per batch of
+	// ChunksPerSuperchunk groups. Staging is sequential (the stream is
+	// pull-based), but sorting and spilling a completed batch runs on
+	// background workers so the next batch stages while the previous one
+	// sorts — the same overlap the dataset path gets from its batch
+	// goroutines.
+	var (
+		superNames []string
+		batchCols  []*agd.RecordArena
+		batchKeys  []sortEntry
+		batchSize  int
+		total      int
+		wg         sync.WaitGroup
+		sem        = make(chan struct{}, runtime.NumCPU())
+		errs       = make(chan error, 1)
+	)
+	numCols := len(in.Meta.Columns)
+	newBatch := func() {
+		batchCols = make([]*agd.RecordArena, numCols)
+		for i := range batchCols {
+			batchCols[i] = agd.NewRecordArena(0, 0)
+		}
+		batchKeys = batchKeys[len(batchKeys):]
+		batchSize = 0
+	}
+	spill := func() {
+		name := fmt.Sprintf("%s/super-%06d", opts.TempPrefix, len(superNames))
+		superNames = append(superNames, name)
+		cols, keys := batchCols, batchKeys
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sortKeys(cols[keyCol], keys, opts.By)
+			if err := writeSuperchunk(store, name, cols, keys); err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+		}()
+		newBatch()
+	}
+	fail := func(err error) (*agd.GroupStream, error) {
+		wg.Wait()
+		for _, sn := range superNames {
+			store.Delete(sn)
+		}
+		return nil, err
+	}
+	newBatch()
+	for {
+		g, err := in.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if len(g.Chunks) != numCols {
+			g.Release()
+			return fail(fmt.Errorf("agdsort: group %d has %d columns, stream declares %d", g.Index, len(g.Chunks), numCols))
+		}
+		if opts.OutputChunkSize <= 0 {
+			opts.OutputChunkSize = g.NumRecords()
+		}
+		batchKeys, err = stageGroup(batchCols, batchKeys, g.Chunks, keyCol, opts.By)
+		if err != nil {
+			g.Release()
+			return fail(err)
+		}
+		total += g.NumRecords()
+		g.Release()
+		batchSize++
+		if batchSize >= opts.ChunksPerSuperchunk {
+			spill()
+		}
+		select {
+		case err := <-errs:
+			return fail(err)
+		default:
+		}
+	}
+	if batchSize > 0 {
+		spill()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return fail(err)
+	default:
+	}
+	if total == 0 {
+		return fail(fmt.Errorf("agdsort: stream has no records"))
+	}
+	if opts.OutputChunkSize <= 0 {
+		opts.OutputChunkSize = agd.DefaultChunkSize
+	}
+
+	// Phase 2: heap-merge the spilled runs into an output stream. The
+	// merged rows are byte-identical, in the same order, as the dataset
+	// path's serial merge (which the parallel merge also matches).
+	runs, mergedTotal, err := fetchRuns(ctx, store, superNames)
+	if err != nil {
+		return fail(err)
+	}
+	if mergedTotal != total {
+		return fail(fmt.Errorf("agdsort: spilled %d rows, staged %d", mergedTotal, total))
+	}
+	specs := agd.SpecsForColumns(in.Meta.Columns)
+	h := &mergeHeap{items: make([]*superIter, 0, len(runs))}
+	for i, c := range runs {
+		it := newSuperIter(c, numCols, keyCol, opts.By, i, 0, c.NumRecords())
+		ok, err := it.advance()
+		if err != nil {
+			return fail(err)
+		}
+		if ok {
+			h.push(it)
+		}
+	}
+
+	ms := &mergeGroupStream{
+		store:     store,
+		names:     superNames,
+		h:         h,
+		builders:  make([]*agd.ChunkBuilder, numCols),
+		specs:     specs,
+		chunkSize: opts.OutputChunkSize,
+		total:     total,
+	}
+	for i, spec := range specs {
+		ms.builders[i] = agd.NewChunkBuilder(spec.Type, 0)
+	}
+	meta := agd.StreamMeta{
+		Columns:    in.Meta.Columns,
+		RefSeqs:    in.Meta.RefSeqs,
+		SortedBy:   opts.By.String(),
+		NumRecords: uint64(total),
+		ChunkSize:  opts.OutputChunkSize,
+	}
+	return agd.NewGroupStream(meta, ms.next, ms.cleanup), nil
+}
+
+// mergeGroupStream emits the heap merge of the spilled runs as row groups of
+// chunkSize records, built into a reused builder set (each group is valid
+// until the next one is requested).
+type mergeGroupStream struct {
+	store     agd.BlobStore
+	names     []string
+	h         *mergeHeap
+	builders  []*agd.ChunkBuilder
+	specs     []agd.ColumnSpec
+	chunkSize int
+	total     int
+	emitted   int
+	chunkIdx  int
+	cleaned   bool
+	cleanErr  error
+}
+
+func (ms *mergeGroupStream) next(ctx context.Context) (*agd.RowGroup, error) {
+	if ms.emitted >= ms.total {
+		wasClean := ms.cleaned
+		ms.cleanup()
+		if !wasClean && ms.cleanErr != nil {
+			return nil, ms.cleanErr
+		}
+		return nil, io.EOF
+	}
+	rows := ms.total - ms.emitted
+	if rows > ms.chunkSize {
+		rows = ms.chunkSize
+	}
+	for i, spec := range ms.specs {
+		ms.builders[i].Reset(spec.Type, uint64(ms.emitted))
+	}
+	err := ms.h.emit(rows, func(fields [][]byte) {
+		for i, f := range fields {
+			ms.builders[i].Append(f)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	chunks := make([]*agd.Chunk, len(ms.builders))
+	for i := range ms.builders {
+		chunks[i] = ms.builders[i].Chunk()
+	}
+	g := agd.NewRowGroup(ms.chunkIdx, 0, chunks, nil)
+	ms.chunkIdx++
+	ms.emitted += rows
+	return g, nil
+}
+
+// cleanup deletes the spill blobs (once); a failed delete is reported from
+// the final next call.
+func (ms *mergeGroupStream) cleanup() {
+	if ms.cleaned {
+		return
+	}
+	ms.cleaned = true
+	for _, name := range ms.names {
+		if err := ms.store.Delete(name); err != nil && ms.cleanErr == nil {
+			ms.cleanErr = err
+		}
+	}
+}

@@ -29,6 +29,12 @@ type Config struct {
 	Prefetch int
 	// Aligner tunes the SNAP algorithm.
 	Aligner snap.Config
+	// Executor, when non-nil, is a caller-owned (typically Session-owned)
+	// shared executor all worker nodes submit to, instead of each node
+	// constructing and tearing down its own — so repeated distributed runs
+	// reuse warm executor state. It is never closed here. ThreadsPerNode
+	// still sizes each node's aligner pool.
+	Executor *dataflow.Executor
 }
 
 // NodeReport describes one worker's run.
@@ -55,8 +61,9 @@ type Report struct {
 // Align runs a distributed alignment of a dataset: every node pulls chunk
 // indices from the manifest server, reads bases from shared storage, aligns
 // them on its executor, and writes a results-column chunk back. The results
-// column is registered in the manifest at the end.
-func Align(store storage.Store, datasetName string, idx *snap.Index, cfg Config) (*Report, *agd.Manifest, error) {
+// column is registered in the manifest at the end. Cancellation and
+// deadline of ctx are checked per chunk on every node.
+func Align(ctx context.Context, store storage.Store, datasetName string, idx *snap.Index, cfg Config) (*Report, *agd.Manifest, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
 	}
@@ -93,7 +100,7 @@ func Align(store storage.Store, datasetName string, idx *snap.Index, cfg Config)
 		wg.Add(1)
 		go func(node int) {
 			defer wg.Done()
-			rep, err := runNode(node, srv.Addr(), store, ds, idx, cfg)
+			rep, err := runNode(ctx, node, srv.Addr(), store, ds, idx, cfg)
 			if err != nil {
 				errs <- fmt.Errorf("cluster: node %d: %w", node, err)
 				return
@@ -136,15 +143,18 @@ func Align(store storage.Store, datasetName string, idx *snap.Index, cfg Config)
 
 // runNode is one worker: a small Persona graph (reader → aligner(executor)
 // → writer) fed by the manifest server.
-func runNode(node int, manifestAddr string, store storage.Store, ds *agd.Dataset, idx *snap.Index, cfg Config) (NodeReport, error) {
+func runNode(ctx context.Context, node int, manifestAddr string, store storage.Store, ds *agd.Dataset, idx *snap.Index, cfg Config) (NodeReport, error) {
 	client, err := DialManifest(manifestAddr)
 	if err != nil {
 		return NodeReport{}, err
 	}
 	defer client.Close()
 
-	exec := dataflow.NewExecutor(cfg.ThreadsPerNode, cfg.ThreadsPerNode*2)
-	defer exec.Close()
+	exec := cfg.Executor
+	if exec == nil {
+		exec = dataflow.NewExecutor(cfg.ThreadsPerNode, cfg.ThreadsPerNode*2)
+		defer exec.Close()
+	}
 
 	// Per-worker aligners (one per executor thread; they share the index).
 	aligners := make(chan *snap.Aligner, cfg.ThreadsPerNode)
@@ -152,7 +162,6 @@ func runNode(node int, manifestAddr string, store storage.Store, ds *agd.Dataset
 		aligners <- snap.NewAligner(idx, cfg.Aligner)
 	}
 
-	ctx := context.Background()
 	rep := NodeReport{Node: node}
 	nodeStart := time.Now()
 	m := ds.Manifest

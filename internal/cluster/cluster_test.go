@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestClusterAlignEndToEnd(t *testing.T) {
 	f := testutil.Build(t, store, "ds", testutil.Config{
 		GenomeSize: 150_000, NumReads: 800, ReadLen: 80, ChunkSize: 100, Seed: 81, SkipAlign: true,
 	})
-	report, m, err := Align(store, "ds", f.Index, Config{Nodes: 3, ThreadsPerNode: 2, Subchunks: 4})
+	report, m, err := Align(context.Background(), store, "ds", f.Index, Config{Nodes: 3, ThreadsPerNode: 2, Subchunks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestClusterAlignOnObjectStore(t *testing.T) {
 	f := testutil.Build(t, objStore, "ds", testutil.Config{
 		GenomeSize: 100_000, NumReads: 300, ReadLen: 70, ChunkSize: 64, Seed: 82, SkipAlign: true,
 	})
-	report, _, err := Align(objStore, "ds", f.Index, Config{Nodes: 2, ThreadsPerNode: 2})
+	report, _, err := Align(context.Background(), objStore, "ds", f.Index, Config{Nodes: 2, ThreadsPerNode: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestClusterAlignRejectsAligned(t *testing.T) {
 	f := testutil.Build(t, store, "ds", testutil.Config{
 		GenomeSize: 60_000, NumReads: 100, ReadLen: 60, ChunkSize: 50, Seed: 83,
 	})
-	if _, _, err := Align(store, "ds", f.Index, Config{Nodes: 1}); err == nil {
+	if _, _, err := Align(context.Background(), store, "ds", f.Index, Config{Nodes: 1}); err == nil {
 		t.Fatal("re-aligning an aligned dataset succeeded")
 	}
 }

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"io"
@@ -101,12 +102,12 @@ func newSnapAligner(idx *snap.Index) *snap.Aligner {
 
 // importFASTQ wraps fastq.Import for the conversion experiment.
 func importFASTQ(store agd.BlobStore, name, text string, refs []agd.RefSeq, chunkSize int) (*agd.Manifest, uint64, error) {
-	return fastq.Import(store, name, strings.NewReader(text), fastq.ImportOptions{ChunkSize: chunkSize, RefSeqs: refs})
+	return fastq.Import(context.Background(), store, name, strings.NewReader(text), fastq.ImportOptions{ChunkSize: chunkSize, RefSeqs: refs})
 }
 
 // exportBAM wraps bam.Export for the conversion experiment.
 func exportBAM(ds *agd.Dataset, w io.Writer) (uint64, error) {
-	return bam.Export(ds, w)
+	return bam.Export(context.Background(), ds, w)
 }
 
 // section prints a header for an experiment section.

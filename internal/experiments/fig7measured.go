@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,7 +30,7 @@ func RunFig7Measured(w io.Writer, sc Scale, nodeCounts []int) ([]Fig7MeasuredPoi
 		if err != nil {
 			return nil, err
 		}
-		report, _, err := cluster.Align(store, "ds", f.Index, cluster.Config{
+		report, _, err := cluster.Align(context.Background(), store, "ds", f.Index, cluster.Config{
 			Nodes: n, ThreadsPerNode: 1,
 		})
 		if err != nil {

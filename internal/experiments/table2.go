@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"io"
@@ -37,7 +38,7 @@ func RunTable2(w io.Writer, sc Scale) (*Table2Result, error) {
 
 	// Render the row-oriented inputs the baselines need.
 	var samText bytes.Buffer
-	if _, err := sam.Export(f.Dataset, &samText); err != nil {
+	if _, err := sam.Export(context.Background(), f.Dataset, &samText); err != nil {
 		return nil, err
 	}
 	refs := f.Dataset.Manifest.RefSeqs
@@ -49,7 +50,7 @@ func RunTable2(w io.Writer, sc Scale) (*Table2Result, error) {
 	res := &Table2Result{Scale: sc}
 
 	start := time.Now()
-	if _, err := agdsort.SortDataset(f.Dataset, agdsort.Options{By: agdsort.ByLocation, OutputName: "sorted"}); err != nil {
+	if _, err := agdsort.SortDataset(context.Background(), f.Dataset, agdsort.Options{By: agdsort.ByLocation, OutputName: "sorted"}); err != nil {
 		return nil, err
 	}
 	res.PersonaSeconds = time.Since(start).Seconds()
@@ -109,13 +110,13 @@ func RunDupmark(w io.Writer, sc Scale) (*DupmarkResult, error) {
 		return nil, err
 	}
 	var samText bytes.Buffer
-	if _, err := sam.Export(f.Dataset, &samText); err != nil {
+	if _, err := sam.Export(context.Background(), f.Dataset, &samText); err != nil {
 		return nil, err
 	}
 	refs := f.Dataset.Manifest.RefSeqs
 
 	start := time.Now()
-	stats, err := markdup.MarkDataset(f.Dataset)
+	stats, err := markdup.MarkDataset(context.Background(), f.Dataset)
 	if err != nil {
 		return nil, err
 	}

@@ -74,16 +74,17 @@ type Options struct {
 }
 
 // Run filters a dataset into a new dataset, preserving all columns.
-func Run(store agd.BlobStore, name string, pred Predicate, opts Options) (*agd.Manifest, Stats, error) {
+// Cancellation and deadline of ctx are checked per chunk.
+func Run(ctx context.Context, store agd.BlobStore, name string, pred Predicate, opts Options) (*agd.Manifest, Stats, error) {
 	ds, err := agd.Open(store, name)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return RunDataset(ds, pred, opts)
+	return RunDataset(ctx, ds, pred, opts)
 }
 
 // RunDataset is Run over an open dataset.
-func RunDataset(ds *agd.Dataset, pred Predicate, opts Options) (*agd.Manifest, Stats, error) {
+func RunDataset(ctx context.Context, ds *agd.Dataset, pred Predicate, opts Options) (*agd.Manifest, Stats, error) {
 	m := ds.Manifest
 	if !m.HasColumn(agd.ColResults) {
 		return nil, Stats{}, fmt.Errorf("filter: dataset %q has no results column", m.Name)
@@ -101,9 +102,8 @@ func RunDataset(ds *agd.Dataset, pred Predicate, opts Options) (*agd.Manifest, S
 
 	// Locate the results column for predicate evaluation.
 	resCol := -1
-	cols := make([]agd.ColumnSpec, len(m.Columns))
+	cols := agd.SpecsForColumns(m.Columns)
 	for i, colName := range m.Columns {
-		cols[i] = agd.ColumnSpec{Name: colName, Type: columnType(colName)}
 		if colName == agd.ColResults {
 			resCol = i
 		}
@@ -132,7 +132,6 @@ func RunDataset(ds *agd.Dataset, pred Predicate, opts Options) (*agd.Manifest, S
 
 	var stats Stats
 	fields := make([][]byte, len(m.Columns))
-	ctx := context.Background()
 	for {
 		sc, err := stream.Next(ctx)
 		if err == io.EOF {
@@ -183,13 +182,78 @@ func RunDataset(ds *agd.Dataset, pred Predicate, opts Options) (*agd.Manifest, S
 	return manifest, stats, nil
 }
 
-func columnType(name string) agd.RecordType {
-	switch name {
-	case agd.ColBases:
-		return agd.TypeCompactBases
-	case agd.ColResults:
-		return agd.TypeResults
-	default:
-		return agd.TypeRaw
+// RunStream is the stream-in/stream-out form of Run, used by composed
+// pipelines: each group is replaced by a (possibly smaller) group holding
+// only the rows matching pred; groups left empty by the predicate are
+// dropped. Row order and columns are preserved, so the stream metadata
+// passes through unchanged. The returned stats update as groups flow. The
+// returned group's chunks alias reused builders, valid until the next
+// group.
+func RunStream(in *agd.GroupStream, pred Predicate) (*agd.GroupStream, *Stats, error) {
+	resCol := in.Meta.Col(agd.ColResults)
+	if resCol < 0 {
+		return nil, nil, fmt.Errorf("filter: stream has no results column")
 	}
+	specs := agd.SpecsForColumns(in.Meta.Columns)
+	builders := make([]*agd.ChunkBuilder, len(specs))
+	for i, spec := range specs {
+		builders[i] = agd.NewChunkBuilder(spec.Type, 0)
+	}
+	stats := &Stats{}
+	outIdx := 0
+	meta := in.Meta
+	meta.NumRecords = 0 // unknown until the predicate has run
+	next := func(ctx context.Context) (*agd.RowGroup, error) {
+		for {
+			g, err := in.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			first := g.Chunks[0].FirstOrdinal
+			for i, spec := range specs {
+				builders[i].Reset(spec.Type, first)
+			}
+			n := g.NumRecords()
+			kept := 0
+			for r := 0; r < n; r++ {
+				stats.In++
+				rec, err := g.Chunks[resCol].Record(r)
+				if err != nil {
+					g.Release()
+					return nil, err
+				}
+				res, err := agd.DecodeResultView(rec)
+				if err != nil {
+					g.Release()
+					return nil, err
+				}
+				if !pred(&res) {
+					continue
+				}
+				for col, c := range g.Chunks {
+					f, err := c.Record(r)
+					if err != nil {
+						g.Release()
+						return nil, err
+					}
+					// Rows stay in stored representation (bases compacted).
+					builders[col].Append(f)
+				}
+				kept++
+			}
+			stats.Kept += uint64(kept)
+			g.Release()
+			if kept == 0 {
+				continue // fully filtered group: pull the next one
+			}
+			chunks := make([]*agd.Chunk, len(builders))
+			for i := range builders {
+				chunks[i] = builders[i].Chunk()
+			}
+			out := agd.NewRowGroup(outIdx, g.Shard, chunks, nil)
+			outIdx++
+			return out, nil
+		}
+	}
+	return agd.NewGroupStream(meta, next, in.Close), stats, nil
 }

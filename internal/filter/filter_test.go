@@ -1,6 +1,7 @@
 package filter
 
 import (
+	"context"
 	"testing"
 
 	"persona/internal/agd"
@@ -18,7 +19,7 @@ func buildAligned(t *testing.T, store agd.BlobStore, dupFrac float64) *testutil.
 func TestFilterMinMapQ(t *testing.T) {
 	store := agd.NewMemStore()
 	f := buildAligned(t, store, 0)
-	m, stats, err := RunDataset(f.Dataset, MinMapQ(30), Options{})
+	m, stats, err := RunDataset(context.Background(), f.Dataset, MinMapQ(30), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestFilterMinMapQ(t *testing.T) {
 func TestFilterDropDuplicates(t *testing.T) {
 	store := agd.NewMemStore()
 	f := buildAligned(t, store, 0.25)
-	dstats, err := markdup.MarkDataset(f.Dataset)
+	dstats, err := markdup.MarkDataset(context.Background(), f.Dataset)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestFilterDropDuplicates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, stats, err := RunDataset(ds, DropDuplicates(), Options{OutputName: "dedup"})
+	m, stats, err := RunDataset(context.Background(), ds, DropDuplicates(), Options{OutputName: "dedup"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestFilterRegion(t *testing.T) {
 	store := agd.NewMemStore()
 	f := buildAligned(t, store, 0)
 	const lo, hi = 10_000, 60_000
-	_, stats, err := RunDataset(f.Dataset, Region(lo, hi), Options{OutputName: "window"})
+	_, stats, err := RunDataset(context.Background(), f.Dataset, Region(lo, hi), Options{OutputName: "window"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,16 +139,16 @@ func TestFilterErrors(t *testing.T) {
 	f := testutil.Build(t, store, "nores", testutil.Config{
 		GenomeSize: 60_000, NumReads: 100, ReadLen: 60, ChunkSize: 50, Seed: 102, SkipAlign: true,
 	})
-	if _, _, err := RunDataset(f.Dataset, MappedOnly(), Options{}); err == nil {
+	if _, _, err := RunDataset(context.Background(), f.Dataset, MappedOnly(), Options{}); err == nil {
 		t.Fatal("filter without results column succeeded")
 	}
 	f2 := buildAligned(t, store, 0)
 	// A predicate nothing matches must error rather than write an empty
 	// dataset.
-	if _, _, err := RunDataset(f2.Dataset, Region(1<<40, 1<<40+1), Options{}); err == nil {
+	if _, _, err := RunDataset(context.Background(), f2.Dataset, Region(1<<40, 1<<40+1), Options{}); err == nil {
 		t.Fatal("empty filter result accepted")
 	}
-	if _, _, err := Run(store, "missing", MappedOnly(), Options{}); err == nil {
+	if _, _, err := Run(context.Background(), store, "missing", MappedOnly(), Options{}); err == nil {
 		t.Fatal("missing dataset accepted")
 	}
 }

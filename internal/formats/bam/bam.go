@@ -6,6 +6,7 @@ package bam
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -277,7 +278,7 @@ func (w *Writer) Close() error { return w.z.Close() }
 // render straight from the streamed column bytes (sam.StreamRecords), so
 // the export performs no per-record allocation. It returns the number of
 // records written.
-func Export(ds *agd.Dataset, dst io.Writer) (uint64, error) {
+func Export(ctx context.Context, ds *agd.Dataset, dst io.Writer) (uint64, error) {
 	if !ds.Manifest.HasColumn(agd.ColResults) {
 		return 0, fmt.Errorf("bam: dataset %q has no results column", ds.Manifest.Name)
 	}
@@ -291,7 +292,30 @@ func Export(ds *agd.Dataset, dst io.Writer) (uint64, error) {
 		return 0, err
 	}
 	var n uint64
-	err = sam.StreamRecords(ds, func(meta, seq, qual []byte, v *agd.ResultView) error {
+	err = sam.StreamRecords(ctx, ds, func(meta, seq, qual []byte, v *agd.ResultView) error {
+		n++
+		return w.WriteView(meta, seq, qual, v, refmap)
+	})
+	if err != nil {
+		return n, err
+	}
+	return n, w.Close()
+}
+
+// ExportStream renders a pipeline stream (with a results column) as BAM —
+// the stream-in sink form of Export.
+func ExportStream(ctx context.Context, in *agd.GroupStream, dst io.Writer) (uint64, error) {
+	refmap := sam.NewRefMap(in.Meta.RefSeqs)
+	sortOrder := "unsorted"
+	if in.Meta.SortedBy == "location" {
+		sortOrder = "coordinate"
+	}
+	w, err := NewWriter(dst, in.Meta.RefSeqs, sortOrder)
+	if err != nil {
+		return 0, err
+	}
+	var n uint64
+	err = sam.StreamGroups(ctx, in, func(meta, seq, qual []byte, v *agd.ResultView) error {
 		n++
 		return w.WriteView(meta, seq, qual, v, refmap)
 	})

@@ -21,8 +21,9 @@ type ImportOptions struct {
 // utility, measured at 360 MB/s in §5.7). Scanned fields flow zero-copy
 // from the scanner's reused buffers into the writer's chunk builders, so
 // steady-state import performs no per-read allocation. It returns the
-// manifest and the number of reads imported.
-func Import(store agd.BlobStore, name string, src io.Reader, opts ImportOptions) (*agd.Manifest, uint64, error) {
+// manifest and the number of reads imported. Cancellation and deadline of
+// ctx are checked once per output chunk's worth of reads.
+func Import(ctx context.Context, store agd.BlobStore, name string, src io.Reader, opts ImportOptions) (*agd.Manifest, uint64, error) {
 	w, err := agd.NewWriter(store, name, agd.StandardReadColumns(), agd.WriterOptions{
 		ChunkSize: opts.ChunkSize,
 		RefSeqs:   opts.RefSeqs,
@@ -33,8 +34,19 @@ func Import(store agd.BlobStore, name string, src io.Reader, opts ImportOptions)
 	if err != nil {
 		return nil, 0, err
 	}
+	chunkSize := uint64(opts.ChunkSize)
+	if chunkSize == 0 {
+		chunkSize = agd.DefaultChunkSize
+	}
 	sc := NewScanner(src)
+	var n uint64
 	for sc.Scan() {
+		if n%chunkSize == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, n, err
+			}
+		}
+		n++
 		meta, bases, quals := sc.View()
 		if err := w.Append(bases, quals, meta); err != nil {
 			return nil, 0, err
@@ -50,55 +62,137 @@ func Import(store agd.BlobStore, name string, src io.Reader, opts ImportOptions)
 	return m, m.NumRecords(), nil
 }
 
+// ImportStream parses a FASTQ stream into a pipeline group stream — the
+// source form of Import used by composed pipelines: the parsed chunks feed
+// the next stage in memory, and nothing is written to a store unless the
+// pipeline ends in a dataset sink. Each group holds ChunkSize reads in the
+// three standard read columns, built into reused builders (a group is valid
+// until the next one is requested). Scanner errors surface from Next.
+func ImportStream(src io.Reader, opts ImportOptions) *agd.GroupStream {
+	chunkSize := opts.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = agd.DefaultChunkSize
+	}
+	specs := agd.StandardReadColumns()
+	builders := make([]*agd.ChunkBuilder, len(specs))
+	for i, spec := range specs {
+		builders[i] = agd.NewChunkBuilder(spec.Type, 0)
+	}
+	sc := NewScanner(src)
+	var (
+		ordinal uint64
+		idx     int
+		done    bool
+	)
+	meta := agd.StreamMeta{
+		Columns:   []string{agd.ColBases, agd.ColQual, agd.ColMetadata},
+		RefSeqs:   opts.RefSeqs,
+		ChunkSize: chunkSize,
+	}
+	next := func(ctx context.Context) (*agd.RowGroup, error) {
+		if done {
+			return nil, io.EOF
+		}
+		for i, spec := range specs {
+			builders[i].Reset(spec.Type, ordinal)
+		}
+		rows := 0
+		for rows < chunkSize && sc.Scan() {
+			m, bases, quals := sc.View()
+			builders[0].AppendBases(bases)
+			builders[1].Append(quals)
+			builders[2].Append(m)
+			rows++
+		}
+		if err := sc.Err(); err != nil {
+			done = true
+			return nil, err
+		}
+		if rows == 0 {
+			done = true
+			return nil, io.EOF
+		}
+		ordinal += uint64(rows)
+		chunks := make([]*agd.Chunk, len(builders))
+		for i := range builders {
+			chunks[i] = builders[i].Chunk()
+		}
+		g := agd.NewRowGroup(idx, 0, chunks, nil)
+		idx++
+		return g, nil
+	}
+	return agd.NewGroupStream(meta, next, nil)
+}
+
 // Export converts an AGD dataset back to FASTQ. Chunks arrive through a
 // prefetching ChunkStream and records are written straight from the column
 // bytes (bases expand into a reused scratch), so the export performs no
-// per-read allocation.
-func Export(ds *agd.Dataset, dst io.Writer) (uint64, error) {
-	w := NewWriter(dst)
+// per-read allocation. Cancellation and deadline of ctx are checked per
+// chunk.
+func Export(ctx context.Context, ds *agd.Dataset, dst io.Writer) (uint64, error) {
 	chunkPool := agd.NewChunkPool(3 * (agd.DefaultPrefetch + 1))
-	stream, err := ds.Stream(agd.StreamOptions{
+	in, err := ds.Groups(agd.StreamOptions{
 		Columns: []string{agd.ColBases, agd.ColQual, agd.ColMetadata},
 		Pool:    chunkPool,
 	})
 	if err != nil {
 		return 0, err
 	}
-	defer stream.Close()
+	defer in.Close()
+	return ExportStream(ctx, in, dst)
+}
+
+// ExportStream renders a pipeline stream's reads as FASTQ — the stream-in
+// sink form of Export.
+func ExportStream(ctx context.Context, in *agd.GroupStream, dst io.Writer) (uint64, error) {
+	basesCol := in.Meta.Col(agd.ColBases)
+	qualCol := in.Meta.Col(agd.ColQual)
+	metaCol := in.Meta.Col(agd.ColMetadata)
+	if basesCol < 0 || qualCol < 0 || metaCol < 0 {
+		return 0, fmt.Errorf("fastq: stream lacks a read column (have %v)", in.Meta.Columns)
+	}
+	w := NewWriter(dst)
 	var n uint64
 	var bases []byte
+	walk := func(g *agd.RowGroup) error {
+		basesChunk, qualChunk, metaChunk := g.Chunks[basesCol], g.Chunks[qualCol], g.Chunks[metaCol]
+		if basesChunk.NumRecords() != qualChunk.NumRecords() || basesChunk.NumRecords() != metaChunk.NumRecords() {
+			return fmt.Errorf("fastq: group %d columns disagree on record count", g.Index)
+		}
+		var err error
+		for r := 0; r < basesChunk.NumRecords(); r++ {
+			bases, err = basesChunk.ExpandBasesRecord(bases[:0], r)
+			if err != nil {
+				return err
+			}
+			qual, err := qualChunk.Record(r)
+			if err != nil {
+				return err
+			}
+			meta, err := metaChunk.Record(r)
+			if err != nil {
+				return err
+			}
+			if err := w.WriteFields(meta, bases, qual); err != nil {
+				return err
+			}
+			n++
+		}
+		return nil
+	}
 	for {
-		sc, err := stream.Next(context.Background())
+		g, err := in.Next(ctx)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return n, err
 		}
-		chunks := sc.Chunks()
-		basesChunk, qualChunk, metaChunk := chunks[0], chunks[1], chunks[2]
-		if basesChunk.NumRecords() != qualChunk.NumRecords() || basesChunk.NumRecords() != metaChunk.NumRecords() {
-			return n, fmt.Errorf("fastq: chunk %d columns disagree on record count", sc.Index)
+		err = walk(g)
+		g.Release() // release on the error path too (pooled sources)
+		if err != nil {
+			return n, err
 		}
-		for r := 0; r < basesChunk.NumRecords(); r++ {
-			bases, err = basesChunk.ExpandBasesRecord(bases[:0], r)
-			if err != nil {
-				return n, err
-			}
-			qual, err := qualChunk.Record(r)
-			if err != nil {
-				return n, err
-			}
-			meta, err := metaChunk.Record(r)
-			if err != nil {
-				return n, err
-			}
-			if err := w.WriteFields(meta, bases, qual); err != nil {
-				return n, err
-			}
-			n++
-		}
-		sc.Release()
 	}
 	return n, w.Flush()
 }

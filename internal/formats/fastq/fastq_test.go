@@ -1,6 +1,7 @@
 package fastq
 
 import (
+	"context"
 	"bytes"
 	"compress/gzip"
 	"strings"
@@ -133,7 +134,7 @@ func TestGzipScanner(t *testing.T) {
 
 func TestImportExportAGDRoundTrip(t *testing.T) {
 	store := agd.NewMemStore()
-	m, n, err := Import(store, "ds", strings.NewReader(sample), ImportOptions{ChunkSize: 1})
+	m, n, err := Import(context.Background(), store, "ds", strings.NewReader(sample), ImportOptions{ChunkSize: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestImportExportAGDRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	en, err := Export(ds, &out)
+	en, err := Export(context.Background(), ds, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestImportExportAGDRoundTrip(t *testing.T) {
 
 func TestImportRejectsMalformed(t *testing.T) {
 	store := agd.NewMemStore()
-	if _, _, err := Import(store, "ds", strings.NewReader("garbage\n"), ImportOptions{}); err == nil {
+	if _, _, err := Import(context.Background(), store, "ds", strings.NewReader("garbage\n"), ImportOptions{}); err == nil {
 		t.Fatal("malformed FASTQ imported")
 	}
 }

@@ -1,6 +1,7 @@
 package fastq_test
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func TestFASTQRoundTripGolden(t *testing.T) {
 		"@r3/1 with spaces\tand tab\nTTTTTTTTTTTT\n+\n!\"#$%&'()*+,\n"
 
 	store := agd.NewMemStore()
-	_, n, err := fastq.Import(store, "ds", strings.NewReader(golden), fastq.ImportOptions{ChunkSize: 2})
+	_, n, err := fastq.Import(context.Background(), store, "ds", strings.NewReader(golden), fastq.ImportOptions{ChunkSize: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestFASTQRoundTripGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if _, err := fastq.Export(ds, &out); err != nil {
+	if _, err := fastq.Export(context.Background(), ds, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.String() != golden {
@@ -64,7 +65,7 @@ func TestFASTQRoundTripSimulated(t *testing.T) {
 	}
 
 	store := agd.NewMemStore()
-	if _, _, err := fastq.Import(store, "ds", bytes.NewReader(text.Bytes()), fastq.ImportOptions{ChunkSize: 100}); err != nil {
+	if _, _, err := fastq.Import(context.Background(), store, "ds", bytes.NewReader(text.Bytes()), fastq.ImportOptions{ChunkSize: 100}); err != nil {
 		t.Fatal(err)
 	}
 	ds, err := agd.Open(store, "ds")
@@ -72,7 +73,7 @@ func TestFASTQRoundTripSimulated(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if _, err := fastq.Export(ds, &out); err != nil {
+	if _, err := fastq.Export(context.Background(), ds, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(text.Bytes(), out.Bytes()) {

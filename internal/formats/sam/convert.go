@@ -49,22 +49,31 @@ var exportColumns = []string{agd.ColBases, agd.ColQual, agd.ColMetadata, agd.Col
 // compatibility output subgraph of §4.4. Chunks arrive through a prefetching
 // ChunkStream and each record is rendered from the column bytes in place, so
 // the export performs no per-record allocation. It returns the number of
-// records written.
-func Export(ds *agd.Dataset, dst io.Writer) (uint64, error) {
-	if !ds.Manifest.HasColumn(agd.ColResults) {
-		return 0, fmt.Errorf("sam: dataset %q has no results column", ds.Manifest.Name)
+// records written. Cancellation and deadline of ctx are checked per chunk.
+func Export(ctx context.Context, ds *agd.Dataset, dst io.Writer) (uint64, error) {
+	in, err := exportGroups(ds)
+	if err != nil {
+		return 0, err
 	}
-	refmap := NewRefMap(ds.Manifest.RefSeqs)
+	defer in.Close()
+	return ExportStream(ctx, in, dst)
+}
+
+// ExportStream renders a pipeline stream (with a results column) as SAM —
+// the stream-in sink form of Export. The header's sort order comes from the
+// stream metadata.
+func ExportStream(ctx context.Context, in *agd.GroupStream, dst io.Writer) (uint64, error) {
+	refmap := NewRefMap(in.Meta.RefSeqs)
 	sortOrder := "unsorted"
-	if ds.Manifest.SortedBy == "location" {
+	if in.Meta.SortedBy == "location" {
 		sortOrder = "coordinate"
 	}
-	w, err := NewWriter(dst, ds.Manifest.RefSeqs, sortOrder)
+	w, err := NewWriter(dst, in.Meta.RefSeqs, sortOrder)
 	if err != nil {
 		return 0, err
 	}
 	var n uint64
-	err = StreamRecords(ds, func(meta, seq, qual []byte, v *agd.ResultView) error {
+	err = StreamGroups(ctx, in, func(meta, seq, qual []byte, v *agd.ResultView) error {
 		n++
 		return w.WriteView(meta, seq, qual, v, refmap)
 	})
@@ -74,35 +83,51 @@ func Export(ds *agd.Dataset, dst io.Writer) (uint64, error) {
 	return n, w.Flush()
 }
 
+// exportGroups opens the pooled four-column group stream the SAM and BAM
+// dataset exporters walk.
+func exportGroups(ds *agd.Dataset) (*agd.GroupStream, error) {
+	if !ds.Manifest.HasColumn(agd.ColResults) {
+		return nil, fmt.Errorf("sam: dataset %q has no results column", ds.Manifest.Name)
+	}
+	chunkPool := agd.NewChunkPool(len(exportColumns) * (agd.DefaultPrefetch + 1))
+	return ds.Groups(agd.StreamOptions{Columns: exportColumns, Pool: chunkPool})
+}
+
 // StreamRecords streams every record of an aligned dataset in SAM
 // orientation through fn(meta, seq, qual, result view). The slices alias
 // reused buffers, valid only for the duration of the call — the shared
 // zero-allocation walk under the SAM and BAM exporters.
-func StreamRecords(ds *agd.Dataset, fn func(meta, seq, qual []byte, v *agd.ResultView) error) error {
-	chunkPool := agd.NewChunkPool(len(exportColumns) * (agd.DefaultPrefetch + 1))
-	stream, err := ds.Stream(agd.StreamOptions{Columns: exportColumns, Pool: chunkPool})
+func StreamRecords(ctx context.Context, ds *agd.Dataset, fn func(meta, seq, qual []byte, v *agd.ResultView) error) error {
+	in, err := exportGroups(ds)
 	if err != nil {
 		return err
 	}
-	defer stream.Close()
+	defer in.Close()
+	return StreamGroups(ctx, in, fn)
+}
+
+// StreamGroups is StreamRecords over a pipeline stream: the group-stream
+// walk shared by the SAM, BAM and dataset export paths. The stream must
+// carry the bases, qual, metadata and results columns.
+func StreamGroups(ctx context.Context, in *agd.GroupStream, fn func(meta, seq, qual []byte, v *agd.ResultView) error) error {
+	basesCol := in.Meta.Col(agd.ColBases)
+	qualCol := in.Meta.Col(agd.ColQual)
+	metaCol := in.Meta.Col(agd.ColMetadata)
+	resCol := in.Meta.Col(agd.ColResults)
+	if basesCol < 0 || qualCol < 0 || metaCol < 0 || resCol < 0 {
+		return fmt.Errorf("sam: stream lacks an export column (have %v)", in.Meta.Columns)
+	}
 	var scratch ExportScratch
 	// v is hoisted out of the record loop: its address is passed to fn, so a
 	// loop-local view would escape (one heap allocation per record).
 	var v agd.ResultView
-	for {
-		sc, err := stream.Next(context.Background())
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		chunks := sc.Chunks()
-		basesChunk, qualChunk, metaChunk, resChunk := chunks[0], chunks[1], chunks[2], chunks[3]
+	walk := func(g *agd.RowGroup) error {
+		basesChunk, qualChunk, metaChunk, resChunk := g.Chunks[basesCol], g.Chunks[qualCol], g.Chunks[metaCol], g.Chunks[resCol]
 		n := basesChunk.NumRecords()
 		if qualChunk.NumRecords() != n || metaChunk.NumRecords() != n || resChunk.NumRecords() != n {
-			return fmt.Errorf("sam: chunk %d columns disagree on record count", sc.Index)
+			return fmt.Errorf("sam: group %d columns disagree on record count", g.Index)
 		}
+		var err error
 		for r := 0; r < n; r++ {
 			scratch.bases, err = basesChunk.ExpandBasesRecord(scratch.bases[:0], r)
 			if err != nil {
@@ -128,7 +153,23 @@ func StreamRecords(ds *agd.Dataset, fn func(meta, seq, qual []byte, v *agd.Resul
 				return err
 			}
 		}
-		sc.Release()
+		return nil
+	}
+	for {
+		g, err := in.Next(ctx)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		err = walk(g)
+		// Release on the error path too: pooled chunks must go back even
+		// when the walk fails, or a shared session pool slowly drains.
+		g.Release()
+		if err != nil {
+			return err
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package sam
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -27,9 +28,14 @@ type ImportOptions struct {
 // Parsing is byte-level into reused buffers: fields flow from the input
 // straight into the writer's arena-backed chunk builders without
 // materializing Record objects or strings, so steady-state import performs
-// no per-record allocation.
-func Import(store agd.BlobStore, name string, src io.Reader, opts ImportOptions) (*agd.Manifest, uint64, error) {
+// no per-record allocation. Cancellation and deadline of ctx are checked
+// once per output chunk's worth of records.
+func Import(ctx context.Context, store agd.BlobStore, name string, src io.Reader, opts ImportOptions) (*agd.Manifest, uint64, error) {
 	br := bufio.NewReaderSize(src, 1<<16)
+	chunkSize := uint64(opts.ChunkSize)
+	if chunkSize == 0 {
+		chunkSize = agd.DefaultChunkSize
+	}
 	var (
 		w       *agd.Writer
 		refmap  *RefMap
@@ -85,6 +91,11 @@ func Import(store agd.BlobStore, name string, src io.Reader, opts ImportOptions)
 			}
 		}
 
+		if n%chunkSize == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, n, err
+			}
+		}
 		fields = splitTabs(fields[:0], line)
 		if len(fields) < 11 {
 			return nil, n, fmt.Errorf("sam: line %d: only %d fields", lineNum, len(fields))

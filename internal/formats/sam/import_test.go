@@ -1,6 +1,7 @@
 package sam
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ r3	4	*	0	0	*	*	0	0	GGGG	!!!!
 
 func TestImportSAMRoundTrip(t *testing.T) {
 	store := agd.NewMemStore()
-	m, n, err := Import(store, "ds", strings.NewReader(importSample), ImportOptions{ChunkSize: 2})
+	m, n, err := Import(context.Background(), store, "ds", strings.NewReader(importSample), ImportOptions{ChunkSize: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestImportSAMRoundTrip(t *testing.T) {
 	// orientation: r2's stored bases are RC("ACGT") = "ACGT"... use the
 	// export to confirm SAM-side fidelity instead.
 	var out bytes.Buffer
-	if _, err := Export(ds, &out); err != nil {
+	if _, err := Export(context.Background(), ds, &out); err != nil {
 		t.Fatal(err)
 	}
 	sc := NewScanner(strings.NewReader(out.String()))
@@ -87,10 +88,10 @@ func TestImportSAMRoundTrip(t *testing.T) {
 func TestImportSAMRejectsHeaderless(t *testing.T) {
 	store := agd.NewMemStore()
 	noSQ := "@HD\tVN:1.6\nr1\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII\n"
-	if _, _, err := Import(store, "ds", strings.NewReader(noSQ), ImportOptions{}); err == nil {
+	if _, _, err := Import(context.Background(), store, "ds", strings.NewReader(noSQ), ImportOptions{}); err == nil {
 		t.Fatal("headerless SAM imported")
 	}
-	if _, _, err := Import(store, "ds", strings.NewReader("@HD\tVN:1.6\n"), ImportOptions{}); err == nil {
+	if _, _, err := Import(context.Background(), store, "ds", strings.NewReader("@HD\tVN:1.6\n"), ImportOptions{}); err == nil {
 		t.Fatal("record-less SAM imported")
 	}
 }

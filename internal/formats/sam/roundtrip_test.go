@@ -1,6 +1,7 @@
 package sam_test
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -29,7 +30,7 @@ func TestSAMRoundTripGolden(t *testing.T) {
 		"x1\t65\tchr1\t401\t50\t4M\tchr2\t51\t0\tGGGG\tLLLL\n"
 
 	store := agd.NewMemStore()
-	_, n, err := sam.Import(store, "ds", strings.NewReader(golden), sam.ImportOptions{ChunkSize: 2})
+	_, n, err := sam.Import(context.Background(), store, "ds", strings.NewReader(golden), sam.ImportOptions{ChunkSize: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestSAMRoundTripGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if _, err := sam.Export(ds, &out); err != nil {
+	if _, err := sam.Export(context.Background(), ds, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.String() != golden {
@@ -58,11 +59,11 @@ func TestSAMRoundTripFixture(t *testing.T) {
 		GenomeSize: 120_000, NumReads: 400, ReadLen: 80, ChunkSize: 64, Seed: 77,
 	})
 	var first bytes.Buffer
-	if _, err := sam.Export(f.Dataset, &first); err != nil {
+	if _, err := sam.Export(context.Background(), f.Dataset, &first); err != nil {
 		t.Fatal(err)
 	}
 	store2 := agd.NewMemStore()
-	if _, _, err := sam.Import(store2, "ds2", bytes.NewReader(first.Bytes()), sam.ImportOptions{ChunkSize: 64}); err != nil {
+	if _, _, err := sam.Import(context.Background(), store2, "ds2", bytes.NewReader(first.Bytes()), sam.ImportOptions{ChunkSize: 64}); err != nil {
 		t.Fatal(err)
 	}
 	ds2, err := agd.Open(store2, "ds2")
@@ -70,7 +71,7 @@ func TestSAMRoundTripFixture(t *testing.T) {
 		t.Fatal(err)
 	}
 	var second bytes.Buffer
-	if _, err := sam.Export(ds2, &second); err != nil {
+	if _, err := sam.Export(context.Background(), ds2, &second); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(first.Bytes(), second.Bytes()) {

@@ -48,22 +48,23 @@ type signature struct {
 
 // Mark rewrites the results column of a dataset with duplicate flags set and
 // returns marking statistics. The manifest is unchanged (same columns, same
-// chunking); only results chunk blobs are replaced.
-func Mark(store agd.BlobStore, name string) (Stats, error) {
+// chunking); only results chunk blobs are replaced. Cancellation and
+// deadline of ctx are checked per chunk.
+func Mark(ctx context.Context, store agd.BlobStore, name string) (Stats, error) {
 	ds, err := agd.Open(store, name)
 	if err != nil {
 		return Stats{}, err
 	}
-	return MarkDataset(ds)
+	return MarkDataset(ctx, ds)
 }
 
 // MarkDataset is Mark over an open dataset.
-func MarkDataset(ds *agd.Dataset) (Stats, error) {
-	return MarkDatasetOptions(ds, Options{})
+func MarkDataset(ctx context.Context, ds *agd.Dataset) (Stats, error) {
+	return MarkDatasetOptions(ctx, ds, Options{})
 }
 
 // MarkDatasetOptions is MarkDataset with explicit options.
-func MarkDatasetOptions(ds *agd.Dataset, opts Options) (Stats, error) {
+func MarkDatasetOptions(ctx context.Context, ds *agd.Dataset, opts Options) (Stats, error) {
 	m := ds.Manifest
 	if !m.HasColumn(agd.ColResults) {
 		return Stats{}, fmt.Errorf("markdup: dataset %q has no results column", m.Name)
@@ -100,7 +101,6 @@ func MarkDatasetOptions(ds *agd.Dataset, opts Options) (Stats, error) {
 	var wg sync.WaitGroup
 	asyncErrs := make(chan error, 1)
 	var cigar align.Cigar // reused unclipped-position parse scratch
-	ctx := context.Background()
 	for {
 		sc, err := stream.Next(ctx)
 		if err == io.EOF {
@@ -116,29 +116,10 @@ func MarkDatasetOptions(ds *agd.Dataset, opts Options) (Stats, error) {
 			wg.Wait()
 			return stats, err
 		}
-		builder.Reset(agd.TypeResults, chunk.FirstOrdinal)
-		for r := 0; r < chunk.NumRecords(); r++ {
-			v, err := chunk.DecodeResultViewRecord(r)
-			if err != nil {
-				wg.Wait()
-				return stats, err
-			}
-			stats.Reads++
-			if !v.IsUnmapped() {
-				var sig signature
-				sig, cigar, err = signatureOf(&v, cigar)
-				if err != nil {
-					wg.Wait()
-					return stats, err
-				}
-				if _, dup := seen[sig]; dup {
-					v.Flags |= agd.FlagDuplicate
-					stats.Duplicates++
-				} else {
-					seen[sig] = struct{}{}
-				}
-			}
-			builder.AppendResultView(&v)
+		cigar, err = markChunk(chunk, builder, seen, &stats, cigar)
+		if err != nil {
+			wg.Wait()
+			return stats, err
 		}
 		blobName, err := ds.ChunkBlobName(agd.ColResults, sc.Index)
 		if err != nil {
@@ -173,6 +154,69 @@ func MarkDatasetOptions(ds *agd.Dataset, opts Options) (Stats, error) {
 	default:
 	}
 	return stats, nil
+}
+
+// markChunk re-encodes one results chunk into builder with duplicate flags
+// set, updating seen and stats. The CIGAR scratch is returned for reuse —
+// the shared sequential mark pass under both the dataset and stream forms.
+func markChunk(chunk *agd.Chunk, builder *agd.ChunkBuilder, seen map[signature]struct{}, stats *Stats, cigar align.Cigar) (align.Cigar, error) {
+	builder.Reset(agd.TypeResults, chunk.FirstOrdinal)
+	for r := 0; r < chunk.NumRecords(); r++ {
+		v, err := chunk.DecodeResultViewRecord(r)
+		if err != nil {
+			return cigar, err
+		}
+		stats.Reads++
+		if !v.IsUnmapped() {
+			var sig signature
+			sig, cigar, err = signatureOf(&v, cigar)
+			if err != nil {
+				return cigar, err
+			}
+			if _, dup := seen[sig]; dup {
+				v.Flags |= agd.FlagDuplicate
+				stats.Duplicates++
+			} else {
+				seen[sig] = struct{}{}
+			}
+		}
+		builder.AppendResultView(&v)
+	}
+	return cigar, nil
+}
+
+// MarkStream is the stream-in/stream-out form of Mark, used by composed
+// pipelines: each group's results chunk is replaced with a re-encoded chunk
+// carrying duplicate flags; the other columns pass through untouched.
+// Marking is order-dependent (the first occurrence survives), so the pass is
+// sequential — exactly the order the stream delivers. The returned stats
+// update as groups flow and are complete at io.EOF. The returned group's
+// results chunk aliases a reused builder, valid until the next group.
+func MarkStream(in *agd.GroupStream) (*agd.GroupStream, *Stats, error) {
+	resCol := in.Meta.Col(agd.ColResults)
+	if resCol < 0 {
+		return nil, nil, fmt.Errorf("markdup: stream has no results column")
+	}
+	stats := &Stats{}
+	seen := make(map[signature]struct{}, in.Meta.NumRecords)
+	builder := agd.NewChunkBuilder(agd.TypeResults, 0)
+	var cigar align.Cigar
+	next := func(ctx context.Context) (*agd.RowGroup, error) {
+		g, err := in.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		cigar, err = markChunk(g.Chunks[resCol], builder, seen, stats, cigar)
+		if err != nil {
+			g.Release()
+			return nil, err
+		}
+		chunks := make([]*agd.Chunk, len(g.Chunks))
+		copy(chunks, g.Chunks)
+		chunks[resCol] = builder.Chunk()
+		return agd.NewRowGroup(g.Index, g.Shard, chunks, g.Release), nil
+	}
+	return agd.NewGroupStream(in.Meta, next, in.Close), stats, nil
 }
 
 // signatureOf computes a read's duplication signature, parsing its CIGAR

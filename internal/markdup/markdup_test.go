@@ -1,6 +1,7 @@
 package markdup
 
 import (
+	"context"
 	"testing"
 
 	"persona/internal/agd"
@@ -12,7 +13,7 @@ func TestMarkFindsSimulatedDuplicates(t *testing.T) {
 	f := testutil.Build(t, store, "ds", testutil.Config{
 		GenomeSize: 150_000, NumReads: 2000, ReadLen: 80, ChunkSize: 256, DupFrac: 0.2, Seed: 61,
 	})
-	stats, err := MarkDataset(f.Dataset)
+	stats, err := MarkDataset(context.Background(), f.Dataset)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestMarkKeepsFirstOccurrence(t *testing.T) {
 	f := testutil.Build(t, store, "ds", testutil.Config{
 		GenomeSize: 100_000, NumReads: 1000, ReadLen: 70, ChunkSize: 128, DupFrac: 0.3, Seed: 62,
 	})
-	if _, err := MarkDataset(f.Dataset); err != nil {
+	if _, err := MarkDataset(context.Background(), f.Dataset); err != nil {
 		t.Fatal(err)
 	}
 	ds, err := agd.Open(store, "ds")
@@ -94,7 +95,7 @@ func TestMarkIdempotent(t *testing.T) {
 	f := testutil.Build(t, store, "ds", testutil.Config{
 		GenomeSize: 80_000, NumReads: 500, ReadLen: 60, ChunkSize: 100, DupFrac: 0.1, Seed: 63,
 	})
-	s1, err := MarkDataset(f.Dataset)
+	s1, err := MarkDataset(context.Background(), f.Dataset)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestMarkIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := MarkDataset(ds)
+	s2, err := MarkDataset(context.Background(), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestMarkSkipsUnmapped(t *testing.T) {
 	if _, err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := Mark(store, "u")
+	stats, err := Mark(context.Background(), store, "u")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,10 +162,10 @@ func TestMarkErrors(t *testing.T) {
 	f := testutil.Build(t, store, "nores", testutil.Config{
 		GenomeSize: 50_000, NumReads: 50, ReadLen: 50, ChunkSize: 25, Seed: 64, SkipAlign: true,
 	})
-	if _, err := MarkDataset(f.Dataset); err == nil {
+	if _, err := MarkDataset(context.Background(), f.Dataset); err == nil {
 		t.Fatal("marking without results column succeeded")
 	}
-	if _, err := Mark(store, "missing"); err == nil {
+	if _, err := Mark(context.Background(), store, "missing"); err == nil {
 		t.Fatal("marking a missing dataset succeeded")
 	}
 }

@@ -110,7 +110,8 @@ func NewPileup(g *genome.Genome) *Pileup {
 
 // AddDataset piles up every eligible read of an aligned dataset, streaming
 // the three columns it needs through a prefetching agd.ChunkStream.
-func (p *Pileup) AddDataset(ds *agd.Dataset, opts Options) error {
+// Cancellation and deadline of ctx are checked per chunk.
+func (p *Pileup) AddDataset(ctx context.Context, ds *agd.Dataset, opts Options) error {
 	opts = opts.withDefaults()
 	m := ds.Manifest
 	if !m.HasColumn(agd.ColResults) {
@@ -131,7 +132,6 @@ func (p *Pileup) AddDataset(ds *agd.Dataset, opts Options) error {
 	}
 	defer stream.Close()
 	var scratch []byte
-	ctx := context.Background()
 	for {
 		sc, err := stream.Next(ctx)
 		if err == io.EOF {
@@ -289,9 +289,9 @@ func variantQual(altDepth, depth int) float64 {
 }
 
 // CallDataset piles up a dataset and calls variants in one step.
-func CallDataset(ds *agd.Dataset, g *genome.Genome, opts Options) ([]Variant, error) {
+func CallDataset(ctx context.Context, ds *agd.Dataset, g *genome.Genome, opts Options) ([]Variant, error) {
 	p := NewPileup(g)
-	if err := p.AddDataset(ds, opts); err != nil {
+	if err := p.AddDataset(ctx, ds, opts); err != nil {
 		return nil, err
 	}
 	return p.Call(opts)

@@ -1,6 +1,7 @@
 package varcall
 
 import (
+	"context"
 	"bytes"
 	"math/rand"
 	"strings"
@@ -105,7 +106,7 @@ func donorFixture(t *testing.T, numSNPs int) (*genome.Genome, *agd.Dataset, map[
 
 func TestCallRecoversPlantedSNPs(t *testing.T) {
 	ref, ds, planted := donorFixture(t, 40)
-	variants, err := CallDataset(ds, ref, NewOptions())
+	variants, err := CallDataset(context.Background(), ds, ref, NewOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestCallCleanDataHasFewVariants(t *testing.T) {
 		t.Helper()
 		return donorFixtureClean(t)
 	}()
-	variants, err := CallDataset(ds, ref, NewOptions())
+	variants, err := CallDataset(context.Background(), ds, ref, NewOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestWriteVCF(t *testing.T) {
 func TestPileupDepthAccounting(t *testing.T) {
 	ref, ds, _ := donorFixtureClean(t)
 	p := NewPileup(ref)
-	if err := p.AddDataset(ds, NewOptions()); err != nil {
+	if err := p.AddDataset(context.Background(), ds, NewOptions()); err != nil {
 		t.Fatal(err)
 	}
 	reads, used := p.Stats()
@@ -275,7 +276,7 @@ func TestCallRejectsNoResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := CallDataset(agd.OpenManifest(store, m), ref, NewOptions()); err == nil {
+	if _, err := CallDataset(context.Background(), agd.OpenManifest(store, m), ref, NewOptions()); err == nil {
 		t.Fatal("dataset without results accepted")
 	}
 }

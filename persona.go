@@ -4,7 +4,24 @@
 // Genomic Data (AGD) column-store format.
 //
 // The package is the public facade — the equivalent of the paper's thin
-// Python library (§4.1). It covers the full pipeline the paper evaluates:
+// client library (§4.1). Its primary abstraction is the Session/Pipeline
+// pair: a Session owns the long-lived runtime (the store, one shared
+// work-stealing executor, the chunk pools, a reference-index cache), and a
+// Pipeline is a fluent, validated stage graph whose Run streams AGD chunks
+// stage-to-stage over that runtime. A whole-genome preprocessing workflow
+// is one composed graph — no intermediate dataset is written between
+// stages (sort, a global barrier, spills temporary run blobs only):
+//
+//	sess := persona.NewSession(store, persona.SessionOptions{})
+//	defer sess.Close()
+//	report, err := sess.Read("patient").
+//		Align(idx, persona.AlignOptions{}).
+//		Sort(persona.ByLocation).
+//		MarkDuplicates().
+//		ExportSAM(os.Stdout).
+//		Run(ctx)
+//
+// The stages cover the full pipeline the paper evaluates:
 //
 //   - FASTQ import into AGD and export to FASTQ/SAM/BAM (§5.7)
 //   - single-server dataflow alignment with the SNAP-style aligner (§4.3)
@@ -12,11 +29,19 @@
 //     (§5.2, §5.5)
 //   - external-merge sorting by location or read ID (§4.3, Table 2)
 //   - Samblaster-style duplicate marking on the results column (§5.6)
+//   - filtering and pileup-based variant calling (§1, §8)
+//
+// Every stage also remains available as a one-shot free function (Align,
+// Sort, MarkDuplicates, Filter, Export*, Import*, CallVariants) — thin
+// wrappers that run a single stage against the store directly, for callers
+// that do not need composition. All of them take a context.Context and
+// honor cancellation per chunk.
 //
 // Storage backends (local directories, an in-memory store, and a Ceph-like
 // replicated object store) implement the same BlobStore interface, so
-// pipelines are storage-agnostic (§4.2). See DESIGN.md for the map from
-// paper sections to packages and EXPERIMENTS.md for reproduced results.
+// pipelines are storage-agnostic (§4.2). See ROADMAP.md for the map from
+// paper sections to open work and PERF.md for measured results, including
+// the fused-pipeline wall/alloc deltas.
 package persona
 
 import (
@@ -58,7 +83,7 @@ type (
 	AlignReport = core.AlignReport
 	// ClusterReport summarizes a distributed alignment run.
 	ClusterReport = cluster.Report
-	// SortStats names the sort order of a dataset.
+	// SortKey names the sort order of a dataset.
 	SortKey = agdsort.Key
 	// DupStats reports a duplicate-marking pass.
 	DupStats = markdup.Stats
@@ -83,12 +108,13 @@ func NewObjectStore() (*storage.ObjectStore, error) {
 }
 
 // SynthesizeGenome generates the deterministic synthetic reference used in
-// place of hg19 (see DESIGN.md §3).
+// place of hg19 (the real reference cannot ship with the repository).
 func SynthesizeGenome(totalBases int, seed int64) (*Genome, error) {
 	return genome.Synthesize(genome.DefaultSyntheticConfig(totalBases, seed))
 }
 
-// BuildIndex builds a SNAP-style seed index over a reference genome.
+// BuildIndex builds a SNAP-style seed index over a reference genome. When
+// serving repeated requests, prefer Session.Index, which caches the build.
 func BuildIndex(g *Genome) (*Index, error) {
 	return snap.BuildIndex(g, snap.IndexConfig{SeedLen: 16})
 }
@@ -97,9 +123,10 @@ func BuildIndex(g *Genome) (*Index, error) {
 func RefSeqs(g *Genome) []agd.RefSeq { return agd.RefSeqsFromGenome(g) }
 
 // ImportFASTQ converts a FASTQ stream into an AGD dataset and returns its
-// manifest and record count.
-func ImportFASTQ(store Store, name string, src io.Reader, refs []agd.RefSeq, chunkSize int) (*Manifest, uint64, error) {
-	return fastq.Import(store, name, src, fastq.ImportOptions{ChunkSize: chunkSize, RefSeqs: refs})
+// manifest and record count — the one-stage form of the pipeline source
+// Session.ImportFASTQ.
+func ImportFASTQ(ctx context.Context, store Store, name string, src io.Reader, refs []agd.RefSeq, chunkSize int) (*Manifest, uint64, error) {
+	return fastq.Import(ctx, store, name, src, fastq.ImportOptions{ChunkSize: chunkSize, RefSeqs: refs})
 }
 
 // OpenDataset opens an existing AGD dataset.
@@ -107,13 +134,15 @@ func OpenDataset(store Store, name string) (*Dataset, error) { return agd.Open(s
 
 // AlignOptions configures Align.
 type AlignOptions struct {
-	// ExecutorThreads sizes the shared compute executor; 0 means 2.
+	// ExecutorThreads sizes the shared compute executor; 0 means 2. In a
+	// Pipeline the executor is session-owned and this field is ignored.
 	ExecutorThreads int
 	// MaxDist is the aligner's maximum edit distance; 0 means 12.
 	MaxDist int
 	// Prefetch is the input stream's chunk-fetch window: how many chunks'
 	// column blobs the pipeline keeps in flight, counting the one being
-	// decoded. 1 fetches synchronously; 0 picks the pipeline default.
+	// decoded. 1 fetches synchronously; 0 picks the pipeline default. In a
+	// Pipeline the window is session-owned and this field is ignored.
 	Prefetch int
 }
 
@@ -131,56 +160,62 @@ func Align(ctx context.Context, store Store, dataset string, idx *Index, opts Al
 }
 
 // AlignDistributed aligns a dataset across nodes worker nodes coordinated
-// by a TCP manifest server (§5.2).
-func AlignDistributed(store Store, dataset string, idx *Index, nodes, threadsPerNode int) (*ClusterReport, *Manifest, error) {
-	return cluster.Align(store, dataset, idx, cluster.Config{
+// by a TCP manifest server (§5.2). Session.AlignDistributed is the form
+// that shares a session's executor and warm index cache.
+func AlignDistributed(ctx context.Context, store Store, dataset string, idx *Index, nodes, threadsPerNode int) (*ClusterReport, *Manifest, error) {
+	return cluster.Align(ctx, store, dataset, idx, cluster.Config{
 		Nodes:          nodes,
 		ThreadsPerNode: threadsPerNode,
 	})
 }
 
 // Sort externally sorts a dataset by the given key into outputName (empty
-// for "<name>.sorted") and returns the sorted manifest.
-func Sort(store Store, dataset string, by SortKey, outputName string) (*Manifest, error) {
-	return agdsort.Sort(store, dataset, agdsort.Options{By: by, OutputName: outputName})
+// for "<name>.sorted") and returns the sorted manifest — the one-stage form
+// of the pipeline stage Pipeline.Sort.
+func Sort(ctx context.Context, store Store, dataset string, by SortKey, outputName string) (*Manifest, error) {
+	return agdsort.Sort(ctx, store, dataset, agdsort.Options{By: by, OutputName: outputName})
 }
 
-// MarkDuplicates flags duplicate reads in a dataset's results column.
-func MarkDuplicates(store Store, dataset string) (DupStats, error) {
-	return markdup.Mark(store, dataset)
+// MarkDuplicates flags duplicate reads in a dataset's results column — the
+// one-stage form of Pipeline.MarkDuplicates.
+func MarkDuplicates(ctx context.Context, store Store, dataset string) (DupStats, error) {
+	return markdup.Mark(ctx, store, dataset)
 }
 
-// ExportSAM streams a dataset out as SAM text.
-func ExportSAM(store Store, dataset string, dst io.Writer) (uint64, error) {
+// ExportSAM streams a dataset out as SAM text — the one-stage form of
+// Pipeline.ExportSAM.
+func ExportSAM(ctx context.Context, store Store, dataset string, dst io.Writer) (uint64, error) {
 	ds, err := agd.Open(store, dataset)
 	if err != nil {
 		return 0, err
 	}
-	return sam.Export(ds, dst)
+	return sam.Export(ctx, ds, dst)
 }
 
-// ExportBAM streams a dataset out as BAM.
-func ExportBAM(store Store, dataset string, dst io.Writer) (uint64, error) {
+// ExportBAM streams a dataset out as BAM — the one-stage form of
+// Pipeline.ExportBAM.
+func ExportBAM(ctx context.Context, store Store, dataset string, dst io.Writer) (uint64, error) {
 	ds, err := agd.Open(store, dataset)
 	if err != nil {
 		return 0, err
 	}
-	return bam.Export(ds, dst)
+	return bam.Export(ctx, ds, dst)
 }
 
-// ExportFASTQ streams a dataset's reads back out as FASTQ.
-func ExportFASTQ(store Store, dataset string, dst io.Writer) (uint64, error) {
+// ExportFASTQ streams a dataset's reads back out as FASTQ — the one-stage
+// form of Pipeline.ExportFASTQ.
+func ExportFASTQ(ctx context.Context, store Store, dataset string, dst io.Writer) (uint64, error) {
 	ds, err := agd.Open(store, dataset)
 	if err != nil {
 		return 0, err
 	}
-	return fastq.Export(ds, dst)
+	return fastq.Export(ctx, ds, dst)
 }
 
 // ImportSAM converts an aligned SAM stream into an AGD dataset with all
 // four standard columns; reference sequences come from the @SQ header.
-func ImportSAM(store Store, name string, src io.Reader, chunkSize int) (*Manifest, uint64, error) {
-	return sam.Import(store, name, src, sam.ImportOptions{ChunkSize: chunkSize})
+func ImportSAM(ctx context.Context, store Store, name string, src io.Reader, chunkSize int) (*Manifest, uint64, error) {
+	return sam.Import(ctx, store, name, src, sam.ImportOptions{ChunkSize: chunkSize})
 }
 
 // Filter predicates, re-exported from internal/filter.
@@ -206,9 +241,9 @@ type FilterPredicate = filter.Predicate
 type FilterStats = filter.Stats
 
 // Filter writes the subset of a dataset matching pred into outputName
-// (empty for "<name>.filtered").
-func Filter(store Store, dataset string, pred FilterPredicate, outputName string) (*Manifest, FilterStats, error) {
-	return filter.Run(store, dataset, pred, filter.Options{OutputName: outputName})
+// (empty for "<name>.filtered") — the one-stage form of Pipeline.Filter.
+func Filter(ctx context.Context, store Store, dataset string, pred FilterPredicate, outputName string) (*Manifest, FilterStats, error) {
+	return filter.Run(ctx, store, dataset, pred, filter.Options{OutputName: outputName})
 }
 
 // Variant is one called SNP.
@@ -216,12 +251,12 @@ type Variant = varcall.Variant
 
 // CallVariants runs the pileup-based SNP caller over an aligned dataset
 // (§8's variant-calling stage) with default options.
-func CallVariants(store Store, dataset string, ref *Genome) ([]Variant, error) {
+func CallVariants(ctx context.Context, store Store, dataset string, ref *Genome) ([]Variant, error) {
 	ds, err := agd.Open(store, dataset)
 	if err != nil {
 		return nil, err
 	}
-	return varcall.CallDataset(ds, ref, varcall.NewOptions())
+	return varcall.CallDataset(ctx, ds, ref, varcall.NewOptions())
 }
 
 // WriteVCF renders variant calls as a VCF 4.2 stream.

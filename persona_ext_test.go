@@ -41,7 +41,7 @@ func TestExtendedPipeline(t *testing.T) {
 
 	// Paired-end SNAP alignment through the pipeline.
 	store := persona.NewMemStore()
-	if _, _, err := persona.ImportFASTQ(store, "pe", strings.NewReader(fq), persona.RefSeqs(ref), 128); err != nil {
+	if _, _, err := persona.ImportFASTQ(context.Background(), store, "pe", strings.NewReader(fq), persona.RefSeqs(ref), 128); err != nil {
 		t.Fatal(err)
 	}
 	idx, err := persona.BuildIndex(ref)
@@ -70,7 +70,7 @@ func TestExtendedPipeline(t *testing.T) {
 	}
 
 	// Filter to confident reads.
-	_, fstats, err := persona.Filter(store, "pe", persona.FilterMinMapQ(20), "pe.confident")
+	_, fstats, err := persona.Filter(context.Background(), store, "pe", persona.FilterMinMapQ(20), "pe.confident")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestExtendedPipeline(t *testing.T) {
 
 	// Variant calling on the filtered dataset (no planted variants: expect
 	// few calls) and VCF output.
-	variants, err := persona.CallVariants(store, "pe.confident", ref)
+	variants, err := persona.CallVariants(context.Background(), store, "pe.confident", ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestExtendedPipeline(t *testing.T) {
 
 	// BWA engine over the same reads (single-end mode).
 	storeBWA := persona.NewMemStore()
-	if _, _, err := persona.ImportFASTQ(storeBWA, "bw", strings.NewReader(fq), persona.RefSeqs(ref), 128); err != nil {
+	if _, _, err := persona.ImportFASTQ(context.Background(), storeBWA, "bw", strings.NewReader(fq), persona.RefSeqs(ref), 128); err != nil {
 		t.Fatal(err)
 	}
 	fm, err := persona.BuildBWAIndex(ref)
@@ -111,11 +111,11 @@ func TestExtendedPipeline(t *testing.T) {
 
 	// SAM round trip: export the paired dataset, re-import, compare results.
 	var samText bytes.Buffer
-	if _, err := persona.ExportSAM(store, "pe", &samText); err != nil {
+	if _, err := persona.ExportSAM(context.Background(), store, "pe", &samText); err != nil {
 		t.Fatal(err)
 	}
 	store2 := persona.NewMemStore()
-	m2, n2, err := persona.ImportSAM(store2, "reimported", strings.NewReader(samText.String()), 128)
+	m2, n2, err := persona.ImportSAM(context.Background(), store2, "reimported", strings.NewReader(samText.String()), 128)
 	if err != nil {
 		t.Fatal(err)
 	}

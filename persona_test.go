@@ -48,7 +48,7 @@ func TestFullPipeline(t *testing.T) {
 	}
 	fq := buildFASTQ(t, g, 800, 80, 0.15, 8)
 
-	m, n, err := persona.ImportFASTQ(store, "patient", strings.NewReader(fq), persona.RefSeqs(g), 100)
+	m, n, err := persona.ImportFASTQ(context.Background(), store, "patient", strings.NewReader(fq), persona.RefSeqs(g), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestFullPipeline(t *testing.T) {
 		t.Fatal("no results column")
 	}
 
-	sorted, err := persona.Sort(store, "patient", persona.ByLocation, "patient.sorted")
+	sorted, err := persona.Sort(context.Background(), store, "patient", persona.ByLocation, "patient.sorted")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestFullPipeline(t *testing.T) {
 		t.Fatalf("SortedBy = %q", sorted.SortedBy)
 	}
 
-	dupStats, err := persona.MarkDuplicates(store, "patient.sorted")
+	dupStats, err := persona.MarkDuplicates(context.Background(), store, "patient.sorted")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestFullPipeline(t *testing.T) {
 	}
 
 	var samOut bytes.Buffer
-	sn, err := persona.ExportSAM(store, "patient.sorted", &samOut)
+	sn, err := persona.ExportSAM(context.Background(), store, "patient.sorted", &samOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestFullPipeline(t *testing.T) {
 	}
 
 	var bamOut bytes.Buffer
-	bn, err := persona.ExportBAM(store, "patient.sorted", &bamOut)
+	bn, err := persona.ExportBAM(context.Background(), store, "patient.sorted", &bamOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestFullPipeline(t *testing.T) {
 	}
 
 	var fqOut bytes.Buffer
-	fn, err := persona.ExportFASTQ(store, "patient", &fqOut)
+	fn, err := persona.ExportFASTQ(context.Background(), store, "patient", &fqOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestDistributedMatchesSingleServer(t *testing.T) {
 
 	runSingle := func() []agd.Result {
 		store := persona.NewMemStore()
-		if _, _, err := persona.ImportFASTQ(store, "ds", strings.NewReader(fq), persona.RefSeqs(g), 64); err != nil {
+		if _, _, err := persona.ImportFASTQ(context.Background(), store, "ds", strings.NewReader(fq), persona.RefSeqs(g), 64); err != nil {
 			t.Fatal(err)
 		}
 		if _, _, err := persona.Align(context.Background(), store, "ds", idx, persona.AlignOptions{}); err != nil {
@@ -186,10 +186,10 @@ func TestDistributedMatchesSingleServer(t *testing.T) {
 	}
 	runCluster := func() []agd.Result {
 		store := persona.NewMemStore()
-		if _, _, err := persona.ImportFASTQ(store, "ds", strings.NewReader(fq), persona.RefSeqs(g), 64); err != nil {
+		if _, _, err := persona.ImportFASTQ(context.Background(), store, "ds", strings.NewReader(fq), persona.RefSeqs(g), 64); err != nil {
 			t.Fatal(err)
 		}
-		report, _, err := persona.AlignDistributed(store, "ds", idx, 3, 2)
+		report, _, err := persona.AlignDistributed(context.Background(), store, "ds", idx, 3, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,7 +228,7 @@ func TestObjectStoreBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 	fq := buildFASTQ(t, g, 200, 60, 0, 28)
-	if _, _, err := persona.ImportFASTQ(store, "ds", strings.NewReader(fq), persona.RefSeqs(g), 64); err != nil {
+	if _, _, err := persona.ImportFASTQ(context.Background(), store, "ds", strings.NewReader(fq), persona.RefSeqs(g), 64); err != nil {
 		t.Fatal(err)
 	}
 	idx, err := persona.BuildIndex(g)
@@ -238,10 +238,10 @@ func TestObjectStoreBackend(t *testing.T) {
 	if _, _, err := persona.Align(context.Background(), store, "ds", idx, persona.AlignOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := persona.Sort(store, "ds", persona.ByLocation, ""); err != nil {
+	if _, err := persona.Sort(context.Background(), store, "ds", persona.ByLocation, ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := persona.MarkDuplicates(store, "ds.sorted"); err != nil {
+	if _, err := persona.MarkDuplicates(context.Background(), store, "ds.sorted"); err != nil {
 		t.Fatal(err)
 	}
 }

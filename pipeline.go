@@ -1,0 +1,468 @@
+package persona
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"persona/internal/agd"
+	"persona/internal/agdsort"
+	"persona/internal/align/snap"
+	"persona/internal/core"
+	"persona/internal/filter"
+	"persona/internal/formats/bam"
+	"persona/internal/formats/fastq"
+	"persona/internal/formats/sam"
+	"persona/internal/markdup"
+)
+
+// A Pipeline is a validated, composable stage graph over a Session: one
+// source (Read or ImportFASTQ), any number of transform stages (Align,
+// Sort, MarkDuplicates, Filter), and one sink (Export* or Write). Run plans
+// the graph and streams AGD chunks stage-to-stage over the session's shared
+// executor: adjacent streaming-capable stages are fused, so chunks flow in
+// memory and no intermediate dataset is written to the store. Stages with a
+// global barrier — sort's merge — spill their runs to temporary blobs as
+// the external sort always has, then feed the next stage from the merge's
+// output stream.
+//
+// Builder methods record the graph and defer all validation and errors to
+// Run, so construction chains fluently:
+//
+//	report, err := sess.Read("patient").
+//		Align(idx, persona.AlignOptions{}).
+//		Sort(persona.ByLocation).
+//		MarkDuplicates().
+//		ExportSAM(w).
+//		Run(ctx)
+type Pipeline struct {
+	sess   *Session
+	stages []pipeStage
+}
+
+type stageKind int
+
+const (
+	stageRead stageKind = iota
+	stageImportFASTQ
+	stageAlign
+	stageSort
+	stageMarkDup
+	stageFilter
+	stageExportSAM
+	stageExportBAM
+	stageExportFASTQ
+	stageWrite
+)
+
+func (k stageKind) String() string {
+	switch k {
+	case stageRead:
+		return "read"
+	case stageImportFASTQ:
+		return "import-fastq"
+	case stageAlign:
+		return "align"
+	case stageSort:
+		return "sort"
+	case stageMarkDup:
+		return "markdup"
+	case stageFilter:
+		return "filter"
+	case stageExportSAM:
+		return "export-sam"
+	case stageExportBAM:
+		return "export-bam"
+	case stageExportFASTQ:
+		return "export-fastq"
+	case stageWrite:
+		return "write"
+	}
+	return "stage"
+}
+
+func (k stageKind) isSink() bool { return k >= stageExportSAM }
+
+// pipeStage is one recorded stage and its parameters.
+type pipeStage struct {
+	kind      stageKind
+	dataset   string          // stageRead, stageWrite
+	src       io.Reader       // stageImportFASTQ
+	refs      []agd.RefSeq    // stageImportFASTQ
+	chunkSize int             // stageImportFASTQ
+	idx       *Index          // stageAlign
+	alignOpts AlignOptions    // stageAlign
+	by        SortKey         // stageSort
+	pred      FilterPredicate // stageFilter
+	dst       io.Writer       // stageExport*
+}
+
+// Read starts a pipeline over an existing AGD dataset in the session's
+// store, streaming every manifest column.
+func (s *Session) Read(dataset string) *Pipeline {
+	return &Pipeline{sess: s, stages: []pipeStage{{kind: stageRead, dataset: dataset}}}
+}
+
+// ImportFASTQ starts a pipeline over a FASTQ stream: reads are parsed into
+// AGD chunks of chunkSize records (0 for the default) that feed the next
+// stage in memory. refs, if known, travels in the stream metadata (and into
+// the manifest, if the pipeline ends in Write).
+func (s *Session) ImportFASTQ(src io.Reader, refs []agd.RefSeq, chunkSize int) *Pipeline {
+	return &Pipeline{sess: s, stages: []pipeStage{{kind: stageImportFASTQ, src: src, refs: refs, chunkSize: chunkSize}}}
+}
+
+func (p *Pipeline) add(st pipeStage) *Pipeline {
+	p.stages = append(p.stages, st)
+	return p
+}
+
+// Align appends a results column, aligning every read against idx on the
+// session's executor. Within AlignOptions, ExecutorThreads and Prefetch are
+// session-owned here and ignored.
+func (p *Pipeline) Align(idx *Index, opts AlignOptions) *Pipeline {
+	return p.add(pipeStage{kind: stageAlign, idx: idx, alignOpts: opts})
+}
+
+// Sort reorders the stream by the given key (a global barrier: the stage
+// spills sorted runs to temporary blobs, then streams their merge).
+func (p *Pipeline) Sort(by SortKey) *Pipeline {
+	return p.add(pipeStage{kind: stageSort, by: by})
+}
+
+// MarkDuplicates flags duplicate reads in the stream's results column.
+func (p *Pipeline) MarkDuplicates() *Pipeline {
+	return p.add(pipeStage{kind: stageMarkDup})
+}
+
+// Filter keeps only the rows matching pred.
+func (p *Pipeline) Filter(pred FilterPredicate) *Pipeline {
+	return p.add(pipeStage{kind: stageFilter, pred: pred})
+}
+
+// ExportSAM ends the pipeline by rendering the stream as SAM text into dst.
+func (p *Pipeline) ExportSAM(dst io.Writer) *Pipeline {
+	return p.add(pipeStage{kind: stageExportSAM, dst: dst})
+}
+
+// ExportBAM ends the pipeline by rendering the stream as BAM into dst.
+func (p *Pipeline) ExportBAM(dst io.Writer) *Pipeline {
+	return p.add(pipeStage{kind: stageExportBAM, dst: dst})
+}
+
+// ExportFASTQ ends the pipeline by rendering the stream's reads as FASTQ.
+func (p *Pipeline) ExportFASTQ(dst io.Writer) *Pipeline {
+	return p.add(pipeStage{kind: stageExportFASTQ, dst: dst})
+}
+
+// Write ends the pipeline by materializing the stream as a new AGD dataset.
+func (p *Pipeline) Write(dataset string) *Pipeline {
+	return p.add(pipeStage{kind: stageWrite, dataset: dataset})
+}
+
+// StageReport describes one stage of a completed run.
+type StageReport struct {
+	// Stage names the stage ("read", "align", "sort", ...).
+	Stage string
+	// Records is how many records the stage delivered downstream (for
+	// sinks: consumed).
+	Records uint64
+	// Groups is how many chunk-granularity row groups that took.
+	Groups int64
+	// Elapsed is the wall time attributable to this stage alone (upstream
+	// time excluded).
+	Elapsed time.Duration
+}
+
+// ExecutorStats is the session executor's activity during one run.
+type ExecutorStats struct {
+	// Submitted and Completed count fine-grain tasks.
+	Submitted, Completed int64
+	// Steals counts tasks run by a shard other than the one they were
+	// submitted to — the work-stealing load-balance share.
+	Steals int64
+	// Busy is cumulative worker time inside tasks.
+	Busy time.Duration
+}
+
+// PipelineReport aggregates a completed pipeline run.
+type PipelineReport struct {
+	// Stages reports each stage in graph order.
+	Stages []StageReport
+	// Elapsed is the whole run's wall time.
+	Elapsed time.Duration
+	// Records is what the sink consumed (records exported or written).
+	Records uint64
+	// Manifest is the output dataset's manifest (Write sink only).
+	Manifest *Manifest
+	// Align carries the alignment stage's report, when the pipeline aligned.
+	Align *AlignReport
+	// Dups carries duplicate-marking statistics, when the pipeline marked.
+	Dups DupStats
+	// Filtered carries filter statistics, when the pipeline filtered.
+	Filtered FilterStats
+	// Executor is the session executor's activity attributable to this run.
+	// Concurrent pipelines on one session share the executor, so their
+	// deltas overlap.
+	Executor ExecutorStats
+}
+
+// validate checks the stage graph shape and column flow before anything
+// runs: exactly one source (guaranteed by construction), transforms in the
+// middle, exactly one sink at the end, and every stage's required columns
+// present — alignment appends the results column, everything downstream of
+// it that needs results finds it.
+func (p *Pipeline) validate(sourceCols []string, hasResults bool) error {
+	if len(p.stages) < 2 {
+		return fmt.Errorf("persona: pipeline has no sink (end with Export* or Write)")
+	}
+	has := func(col string) bool {
+		for _, c := range sourceCols {
+			if c == col {
+				return true
+			}
+		}
+		return false
+	}
+	readCols := has(agd.ColBases) && has(agd.ColQual) && has(agd.ColMetadata)
+	for i, st := range p.stages[1:] {
+		last := i == len(p.stages)-2
+		if st.kind.isSink() != last {
+			if st.kind.isSink() {
+				return fmt.Errorf("persona: %s must be the final stage", st.kind)
+			}
+			return fmt.Errorf("persona: pipeline must end in a sink, not %s", st.kind)
+		}
+		switch st.kind {
+		case stageAlign:
+			if st.idx == nil {
+				return fmt.Errorf("persona: Align needs an index")
+			}
+			if !has(agd.ColBases) {
+				return fmt.Errorf("persona: Align needs a %q column", agd.ColBases)
+			}
+			if hasResults {
+				return fmt.Errorf("persona: stream is already aligned")
+			}
+			hasResults = true
+		case stageSort:
+			if st.by == ByLocation && !hasResults {
+				return fmt.Errorf("persona: Sort(ByLocation) needs alignment results (Align first, or Read an aligned dataset)")
+			}
+			if st.by == ByMetadata && !has(agd.ColMetadata) {
+				return fmt.Errorf("persona: Sort(ByMetadata) needs a %q column", agd.ColMetadata)
+			}
+		case stageMarkDup, stageFilter:
+			if !hasResults {
+				return fmt.Errorf("persona: %s needs alignment results", st.kind)
+			}
+			if st.kind == stageFilter && st.pred == nil {
+				return fmt.Errorf("persona: Filter needs a predicate")
+			}
+		case stageExportSAM, stageExportBAM:
+			if !hasResults || !readCols {
+				return fmt.Errorf("persona: %s needs the read columns and alignment results", st.kind)
+			}
+		case stageExportFASTQ:
+			if !readCols {
+				return fmt.Errorf("persona: export-fastq needs the read columns")
+			}
+		case stageWrite:
+			if st.dataset == "" {
+				return fmt.Errorf("persona: Write needs a dataset name")
+			}
+		}
+	}
+	return nil
+}
+
+// edgeStats instruments one pipeline edge: cumulative time spent inside the
+// stage's Next (including its upstream pulls) and what flowed through.
+type edgeStats struct {
+	nanos   int64
+	setup   int64 // stage construction time (sort's eager spill phase)
+	groups  int64
+	records uint64
+}
+
+// instrumented wraps a stream so deliveries are counted and timed.
+func instrumented(s *agd.GroupStream, e *edgeStats) *agd.GroupStream {
+	next := func(ctx context.Context) (*agd.RowGroup, error) {
+		t0 := time.Now()
+		g, err := s.Next(ctx)
+		e.nanos += time.Since(t0).Nanoseconds()
+		if g != nil {
+			e.groups++
+			e.records += uint64(g.NumRecords())
+		}
+		return g, err
+	}
+	return agd.NewGroupStream(s.Meta, next, s.Close)
+}
+
+// Run plans, validates and executes the pipeline, returning the aggregated
+// report. Cancellation and deadline of ctx are checked per chunk at every
+// stage.
+func (p *Pipeline) Run(ctx context.Context) (*PipelineReport, error) {
+	sess := p.sess
+	report := &PipelineReport{}
+	start := time.Now()
+	execSub0, execDone0, execBusy0 := sess.exec.Stats()
+	steals0 := sess.exec.Steals()
+
+	// Source.
+	src := p.stages[0]
+	var (
+		stream     *agd.GroupStream
+		err        error
+		hasResults bool
+	)
+	switch src.kind {
+	case stageRead:
+		ds, oerr := agd.Open(sess.store, src.dataset)
+		if oerr != nil {
+			return nil, oerr
+		}
+		hasResults = ds.Manifest.HasColumn(agd.ColResults)
+		if err := p.validate(ds.Manifest.Columns, hasResults); err != nil {
+			return nil, err
+		}
+		stream, err = ds.Groups(agd.StreamOptions{
+			Prefetch:    sess.prefetch,
+			ShardedPool: sess.chunkPool,
+			Codec:       agd.Codec{Exec: sess.exec},
+		})
+		if err != nil {
+			return nil, err
+		}
+	case stageImportFASTQ:
+		if err := p.validate([]string{agd.ColBases, agd.ColQual, agd.ColMetadata}, false); err != nil {
+			return nil, err
+		}
+		stream = fastq.ImportStream(src.src, fastq.ImportOptions{ChunkSize: src.chunkSize, RefSeqs: src.refs})
+	default:
+		return nil, fmt.Errorf("persona: pipeline has no source")
+	}
+
+	// Transform stages, each instrumented so per-stage time can be told
+	// apart afterwards. Closing the final stream tears the whole chain down
+	// (every stage's stop hook closes its upstream).
+	edges := make([]*edgeStats, 0, len(p.stages))
+	wire := func(s *agd.GroupStream) *agd.GroupStream {
+		e := &edgeStats{}
+		edges = append(edges, e)
+		return instrumented(s, e)
+	}
+	stream = wire(stream)
+	defer func() { stream.Close() }()
+
+	var (
+		dups   *DupStats
+		fstats *FilterStats
+	)
+	for _, st := range p.stages[1 : len(p.stages)-1] {
+		var (
+			out        *agd.GroupStream
+			setupNanos int64
+		)
+		switch st.kind {
+		case stageAlign:
+			var alignReport *core.AlignReport
+			out, alignReport, err = core.AlignStream(core.AlignConfig{
+				Index:   st.idx,
+				Aligner: snap.Config{MaxDist: st.alignOpts.MaxDist},
+			}, sess.exec, stream)
+			report.Align = alignReport
+		case stageSort:
+			setup := time.Now()
+			out, err = agdsort.SortStream(ctx, sess.store, stream, agdsort.Options{
+				By:         st.by,
+				TempPrefix: sess.tempPrefix(),
+			})
+			setupNanos = time.Since(setup).Nanoseconds()
+		case stageMarkDup:
+			out, dups, err = markdup.MarkStream(stream)
+		case stageFilter:
+			out, fstats, err = filter.RunStream(stream, st.pred)
+		}
+		if err != nil {
+			// The deferred Close tears down the upstream chain built so far.
+			return nil, err
+		}
+		stream = wire(out)
+		// A barrier stage's eager phase (sort's staging + spill) runs at
+		// construction, before any Next: charge it to this stage's edge.
+		edges[len(edges)-1].setup = setupNanos
+	}
+
+	// Sink.
+	sink := p.stages[len(p.stages)-1]
+	var n uint64
+	switch sink.kind {
+	case stageExportSAM:
+		n, err = sam.ExportStream(ctx, stream, sink.dst)
+	case stageExportBAM:
+		n, err = bam.ExportStream(ctx, stream, sink.dst)
+	case stageExportFASTQ:
+		n, err = fastq.ExportStream(ctx, stream, sink.dst)
+	case stageWrite:
+		var m *agd.Manifest
+		m, err = agd.WriteGroups(ctx, stream, sess.store, sink.dataset, agd.WriterOptions{})
+		if m != nil {
+			report.Manifest = m
+			n = m.NumRecords()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	stream.Close() // finalize stage reports (align stats, spill cleanup)
+	report.Records = n
+	report.Elapsed = time.Since(start)
+	if dups != nil {
+		report.Dups = *dups
+	}
+	if fstats != nil {
+		report.Filtered = *fstats
+	}
+
+	// Per-stage attribution: every edge's cumulative Next time includes its
+	// upstream pulls (the pipeline is pull-based), so a stage's own time is
+	// its edge (plus its eager setup phase, for barriers) minus the
+	// upstream edge — the upstream's time is spent entirely inside this
+	// stage's pulls or setup. The sink gets the run's remainder: total
+	// minus the last edge and every setup phase.
+	names := make([]string, 0, len(p.stages))
+	for _, st := range p.stages {
+		name := st.kind.String()
+		if st.kind == stageSort {
+			name = "sort-" + st.by.String()
+		}
+		names = append(names, name)
+	}
+	var prev, setups int64
+	for i, e := range edges {
+		report.Stages = append(report.Stages, StageReport{
+			Stage:   names[i],
+			Records: e.records,
+			Groups:  e.groups,
+			Elapsed: time.Duration(e.nanos + e.setup - prev),
+		})
+		prev = e.nanos
+		setups += e.setup
+	}
+	report.Stages = append(report.Stages, StageReport{
+		Stage:   names[len(names)-1],
+		Records: n,
+		Elapsed: report.Elapsed - time.Duration(prev+setups),
+	})
+
+	execSub1, execDone1, execBusy1 := sess.exec.Stats()
+	report.Executor = ExecutorStats{
+		Submitted: execSub1 - execSub0,
+		Completed: execDone1 - execDone0,
+		Steals:    sess.exec.Steals() - steals0,
+		Busy:      time.Duration(execBusy1 - execBusy0),
+	}
+	return report, nil
+}

@@ -1,0 +1,136 @@
+package persona
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"persona/internal/agd"
+	"persona/internal/align/snap"
+	"persona/internal/cluster"
+	"persona/internal/dataflow"
+)
+
+// SessionOptions configures a Session.
+type SessionOptions struct {
+	// ExecutorThreads sizes the session's shared work-stealing executor;
+	// 0 means GOMAXPROCS.
+	ExecutorThreads int
+	// Prefetch is the default chunk-fetch window of pipeline sources: how
+	// many chunks' column blobs are kept in flight, counting the one being
+	// processed. 0 picks the stream default.
+	Prefetch int
+}
+
+// Session owns the long-lived resources Persona pipelines share: the blob
+// store, one sharded work-stealing executor (all fine-grain compute), the
+// sharded pool of decoded chunks pipeline sources stream through, and a
+// reference-index cache — so serving many pipeline runs reuses warm state
+// instead of rebuilding executors, pools and indexes per call (§4.1: the
+// client library composes graphs over one runtime). Sessions are safe for
+// concurrent pipeline runs. Close releases the executor.
+type Session struct {
+	store     Store
+	exec      *dataflow.Executor
+	chunkPool *dataflow.ShardedItemPool[*agd.Chunk]
+	prefetch  int
+	seq       atomic.Uint64 // distinct spill prefixes for concurrent sorts
+
+	mu      sync.Mutex
+	indexes map[*Genome]*Index
+	closed  bool
+}
+
+// NewSession opens a session over a store.
+func NewSession(store Store, opts SessionOptions) *Session {
+	threads := opts.ExecutorThreads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	exec := dataflow.NewExecutor(threads, threads*2)
+	// The chunk pool bounds how many decoded column chunks all concurrent
+	// pipelines hold: a pull-based pipeline keeps at most one group (plus
+	// one being decoded) checked out per source, so a handful of groups'
+	// worth of columns per shard gives several concurrent pipelines slack
+	// while still back-pressuring a runaway source.
+	poolSize := 8 * 4 * exec.NumShards()
+	return &Session{
+		store:     store,
+		exec:      exec,
+		chunkPool: agd.NewShardedChunkPool(exec.NumShards(), poolSize),
+		prefetch:  opts.Prefetch,
+		indexes:   make(map[*Genome]*Index),
+	}
+}
+
+// Store returns the session's blob store.
+func (s *Session) Store() Store { return s.store }
+
+// Executor exposes the session's shared executor (for wiring into
+// lower-level APIs such as cluster alignment).
+func (s *Session) Executor() *dataflow.Executor { return s.exec }
+
+// Index returns the SNAP seed index for a reference genome, building it on
+// first use and caching it for the session's lifetime — the warm-index
+// reuse that makes repeated align requests cheap.
+func (s *Session) Index(g *Genome) (*Index, error) {
+	s.mu.Lock()
+	idx, ok := s.indexes[g]
+	s.mu.Unlock()
+	if ok {
+		return idx, nil
+	}
+	idx, err := snap.BuildIndex(g, snap.IndexConfig{SeedLen: 16})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if cached, ok := s.indexes[g]; ok {
+		idx = cached // lost a build race; keep one copy
+	} else {
+		s.indexes[g] = idx
+	}
+	s.mu.Unlock()
+	return idx, nil
+}
+
+// AlignDistributed runs a distributed alignment of a dataset in the
+// session's store, with every worker node submitting to the session's
+// shared executor and the seed index coming from the session's warm cache.
+func (s *Session) AlignDistributed(ctx context.Context, dataset string, ref *Genome, nodes, threadsPerNode int) (*ClusterReport, *Manifest, error) {
+	idx, err := s.Index(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cluster.Align(ctx, s.store, dataset, idx, cluster.Config{
+		Nodes:          nodes,
+		ThreadsPerNode: threadsPerNode,
+		Executor:       s.exec,
+	})
+}
+
+// Close releases the session's executor. Pipelines must not be run (or be
+// in flight) after Close.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.exec.Close()
+}
+
+// tempPrefix returns a session-unique prefix for a pipeline's spill blobs.
+func (s *Session) tempPrefix() string {
+	return fmt.Sprintf(".pipeline/%d/tmp", s.seq.Add(1))
+}
+
+// PoolStats reports the session chunk pool's bound and how many chunks are
+// currently free — equal when no pipeline holds pooled chunks, which is the
+// leak check tests use after cancelled runs.
+func (s *Session) PoolStats() (size, free int) {
+	return s.chunkPool.Size(), s.chunkPool.Free()
+}
