@@ -86,8 +86,15 @@ const DefaultChunkSize = 100_000
 
 // Errors shared across the package.
 var (
-	ErrBadMagic   = errors.New("agd: bad chunk magic")
-	ErrCorrupt    = errors.New("agd: corrupt chunk")
+	ErrBadMagic = errors.New("agd: bad chunk magic")
+	ErrCorrupt  = errors.New("agd: corrupt chunk")
+	// ErrChecksum reports a chunk blob whose CRC32-C footer does not match
+	// the stored bytes: the blob was corrupted in (or under) the store. It
+	// wraps ErrCorrupt, so errors.Is(err, ErrCorrupt) still classifies it;
+	// resilience layers treat it as permanent — a retry re-reads the same
+	// corrupt replica, so the right response is to fail with coordinates,
+	// never to decode garbage.
+	ErrChecksum   = fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	ErrNoColumn   = errors.New("agd: no such column")
 	ErrNoChunk    = errors.New("agd: no such chunk")
 	ErrRowGroup   = errors.New("agd: column chunking misaligned (not row-grouped)")

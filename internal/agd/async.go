@@ -184,6 +184,12 @@ func (s *DirStore) GetBatch(names []string) []*Future {
 		workers = len(batch)
 	}
 	cursor := new(atomic.Int64)
+	// First-error cancellation: once any read in the batch fails, the
+	// remaining unserviced reads are not issued — their futures resolve with
+	// an error wrapping the batch's first failure (deterministically the one
+	// that won the CAS), so a caller draining futures in order sees the
+	// failure immediately instead of paying for the rest of a doomed batch.
+	firstErr := new(atomic.Pointer[batchFailure])
 	for w := 0; w < workers; w++ {
 		// The semaphore still bounds total file concurrency across batches
 		// and GetAsync calls; acquire before spawning so a huge batch
@@ -196,11 +202,25 @@ func (s *DirStore) GetBatch(names []string) []*Future {
 				if i >= len(batch) {
 					return
 				}
-				resolves[i](s.readBlob(batch[i]))
+				if f := firstErr.Load(); f != nil {
+					resolves[i](nil, fmt.Errorf("get %q: batch aborted: %w", batch[i], f.err))
+					continue
+				}
+				data, err := s.readBlob(batch[i])
+				if err != nil {
+					firstErr.CompareAndSwap(nil, &batchFailure{name: batch[i], err: err})
+				}
+				resolves[i](data, err)
 			}
 		}()
 	}
 	return futs
+}
+
+// batchFailure records the read that aborted a GetBatch.
+type batchFailure struct {
+	name string
+	err  error
 }
 
 // readBlob reads one blob with stat + pread into an exactly-sized buffer.
@@ -208,14 +228,14 @@ func (s *DirStore) readBlob(name string) ([]byte, error) {
 	f, err := os.Open(s.path(name))
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+			return nil, fmt.Errorf("get %q: %w", name, ErrNotFound)
 		}
-		return nil, err
+		return nil, fmt.Errorf("get %q: %w", name, err)
 	}
 	defer f.Close()
 	info, err := f.Stat()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("get %q: %w", name, err)
 	}
 	buf := make([]byte, info.Size())
 	for off := 0; off < len(buf); {
@@ -226,7 +246,7 @@ func (s *DirStore) readBlob(name string) ([]byte, error) {
 			return buf[:off], nil
 		}
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("get %q: %w", name, err)
 		}
 	}
 	return buf, nil

@@ -108,13 +108,42 @@ func gunzipExact(dst, src []byte) error {
 // run. Version 2 splits it into independent gzip members that compress and
 // decompress in parallel (see parallel.go for the member table layout).
 // Version 1 blobs written by earlier releases decode unchanged.
+//
+// Both versions may carry a trailing whole-blob footer:
+//
+//	offset size field
+//	end-8  4    footer magic "C32C"
+//	end-4  4    CRC-32C (Castagnoli) of every blob byte before the footer
+//
+// The header's in-band CRC only covers the uncompressed data block, so it
+// cannot tell a corrupted index or member table from a malformed one. The
+// footer covers the raw stored bytes — header, index and (compressed) data —
+// and is verified before anything is parsed beyond the header, so storage
+// corruption is detected up front, classified permanent (ErrChecksum) and
+// reported with blob coordinates instead of decoding garbage. Blobs without
+// a footer (written by earlier releases) decode unchanged; the header size
+// fields disambiguate the two layouts exactly.
 
 const (
 	chunkMagic           = "AGD1"
 	chunkVersion         = 1
 	chunkVersionParallel = 2
 	chunkHeaderSize      = 40
+	chunkFooterMagic     = "C32C"
+	chunkFooterSize      = 8
 )
+
+// castagnoli is the CRC-32C table of the blob footer (hardware-accelerated
+// on amd64/arm64, so footers cost ~a memory scan).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendChunkFooter appends the whole-blob footer over dst[base:].
+func appendChunkFooter(dst []byte, base int) []byte {
+	var foot [chunkFooterSize]byte
+	copy(foot[0:4], chunkFooterMagic)
+	binary.LittleEndian.PutUint32(foot[4:8], crc32.Checksum(dst[base:], castagnoli))
+	return append(dst, foot[:]...)
+}
 
 // Chunk is an in-memory, parsed AGD chunk: the "chunk object" that flows
 // through Persona's queues after the AGD parser stage.
@@ -254,8 +283,9 @@ func (b *ChunkBuilder) Chunk() *Chunk {
 
 // EncodeChunk serializes a chunk to the on-disk format. Large gzip chunks
 // are written in the version-2 multi-member layout and compressed in
-// parallel (see Codec); small chunks keep the byte-identical version-1
-// layout.
+// parallel (see Codec); small chunks keep the single-run version-1 layout.
+// Either way the blob carries a trailing CRC32-C footer (Codec.NoChecksum
+// omits it), verified on decode.
 func EncodeChunk(c *Chunk, comp Compression) ([]byte, error) {
 	return Codec{}.Encode(c, comp)
 }
@@ -370,9 +400,28 @@ func parseChunkHeader(blob []byte) (chunkHeader, error) {
 	h.indexSize = binary.LittleEndian.Uint64(blob[20:28])
 	h.dataSize = binary.LittleEndian.Uint64(blob[28:36])
 	h.crc = binary.LittleEndian.Uint32(blob[36:40])
-	if uint64(len(blob)) != chunkHeaderSize+h.indexSize+h.dataSize {
+	// Guard the size sum against overflow before using it for slicing: a
+	// corrupt header can claim block sizes whose sum wraps around.
+	if h.indexSize > uint64(len(blob)) || h.dataSize > uint64(len(blob)) {
+		return h, fmt.Errorf("%w: size mismatch (header says %d+%d block bytes, blob is %d)",
+			ErrCorrupt, h.indexSize, h.dataSize, len(blob))
+	}
+	expected := chunkHeaderSize + h.indexSize + h.dataSize
+	switch uint64(len(blob)) {
+	case expected:
+		// Unchecksummed blob from an earlier release: accepted as-is.
+	case expected + chunkFooterSize:
+		foot := blob[expected:]
+		if string(foot[0:4]) != chunkFooterMagic {
+			return h, fmt.Errorf("%w: bad footer magic %q", ErrCorrupt, foot[0:4])
+		}
+		want := binary.LittleEndian.Uint32(foot[4:8])
+		if got := crc32.Checksum(blob[:expected], castagnoli); got != want {
+			return h, fmt.Errorf("%w: blob CRC32-C %08x, footer says %08x", ErrChecksum, got, want)
+		}
+	default:
 		return h, fmt.Errorf("%w: size mismatch (header says %d, blob is %d)",
-			ErrCorrupt, chunkHeaderSize+h.indexSize+h.dataSize, len(blob))
+			ErrCorrupt, expected, len(blob))
 	}
 	return h, nil
 }

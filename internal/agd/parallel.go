@@ -67,6 +67,11 @@ type Codec struct {
 	// blocks of at least 2*minMemberSize. Members only applies to
 	// CompressGzip; uncompressed chunks always use version 1.
 	Members int
+	// NoChecksum omits the trailing whole-blob CRC32-C footer on encode.
+	// Decoding always accepts both layouts (and always verifies a footer
+	// when present); the knob exists for byte-stable comparisons against
+	// blobs written by earlier releases.
+	NoChecksum bool
 	// shard+1, when non-zero, is the executor shard member tasks are
 	// submitted to (WithShard): the shard that decoded a chunk re-encodes
 	// it with warm caches, and idle shards steal the surplus members.
@@ -124,17 +129,27 @@ func (cd Codec) Encode(c *Chunk, comp Compression) ([]byte, error) {
 	return cd.EncodeAppend(nil, c, comp)
 }
 
-// EncodeAppend is Encode appending to dst.
+// EncodeAppend is Encode appending to dst. Unless the codec opts out, the
+// blob gains a trailing CRC32-C footer over its raw bytes, so storage
+// corruption anywhere in the blob is detected before decode.
 func (cd Codec) EncodeAppend(dst []byte, c *Chunk, comp Compression) ([]byte, error) {
+	base := len(dst)
+	var err error
 	if comp != CompressGzip {
-		return encodeChunkV1Append(dst, c, comp)
+		dst, err = encodeChunkV1Append(dst, c, comp)
+	} else if members := cd.memberCount(len(c.Data)); members == 1 && cd.Members == 0 {
+		// Small block: keep the single-run legacy layout.
+		dst, err = encodeChunkV1Append(dst, c, comp)
+	} else {
+		dst, err = cd.encodeV2Append(dst, c, members)
 	}
-	members := cd.memberCount(len(c.Data))
-	if members == 1 && cd.Members == 0 {
-		// Small block: keep the byte-identical legacy layout.
-		return encodeChunkV1Append(dst, c, comp)
+	if err != nil {
+		return nil, err
 	}
-	return cd.encodeV2Append(dst, c, members)
+	if !cd.NoChecksum {
+		dst = appendChunkFooter(dst, base)
+	}
+	return dst, nil
 }
 
 // memberScratchPool recycles per-member compression buffers.
@@ -225,7 +240,9 @@ func (cd Codec) decodeInto(c *Chunk, blob []byte, copyRaw bool) error {
 		return err
 	}
 	indexBlock := blob[chunkHeaderSize : chunkHeaderSize+h.indexSize]
-	dataBlock := blob[chunkHeaderSize+h.indexSize:]
+	// The data block ends where the header says; a verified CRC32-C footer
+	// may follow it (parseChunkHeader checked the exact length either way).
+	dataBlock := blob[chunkHeaderSize+h.indexSize : chunkHeaderSize+h.indexSize+h.dataSize]
 
 	lengths, total, err := decodeChunkIndex(c.lengths, indexBlock, h.records)
 	if err != nil {

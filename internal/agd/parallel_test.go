@@ -205,7 +205,8 @@ func TestLegacyV1BlobsDecodeUnchanged(t *testing.T) {
 	}
 
 	// Small gzip chunks keep the legacy layout byte-for-byte: the default
-	// encoder and the explicit v1 encoder must agree exactly.
+	// encoder and the explicit v1 encoder must agree exactly, up to the
+	// CRC32-C footer the default codec now appends.
 	small := buildBigChunk(t, 10, 30)
 	auto, err := Codec{Members: 0, Exec: nil}.Encode(small, CompressGzip)
 	if err != nil {
@@ -215,8 +216,15 @@ func TestLegacyV1BlobsDecodeUnchanged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(auto, v1) {
+	if len(auto) != len(v1)+chunkFooterSize || !bytes.Equal(auto[:len(v1)], v1) {
 		t.Fatal("small-chunk encoding diverged from the legacy layout")
+	}
+	unchecked, err := Codec{NoChecksum: true}.Encode(small, CompressGzip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unchecked, v1) {
+		t.Fatal("NoChecksum encoding diverged from the legacy layout")
 	}
 }
 

@@ -37,7 +37,7 @@ func (s *MemStore) Get(name string) ([]byte, error) {
 	data, ok := s.blobs[name]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		return nil, fmt.Errorf("get %q: %w", name, ErrNotFound)
 	}
 	return data, nil
 }
@@ -103,27 +103,33 @@ func (s *DirStore) path(name string) string {
 func (s *DirStore) Put(name string, data []byte) error {
 	p := s.path(name)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return err
+		return fmt.Errorf("put %q: %w", name, err)
 	}
-	return os.WriteFile(p, data, 0o644)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		return fmt.Errorf("put %q: %w", name, err)
+	}
+	return nil
 }
 
 // Get implements BlobStore.
 func (s *DirStore) Get(name string) ([]byte, error) {
 	data, err := os.ReadFile(s.path(name))
 	if os.IsNotExist(err) {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		return nil, fmt.Errorf("get %q: %w", name, ErrNotFound)
 	}
-	return data, err
+	if err != nil {
+		return nil, fmt.Errorf("get %q: %w", name, err)
+	}
+	return data, nil
 }
 
 // Delete implements BlobStore.
 func (s *DirStore) Delete(name string) error {
 	err := os.Remove(s.path(name))
-	if os.IsNotExist(err) {
+	if os.IsNotExist(err) || err == nil {
 		return nil
 	}
-	return err
+	return fmt.Errorf("delete %q: %w", name, err)
 }
 
 // List implements BlobStore.
@@ -144,7 +150,7 @@ func (s *DirStore) List(prefix string) ([]string, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("list %q: %w", prefix, err)
 	}
 	sort.Strings(names)
 	return names, nil

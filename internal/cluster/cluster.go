@@ -2,8 +2,8 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"persona/internal/agd"
@@ -11,6 +11,12 @@ import (
 	"persona/internal/dataflow"
 	"persona/internal/storage"
 )
+
+// errNodeDeath is the injected worker-death fault (Config.NodeFaults): the
+// node stops mid-run without acking its chunk, exactly like a crashed
+// process. It is classified transient, so the run degrades instead of
+// failing.
+var errNodeDeath = errors.New("cluster: injected node death")
 
 // Config parameterizes a cluster alignment run.
 type Config struct {
@@ -35,6 +41,19 @@ type Config struct {
 	// reuse warm executor state. It is never closed here. ThreadsPerNode
 	// still sizes each node's aligner pool.
 	Executor *dataflow.Executor
+
+	// Lease, HeartbeatTimeout and MaxChunkAttempts tune the manifest
+	// server's failure detector (ServerOptions); zero values take the
+	// server defaults. Lease bounds one worker's processing of one chunk
+	// (stragglers past it are re-dealt); HeartbeatTimeout declares a
+	// silent worker dead; MaxChunkAttempts bounds re-execution per chunk.
+	Lease            time.Duration
+	HeartbeatTimeout time.Duration
+	MaxChunkAttempts int
+	// NodeFaults injects worker death: node id → how many chunks it
+	// completes before dying mid-run (failure injection for recovery
+	// tests; the run completes on the surviving workers).
+	NodeFaults map[int]int
 }
 
 // NodeReport describes one worker's run.
@@ -44,6 +63,10 @@ type NodeReport struct {
 	Reads   int64
 	Bases   int64
 	Elapsed time.Duration
+	// Failed marks a worker that died mid-run (its chunks were re-dealt
+	// to the survivors); Err is its final error.
+	Failed bool
+	Err    string
 }
 
 // Report describes a cluster run: the §5.5 measurements.
@@ -56,13 +79,31 @@ type Report struct {
 	// Imbalance is (max node elapsed - min node elapsed) / mean: the
 	// "completion-time imbalance" the paper reports as unmeasurable.
 	Imbalance float64
+	// Degraded marks a run that lost workers but completed anyway;
+	// FailedNodes counts them and Reassigned counts the chunk leases the
+	// manifest server re-dealt after worker death or straggling.
+	Degraded    bool
+	FailedNodes int
+	Reassigned  int64
+}
+
+// runFatal classifies a node error as run-fatal: permanent storage errors
+// (corruption, missing blobs, the caller's context ending) and a manifest
+// server abort cannot be fixed by the surviving workers. Everything else is
+// a node failure the run survives.
+func runFatal(err error) bool {
+	return storage.IsPermanent(err) || errors.Is(err, ErrAborted)
 }
 
 // Align runs a distributed alignment of a dataset: every node pulls chunk
-// indices from the manifest server, reads bases from shared storage, aligns
-// them on its executor, and writes a results-column chunk back. The results
-// column is registered in the manifest at the end. Cancellation and
-// deadline of ctx are checked per chunk on every node.
+// leases from the manifest server, reads bases from shared storage, aligns
+// them on its executor, writes a results-column chunk back, and acks the
+// lease. Workers heartbeat the server; a worker that dies or straggles has
+// its chunks re-dealt to the survivors (bounded by MaxChunkAttempts;
+// results writes are idempotent, so duplicate completion is safe) and the
+// run completes degraded, with the reassignments recorded in the report.
+// Permanent errors — corrupt chunks, missing blobs, ctx ending — abort the
+// whole run. The results column is registered in the manifest at the end.
 func Align(ctx context.Context, store storage.Store, datasetName string, idx *snap.Index, cfg Config) (*Report, *agd.Manifest, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
@@ -86,34 +127,63 @@ func Align(ctx context.Context, store storage.Store, datasetName string, idx *sn
 		return nil, nil, fmt.Errorf("cluster: dataset %q already aligned", datasetName)
 	}
 
-	srv, err := NewManifestServer(len(m.Chunks))
+	srv, err := NewManifestServerOpts(len(m.Chunks), ServerOptions{
+		LeaseTimeout: cfg.Lease,
+		BeatTimeout:  cfg.HeartbeatTimeout,
+		MaxAttempts:  cfg.MaxChunkAttempts,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
 	defer srv.Close()
 
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	report := &Report{Nodes: make([]NodeReport, cfg.Nodes)}
 	start := time.Now()
-	var wg sync.WaitGroup
-	errs := make(chan error, cfg.Nodes)
+	type outcome struct {
+		node int
+		rep  NodeReport
+		err  error
+	}
+	outs := make(chan outcome, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		wg.Add(1)
 		go func(node int) {
-			defer wg.Done()
-			rep, err := runNode(ctx, node, srv.Addr(), store, ds, idx, cfg)
-			if err != nil {
-				errs <- fmt.Errorf("cluster: node %d: %w", node, err)
-				return
-			}
-			report.Nodes[node] = rep
+			rep, err := runNode(runCtx, node, srv.Addr(), store, ds, idx, cfg)
+			outs <- outcome{node, rep, err}
 		}(n)
 	}
-	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
-		return nil, nil, err
+	var fatal, firstNodeErr error
+	for i := 0; i < cfg.Nodes; i++ {
+		o := <-outs
+		o.rep.Node = o.node
+		if o.err != nil {
+			o.rep.Failed = true
+			o.rep.Err = o.err.Error()
+			report.FailedNodes++
+			if firstNodeErr == nil {
+				firstNodeErr = o.err
+			}
+			if fatal == nil && runFatal(o.err) {
+				fatal = fmt.Errorf("cluster: node %d: %w", o.node, o.err)
+				cancel() // no point letting the survivors keep going
+			}
+		}
+		report.Nodes[o.node] = o.rep
+	}
+	if fatal != nil {
+		return nil, nil, fatal
+	}
+	if report.FailedNodes == cfg.Nodes {
+		return nil, nil, fmt.Errorf("cluster: all %d nodes failed: %w", cfg.Nodes, firstNodeErr)
+	}
+	if !srv.AllDone() {
+		return nil, nil, fmt.Errorf("cluster: run incomplete after %d node failures: %w", report.FailedNodes, firstNodeErr)
 	}
 	report.Elapsed = time.Since(start)
+	report.Degraded = report.FailedNodes > 0
+	report.Reassigned = srv.Reassigned()
 
 	var minE, maxE, sumE time.Duration
 	for i, nr := range report.Nodes {
@@ -142,9 +212,10 @@ func Align(ctx context.Context, store storage.Store, datasetName string, idx *sn
 }
 
 // runNode is one worker: a small Persona graph (reader → aligner(executor)
-// → writer) fed by the manifest server.
+// → writer) fed by manifest-server leases, acking each chunk after its
+// results blob is durably written and heartbeating while it works.
 func runNode(ctx context.Context, node int, manifestAddr string, store storage.Store, ds *agd.Dataset, idx *snap.Index, cfg Config) (NodeReport, error) {
-	client, err := DialManifest(manifestAddr)
+	client, err := DialManifestWorker(manifestAddr, node)
 	if err != nil {
 		return NodeReport{}, err
 	}
@@ -165,8 +236,33 @@ func runNode(ctx context.Context, node int, manifestAddr string, store storage.S
 	rep := NodeReport{Node: node}
 	nodeStart := time.Now()
 	m := ds.Manifest
+	defer func() { rep.Elapsed = time.Since(nodeStart) }()
 
-	// Prefetcher: pull chunk indices from the manifest server ahead of the
+	// Heartbeat loop: keeps this worker's leases alive until it returns
+	// (a dead worker stops beating, which is exactly how the server finds
+	// out).
+	beatStop := make(chan struct{})
+	defer close(beatStop)
+	beatEvery := cfg.HeartbeatTimeout / 3
+	if beatEvery <= 0 {
+		beatEvery = time.Second
+	}
+	go func() {
+		t := time.NewTicker(beatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := client.Beat(); err != nil {
+					return
+				}
+			case <-beatStop:
+				return
+			}
+		}
+	}()
+
+	// Prefetcher: pull chunk leases from the manifest server ahead of the
 	// aligner and issue async bases-column reads, keeping up to cfg.Prefetch
 	// fetches in flight beyond the chunk being aligned — the worker never
 	// stalls on storage unless it outruns the window.
@@ -182,7 +278,7 @@ func runNode(ctx context.Context, node int, manifestAddr string, store storage.S
 	go func() {
 		defer close(fetches)
 		for {
-			chunkIdx, ok, err := client.Next()
+			chunkIdx, ok, err := client.NextWait(done)
 			if err != nil {
 				select {
 				case fetches <- fetch{err: err}:
@@ -202,23 +298,39 @@ func runNode(ctx context.Context, node int, manifestAddr string, store storage.S
 		}
 	}()
 
-	for f := range fetches {
+	for {
+		var f fetch
+		var open bool
+		select {
+		case f, open = <-fetches:
+			if !open {
+				return rep, nil // queue drained: server said DONE
+			}
+		case <-ctx.Done():
+			return rep, ctx.Err()
+		}
 		if f.err != nil {
 			return rep, f.err
 		}
+		// Injected worker death: stop before processing (the fetched chunk
+		// is never acked, so its lease expires and a survivor re-runs it).
+		if kill, ok := cfg.NodeFaults[node]; ok && rep.Chunks >= kill {
+			return rep, errNodeDeath
+		}
 		chunkIdx := f.idx
+		blobName := m.ChunkBlobPath(chunkIdx, agd.ColBases)
 		blob, err := f.fut.Wait(ctx)
 		if err != nil {
 			return rep, err
 		}
 		basesChunk, err := agd.DecodeChunk(blob)
 		if err != nil {
-			return rep, fmt.Errorf("chunk %d: %w", chunkIdx, err)
+			return rep, fmt.Errorf("chunk %q: %w", blobName, err)
 		}
 		n := basesChunk.NumRecords()
 		if n != int(m.Chunks[chunkIdx].Records) {
-			return rep, fmt.Errorf("chunk %d has %d records, manifest says %d",
-				chunkIdx, n, m.Chunks[chunkIdx].Records)
+			return rep, fmt.Errorf("chunk %q has %d records, manifest says %d",
+				blobName, n, m.Chunks[chunkIdx].Records)
 		}
 
 		// Fine-grain split: subchunk tasks into the shared executor, one
@@ -282,15 +394,19 @@ func runNode(ctx context.Context, node int, manifestAddr string, store storage.S
 		if err != nil {
 			return rep, err
 		}
+		// The results write is idempotent — Put replaces, and a re-executed
+		// chunk encodes identical bytes — so a duplicate completion after
+		// lease reassignment is harmless. Ack only after the write landed.
 		if err := store.Put(m.ChunkBlobPath(chunkIdx, agd.ColResults), out); err != nil {
+			return rep, err
+		}
+		if err := client.Ack(chunkIdx); err != nil {
 			return rep, err
 		}
 		rep.Chunks++
 		rep.Reads += int64(n)
 		rep.Bases += basesTotal
 	}
-	rep.Elapsed = time.Since(nodeStart)
-	return rep, nil
 }
 
 // uvarint decodes a uvarint without importing encoding/binary at every call

@@ -5,41 +5,121 @@
 // here each worker is an in-process node with its own executor, and the
 // manifest server speaks a tiny line protocol over real TCP so that the
 // coordination path is genuinely networked.
+//
+// The server is also the cluster's failure detector: tracked workers lease
+// each chunk they are handed and heartbeat while they work. A chunk whose
+// worker misses its heartbeats (dead) or blows its lease deadline
+// (straggling) is re-queued and handed to the next worker that asks —
+// bounded by MaxAttempts, after which the run aborts — so an alignment run
+// completes on the surviving workers instead of hanging on a lost one.
 package cluster
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// ManifestServer hands out chunk indices to workers over TCP.
+// ErrAborted reports a run the manifest server gave up on: some chunk
+// failed MaxAttempts leases in a row, so re-execution is not converging.
+var ErrAborted = errors.New("cluster: manifest server aborted the run")
+
+// ServerOptions tunes the manifest server's failure detector. Zero values
+// take the noted defaults.
+type ServerOptions struct {
+	// LeaseTimeout bounds one worker's processing of one chunk; past it the
+	// chunk is a straggler and may be re-dealt (default 30s).
+	LeaseTimeout time.Duration
+	// BeatTimeout declares a worker dead when its last heartbeat (or any
+	// other request) is older than this; its chunks may be re-dealt
+	// immediately (default 5s).
+	BeatTimeout time.Duration
+	// MaxAttempts bounds how many times one chunk may be dealt before the
+	// run aborts (default 3).
+	MaxAttempts int
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 30 * time.Second
+	}
+	if o.BeatTimeout <= 0 {
+		o.BeatTimeout = 5 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	return o
+}
+
+// chunkLease is one chunk's dealing state.
+type chunkLease struct {
+	assigned bool
+	done     bool
+	worker   int
+	deadline time.Time
+	attempts int
+}
+
+// ManifestServer hands out chunk indices to workers over TCP and tracks
+// their completion.
 //
 // Protocol (line-oriented):
 //
-//	C: NEXT\n            S: CHUNK <idx>\n   or   DONE\n
-//	C: STATS\n           S: SERVED <n>\n
+//	C: NEXT\n             S: CHUNK <idx>\n  or  DONE\n
+//	C: NEXT <worker>\n    S: CHUNK <idx>\n, WAIT\n, DONE\n or ABORT <msg>\n
+//	C: ACK <worker> <idx>\n   S: OK\n
+//	C: BEAT <worker>\n    S: OK\n
+//	C: STATS\n            S: SERVED <n>\n
+//
+// Bare NEXT is the untracked legacy form: the chunk is dealt at-most-once
+// and counted complete immediately (no lease, no recovery). NEXT with a
+// worker id leases the chunk: the worker must ACK it when its results are
+// durably written, and BEAT while working. ACK is idempotent, so a
+// reassigned chunk completed twice (the straggler finished after all) is
+// safe. WAIT means every remaining chunk is currently leased to a live
+// worker — poll again; reassignment happens on a later NEXT once a lease
+// expires.
 type ManifestServer struct {
 	ln     net.Listener
-	next   atomic.Int64
-	total  int64
-	served atomic.Int64
 	wg     sync.WaitGroup
 	closed atomic.Bool
+	opts   ServerOptions
+	served atomic.Int64
+
+	mu         sync.Mutex
+	chunks     []chunkLease
+	lastBeat   map[int]time.Time
+	remaining  int
+	reassigned int64
+	abortMsg   string
 }
 
 // NewManifestServer starts a server dealing out chunk indices [0, numChunks)
-// on a random localhost port.
+// on a random localhost port, with default failure-detector options.
 func NewManifestServer(numChunks int) (*ManifestServer, error) {
+	return NewManifestServerOpts(numChunks, ServerOptions{})
+}
+
+// NewManifestServerOpts is NewManifestServer with explicit options.
+func NewManifestServerOpts(numChunks int, opts ServerOptions) (*ManifestServer, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	s := &ManifestServer{ln: ln, total: int64(numChunks)}
+	s := &ManifestServer{
+		ln:        ln,
+		opts:      opts.withDefaults(),
+		chunks:    make([]chunkLease, numChunks),
+		lastBeat:  make(map[int]time.Time),
+		remaining: numChunks,
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -68,14 +148,33 @@ func (s *ManifestServer) serve(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
-		switch strings.TrimSpace(sc.Text()) {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
 		case "NEXT":
-			idx := s.next.Add(1) - 1
-			if idx >= s.total {
-				fmt.Fprintf(w, "DONE\n")
+			worker := -1
+			if len(fields) > 1 {
+				worker, _ = strconv.Atoi(fields[1])
+			}
+			fmt.Fprintf(w, "%s\n", s.handleNext(worker))
+		case "ACK":
+			if len(fields) == 3 {
+				worker, _ := strconv.Atoi(fields[1])
+				idx, _ := strconv.Atoi(fields[2])
+				s.handleAck(worker, idx)
+				fmt.Fprintf(w, "OK\n")
 			} else {
-				s.served.Add(1)
-				fmt.Fprintf(w, "CHUNK %d\n", idx)
+				fmt.Fprintf(w, "ERR bad ack\n")
+			}
+		case "BEAT":
+			if len(fields) == 2 {
+				worker, _ := strconv.Atoi(fields[1])
+				s.touch(worker)
+				fmt.Fprintf(w, "OK\n")
+			} else {
+				fmt.Fprintf(w, "ERR bad beat\n")
 			}
 		case "STATS":
 			fmt.Fprintf(w, "SERVED %d\n", s.served.Load())
@@ -88,8 +187,113 @@ func (s *ManifestServer) serve(conn net.Conn) {
 	}
 }
 
-// Served returns how many chunk names have been handed out.
+// touch records a sign of life from a tracked worker.
+func (s *ManifestServer) touch(worker int) {
+	if worker < 0 {
+		return
+	}
+	s.mu.Lock()
+	s.lastBeat[worker] = time.Now()
+	s.mu.Unlock()
+}
+
+// expiredLocked reports whether a leased chunk is reclaimable: its worker
+// is dead (heartbeats stopped) or straggling (lease deadline passed).
+func (s *ManifestServer) expiredLocked(c *chunkLease, now time.Time) bool {
+	if now.After(c.deadline) {
+		return true
+	}
+	if lb, ok := s.lastBeat[c.worker]; ok && now.Sub(lb) > s.opts.BeatTimeout {
+		return true
+	}
+	return false
+}
+
+// handleNext deals one chunk to worker (-1 for the untracked legacy form).
+func (s *ManifestServer) handleNext(worker int) string {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if worker >= 0 {
+		s.lastBeat[worker] = now
+	}
+	if s.abortMsg != "" {
+		return "ABORT " + s.abortMsg
+	}
+	if s.remaining == 0 {
+		return "DONE"
+	}
+	deal := func(i int) string {
+		c := &s.chunks[i]
+		c.assigned = true
+		c.worker = worker
+		c.deadline = now.Add(s.opts.LeaseTimeout)
+		c.attempts++
+		s.served.Add(1)
+		if worker < 0 {
+			// Legacy untracked deal: at-most-once, counted complete now.
+			c.done = true
+			s.remaining--
+		}
+		return fmt.Sprintf("CHUNK %d", i)
+	}
+	// Fresh chunks first, then expired leases (dead or straggling workers).
+	for i := range s.chunks {
+		if c := &s.chunks[i]; !c.assigned && !c.done {
+			return deal(i)
+		}
+	}
+	for i := range s.chunks {
+		c := &s.chunks[i]
+		if !c.assigned || c.done || !s.expiredLocked(c, now) {
+			continue
+		}
+		if c.attempts >= s.opts.MaxAttempts {
+			s.abortMsg = fmt.Sprintf("chunk %d failed %d leases", i, c.attempts)
+			return "ABORT " + s.abortMsg
+		}
+		s.reassigned++
+		return deal(i)
+	}
+	// Everything left is leased to a live worker: poll again.
+	return "WAIT"
+}
+
+// handleAck marks a chunk complete. Idempotent: duplicate completions (a
+// straggler finishing after reassignment) are accepted silently.
+func (s *ManifestServer) handleAck(worker, idx int) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if worker >= 0 {
+		s.lastBeat[worker] = now
+	}
+	if idx < 0 || idx >= len(s.chunks) {
+		return
+	}
+	if c := &s.chunks[idx]; !c.done {
+		c.done = true
+		s.remaining--
+	}
+}
+
+// Served returns how many chunk leases have been handed out (reassignments
+// included).
 func (s *ManifestServer) Served() int64 { return s.served.Load() }
+
+// Reassigned returns how many chunks were re-dealt after an expired lease.
+func (s *ManifestServer) Reassigned() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reassigned
+}
+
+// AllDone reports whether every chunk has been completed.
+func (s *ManifestServer) AllDone() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remaining == 0 && s.abortMsg == ""
+}
 
 // Close stops the server.
 func (s *ManifestServer) Close() {
@@ -99,43 +303,119 @@ func (s *ManifestServer) Close() {
 	}
 }
 
-// ManifestClient fetches chunk indices from a manifest server.
+// ManifestClient fetches chunk indices from a manifest server on behalf of
+// one worker. Its methods are safe for concurrent use from the worker's
+// fetch, completion and heartbeat goroutines — each request/response pair
+// is serialized on the connection.
 type ManifestClient struct {
-	conn net.Conn
-	r    *bufio.Reader
+	mu       sync.Mutex
+	conn     net.Conn
+	r        *bufio.Reader
+	worker   int
+	waitPoll time.Duration
 }
 
-// DialManifest connects to a manifest server.
+// defaultWaitPoll is how often a waiting worker re-asks the server.
+const defaultWaitPoll = 10 * time.Millisecond
+
+// DialManifest connects to a manifest server as an untracked legacy client
+// (bare NEXT, no leases).
 func DialManifest(addr string) (*ManifestClient, error) {
+	return dial(addr, -1)
+}
+
+// DialManifestWorker connects as tracked worker id (leases + heartbeats).
+func DialManifestWorker(addr string, worker int) (*ManifestClient, error) {
+	return dial(addr, worker)
+}
+
+func dial(addr string, worker int) (*ManifestClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &ManifestClient{conn: conn, r: bufio.NewReader(conn)}, nil
+	return &ManifestClient{
+		conn:     conn,
+		r:        bufio.NewReader(conn),
+		worker:   worker,
+		waitPoll: defaultWaitPoll,
+	}, nil
 }
 
-// Next fetches the next chunk index; ok is false when the queue is drained.
-func (c *ManifestClient) Next() (idx int, ok bool, err error) {
-	if _, err := fmt.Fprintf(c.conn, "NEXT\n"); err != nil {
-		return 0, false, err
+// roundTrip sends one request line and reads one response line.
+func (c *ManifestClient) roundTrip(req string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "%s\n", req); err != nil {
+		return "", err
 	}
 	line, err := c.r.ReadString('\n')
 	if err != nil {
-		return 0, false, err
+		return "", err
 	}
-	line = strings.TrimSpace(line)
-	if line == "DONE" {
-		return 0, false, nil
+	return strings.TrimSpace(line), nil
+}
+
+// Next fetches the next chunk index; ok is false when the queue is drained.
+// WAIT responses are polled through internally (see NextWait to bound the
+// polling).
+func (c *ManifestClient) Next() (idx int, ok bool, err error) {
+	return c.NextWait(nil)
+}
+
+// NextWait is Next, aborting the internal WAIT polling (with ok=false, no
+// error) when stop closes.
+func (c *ManifestClient) NextWait(stop <-chan struct{}) (idx int, ok bool, err error) {
+	req := "NEXT"
+	if c.worker >= 0 {
+		req = fmt.Sprintf("NEXT %d", c.worker)
 	}
-	var idxStr string
-	if n, _ := fmt.Sscanf(line, "CHUNK %s", &idxStr); n != 1 {
-		return 0, false, fmt.Errorf("cluster: bad manifest response %q", line)
+	for {
+		line, err := c.roundTrip(req)
+		if err != nil {
+			return 0, false, err
+		}
+		switch {
+		case line == "DONE":
+			return 0, false, nil
+		case line == "WAIT":
+			t := time.NewTimer(c.waitPoll)
+			select {
+			case <-t.C:
+			case <-stop:
+				t.Stop()
+				return 0, false, nil
+			}
+		case strings.HasPrefix(line, "CHUNK "):
+			v, err := strconv.Atoi(strings.TrimPrefix(line, "CHUNK "))
+			if err != nil {
+				return 0, false, fmt.Errorf("cluster: bad chunk index %q", line)
+			}
+			return v, true, nil
+		case strings.HasPrefix(line, "ABORT"):
+			return 0, false, fmt.Errorf("%w: %s", ErrAborted, strings.TrimSpace(strings.TrimPrefix(line, "ABORT")))
+		default:
+			return 0, false, fmt.Errorf("cluster: bad manifest response %q", line)
+		}
 	}
-	v, err := strconv.Atoi(idxStr)
-	if err != nil {
-		return 0, false, fmt.Errorf("cluster: bad chunk index %q", idxStr)
+}
+
+// Ack reports chunk idx complete (its results are durably written).
+func (c *ManifestClient) Ack(idx int) error {
+	if c.worker < 0 {
+		return nil // untracked clients' deals complete on assignment
 	}
-	return v, true, nil
+	_, err := c.roundTrip(fmt.Sprintf("ACK %d %d", c.worker, idx))
+	return err
+}
+
+// Beat sends a heartbeat keeping this worker's leases alive.
+func (c *ManifestClient) Beat() error {
+	if c.worker < 0 {
+		return nil
+	}
+	_, err := c.roundTrip(fmt.Sprintf("BEAT %d", c.worker))
+	return err
 }
 
 // Close closes the client connection.

@@ -165,7 +165,7 @@ func (s *ObjectStore) Put(name string, data []byte) error {
 		placed++
 	}
 	if placed == 0 {
-		return fmt.Errorf("storage: no OSD up for %q", name)
+		return fmt.Errorf("put %q: storage: no OSD up", name)
 	}
 	s.stats.puts.Add(1)
 	s.stats.bytesIn.Add(int64(len(data)))
@@ -196,7 +196,7 @@ func (s *ObjectStore) read(name string) (data []byte, degraded bool, err error) 
 		}
 	}
 	if bestIdx < 0 {
-		return nil, false, fmt.Errorf("%w: %q", agd.ErrNotFound, name)
+		return nil, false, fmt.Errorf("get %q: %w", name, agd.ErrNotFound)
 	}
 	return best.data, bestIdx > 0, nil
 }

@@ -87,6 +87,17 @@ type (
 	SortKey = agdsort.Key
 	// DupStats reports a duplicate-marking pass.
 	DupStats = markdup.Stats
+	// StorageStats counts a resilient store's retry/hedge activity
+	// (storage.RetryStats).
+	StorageStats = storage.RetryStats
+	// RetryPolicy tunes a resilient store wrapper (NewRetryStore).
+	RetryPolicy = storage.RetryPolicy
+	// FaultPolicy scripts a fault-injecting store wrapper (NewFaultStore).
+	FaultPolicy = storage.FaultPolicy
+	// OpFaults is a FaultPolicy's per-operation fault mix.
+	OpFaults = storage.OpFaults
+	// KeyFaults targets a fault mix at blobs whose name contains a substring.
+	KeyFaults = storage.KeyFaults
 )
 
 // Sort orders.
@@ -105,6 +116,22 @@ func NewMemStore() Store { return storage.NewMem() }
 // paper's testbed defaults (7 OSDs, 3-way replication).
 func NewObjectStore() (*storage.ObjectStore, error) {
 	return storage.NewObjectStore(storage.ObjectStoreConfig{})
+}
+
+// NewRetryStore wraps a Store with the resilience layer: per-attempt
+// timeouts, capped exponential backoff with jitter, a retry budget,
+// transient-vs-permanent classification, and hedged async reads. A Session
+// over a resilient store surfaces its activity via Session.ResilienceStats
+// and per-run in PipelineReport.Storage.
+func NewRetryStore(inner Store, pol RetryPolicy) *storage.RetryStore {
+	return storage.NewRetryStore(inner, pol)
+}
+
+// NewFaultStore wraps a Store with seeded deterministic fault injection
+// (transient errors, latency spikes, stalls, corrupt reads) for chaos
+// testing. Close it to unblock injected stalls.
+func NewFaultStore(inner Store, pol FaultPolicy) *storage.FaultStore {
+	return storage.NewFaultStore(inner, pol)
 }
 
 // SynthesizeGenome generates the deterministic synthetic reference used in

@@ -205,6 +205,10 @@ type PipelineReport struct {
 	// Concurrent pipelines on one session share the executor, so their
 	// deltas overlap.
 	Executor ExecutorStats
+	// Storage carries the resilient store's retry/hedge activity during this
+	// run, when the session's store is wrapped with NewRetryStore (nil
+	// otherwise). Concurrent pipelines share the store, so deltas overlap.
+	Storage *StorageStats
 }
 
 // validate checks the stage graph shape and column flow before anything
@@ -309,6 +313,7 @@ func (p *Pipeline) Run(ctx context.Context) (*PipelineReport, error) {
 	start := time.Now()
 	execSub0, execDone0, execBusy0 := sess.exec.Stats()
 	steals0 := sess.exec.Steals()
+	storage0, resilient := sess.ResilienceStats()
 
 	// Source.
 	src := p.stages[0]
@@ -463,6 +468,11 @@ func (p *Pipeline) Run(ctx context.Context) (*PipelineReport, error) {
 		Completed: execDone1 - execDone0,
 		Steals:    sess.exec.Steals() - steals0,
 		Busy:      time.Duration(execBusy1 - execBusy0),
+	}
+	if resilient {
+		storage1, _ := sess.ResilienceStats()
+		delta := storage1.Delta(storage0)
+		report.Storage = &delta
 	}
 	return report, nil
 }

@@ -134,3 +134,13 @@ func (s *Session) tempPrefix() string {
 func (s *Session) PoolStats() (size, free int) {
 	return s.chunkPool.Size(), s.chunkPool.Free()
 }
+
+// ResilienceStats returns the cumulative retry/hedge counters of the
+// session's store when it is resilience-wrapped (NewRetryStore); ok is false
+// for a plain store.
+func (s *Session) ResilienceStats() (stats StorageStats, ok bool) {
+	if rs, isRS := s.store.(interface{ RetryStats() StorageStats }); isRS {
+		return rs.RetryStats(), true
+	}
+	return StorageStats{}, false
+}
