@@ -589,8 +589,12 @@ func BenchmarkAblation_Subchunks(b *testing.B) {
 // sort materializes a sorted dataset, markdup rewrites it, export re-reads
 // it); "fused" runs the same stages as one Session/Pipeline graph, where
 // chunks stream stage-to-stage and only sort's temporary spill touches the
-// store. The BAM bytes are identical (asserted in TestPipelineMatchesStagedSAM);
-// the delta is the store round trips. Dataset setup is outside the timer.
+// store — under the pumped scheduler (bounded edges, stages overlapped);
+// "fused-pull" is the same graph on the serial pull scheduler, isolating
+// what the overlap buys. The BAM bytes are identical (asserted in
+// TestPipelineMatchesStagedSAM and TestPipelinePumpedMatchesSerial); the
+// staged/fused delta is the store round trips. Dataset setup is outside the
+// timer.
 func BenchmarkPipeline_WGS(b *testing.B) {
 	sc := benchScale()
 	cfg := testutil.Config{
@@ -645,25 +649,29 @@ func BenchmarkPipeline_WGS(b *testing.B) {
 			}
 		}
 	})
-	b.Run("fused", func(b *testing.B) {
+	runFused := func(b *testing.B, serial bool) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			store := freshStore(b)
 			sess := persona.NewSession(store, persona.SessionOptions{})
 			b.StartTimer()
-			_, err := sess.Read("ds").
+			p := sess.Read("ds").
 				Align(idx, persona.AlignOptions{}).
 				Sort(persona.ByLocation).
 				MarkDuplicates().
-				ExportBAM(io.Discard).
-				Run(ctx)
-			if err != nil {
+				ExportBAM(io.Discard)
+			if serial {
+				p = p.Serial()
+			}
+			if _, err := p.Run(ctx); err != nil {
 				b.Fatal(err)
 			}
 			b.StopTimer()
 			sess.Close()
 			b.StartTimer()
 		}
-	})
+	}
+	b.Run("fused", func(b *testing.B) { runFused(b, false) })
+	b.Run("fused-pull", func(b *testing.B) { runFused(b, true) })
 }

@@ -199,6 +199,21 @@ func (c *Chunk) Record(i int) ([]byte, error) {
 	return c.Data[off[i]:off[i+1]], nil
 }
 
+// Clone returns an independently owned deep copy: mutating or recycling the
+// receiver afterwards cannot affect the copy. Used to detach a row group
+// from a stage whose builders recycle on the next pull.
+func (c *Chunk) Clone() *Chunk {
+	out := &Chunk{
+		Type:         c.Type,
+		FirstOrdinal: c.FirstOrdinal,
+		lengths:      make([]uint32, len(c.lengths)),
+		Data:         make([]byte, len(c.Data)),
+	}
+	copy(out.lengths, c.lengths)
+	copy(out.Data, c.Data)
+	return out
+}
+
 // Reset clears the chunk for reuse, retaining the Data, lengths and offsets
 // backing arrays so a recycled chunk decodes with no allocation. The caller
 // must ensure no records or slices of the previous contents are still

@@ -4,6 +4,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
+
+	"persona/internal/dataflow"
 )
 
 // This file defines the chunk-granularity dataflow edge between pipeline
@@ -108,18 +112,46 @@ func (g *RowGroup) Release() {
 	}
 }
 
+// Detach returns a group whose chunks are independently owned copies, valid
+// until the garbage collector — however many later groups the producing
+// stream delivers. The original group is released. Pumped edges detach
+// groups from streams that do not declare Owned delivery, so a stage's
+// reused builders can never recycle under a queued group.
+func (g *RowGroup) Detach() *RowGroup {
+	chunks := make([]*Chunk, len(g.Chunks))
+	for i, c := range g.Chunks {
+		chunks[i] = c.Clone()
+	}
+	out := NewRowGroup(g.Index, g.Shard, chunks, nil)
+	g.Release()
+	return out
+}
+
 // GroupStream is the pull-based edge between pipeline stages. Next returns
 // groups in row order and io.EOF when the stream is exhausted; Close stops
 // the stream early and releases stage resources (temporary spill blobs,
 // upstream streams). Next also checks the context before delivering, so a
 // cancelled pipeline stops within one chunk at every stage.
+//
+// Next must be called from one goroutine at a time (stage state is not
+// shareable), but Close may race a concurrent Next: a pumped pipeline's
+// teardown closes streams while their pumps are mid-pull. After Close, the
+// in-flight Next finishes (or fails) and every later Next returns io.EOF.
 type GroupStream struct {
 	// Meta describes the rows this edge carries.
 	Meta StreamMeta
+	// Owned declares the delivery contract: when true, every delivered
+	// group's chunks stay valid until the group is Released, no matter how
+	// many further groups are requested first (pool- or copy-backed
+	// stages). When false — the strict pull contract — a group's chunks
+	// may recycle on the following Next call, so a pumped edge must Detach
+	// the group before queueing it.
+	Owned bool
 
-	next   func(ctx context.Context) (*RowGroup, error)
-	stop   func()
-	closed bool
+	next     func(ctx context.Context) (*RowGroup, error)
+	stop     func()
+	closed   atomic.Bool
+	stopOnce sync.Once
 }
 
 // NewGroupStream assembles a stream from a delivery function and an optional
@@ -131,26 +163,109 @@ func NewGroupStream(meta StreamMeta, next func(ctx context.Context) (*RowGroup, 
 // Next delivers the next row group, or io.EOF at the end of the stream. The
 // context's cancellation and deadline are checked per group.
 func (s *GroupStream) Next(ctx context.Context) (*RowGroup, error) {
-	if s.closed {
+	if s.closed.Load() {
 		return nil, io.EOF
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return s.next(ctx)
+	g, err := s.next(ctx)
+	if err == nil && s.closed.Load() {
+		// Raced a Close: the stop hook may already be tearing down the
+		// resources backing this group, so don't hand it out.
+		g.Release()
+		return nil, io.EOF
+	}
+	return g, err
 }
 
 // Close stops the stream. Groups already delivered stay valid until
-// released; subsequent Next calls return io.EOF. Close is idempotent.
+// released; subsequent Next calls return io.EOF. Close is idempotent and
+// safe to call concurrently with Next.
 func (s *GroupStream) Close() {
-	if s.closed {
-		return
+	s.closed.Store(true)
+	s.stopOnce.Do(func() {
+		if s.stop != nil {
+			s.stop()
+		}
+	})
+}
+
+// BuilderSet is one checked-out set of per-column chunk builders from a
+// BuilderPool: the backing buffers of one in-flight output group.
+type BuilderSet struct {
+	// Builders holds one builder per pool column, in spec order.
+	Builders []*ChunkBuilder
+}
+
+// Chunks returns every builder's accumulated chunk, in column order. The
+// chunks share the builders' backing arrays, so they are valid until the set
+// is Put back.
+func (s *BuilderSet) Chunks() []*Chunk {
+	chunks := make([]*Chunk, len(s.Builders))
+	for i, b := range s.Builders {
+		chunks[i] = b.Chunk()
 	}
-	s.closed = true
-	if s.stop != nil {
-		s.stop()
+	return chunks
+}
+
+// BuilderPool is a bounded pool of per-column builder sets. Stages that used
+// to recycle one builder set per pull draw from a pool instead, which turns
+// their output groups release-owned (valid until Release, not until the next
+// Next): a pumped edge can then queue several of a stage's groups without
+// any recycling under a live reader. Exhaustion blocks in Get — the same
+// back-pressure contract as the chunk pools — so an undersized window
+// degrades to waiting, never to corruption.
+type BuilderPool struct {
+	specs []ColumnSpec
+	pool  *dataflow.ItemPool[*BuilderSet]
+}
+
+// NewBuilderPool creates a pool of window builder sets (minimum 2: one being
+// filled, one in flight), one builder per spec.
+func NewBuilderPool(window int, specs []ColumnSpec) *BuilderPool {
+	if window < 2 {
+		window = 2
+	}
+	bp := &BuilderPool{specs: specs}
+	bp.pool = dataflow.NewItemPool(window, func() *BuilderSet {
+		set := &BuilderSet{Builders: make([]*ChunkBuilder, len(specs))}
+		for i, sp := range specs {
+			set.Builders[i] = NewChunkBuilder(sp.Type, 0)
+		}
+		return set
+	}, nil)
+	return bp
+}
+
+// Get checks out a builder set, blocking while every set is held by an
+// in-flight group (ErrStopped on ctx cancellation). Each builder is reset to
+// its column's record type with the given first-record ordinal.
+func (bp *BuilderPool) Get(ctx context.Context, firstOrdinal uint64) (*BuilderSet, error) {
+	set, err := bp.pool.Get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for i, sp := range bp.specs {
+		set.Builders[i].Reset(sp.Type, firstOrdinal)
+	}
+	return set, nil
+}
+
+// Put returns a set to the pool. The group built from it must be dead: its
+// chunks alias the builders' arrays, which the next Get recycles.
+func (bp *BuilderPool) Put(set *BuilderSet) {
+	if set != nil {
+		bp.pool.Put(set)
 	}
 }
+
+// Size returns the pool's bound; Free the sets currently available. Equal
+// when no group is in flight — the leak check for pumped-stage tests.
+func (bp *BuilderPool) Size() int { return bp.pool.Size() }
+
+// Free returns the number of sets currently available.
+func (bp *BuilderPool) Free() int { return bp.pool.Free() }
 
 // Groups opens a GroupStream over the dataset's chunks — the pipeline
 // source form of Stream. Column order follows opts.Columns (every manifest
@@ -182,7 +297,11 @@ func (d *Dataset) Groups(opts StreamOptions) (*GroupStream, error) {
 			release: sc.Release,
 		}, nil
 	}
-	return NewGroupStream(meta, next, cs.Close), nil
+	gs := NewGroupStream(meta, next, cs.Close)
+	// Pooled source chunks are valid until Release (the pool recycles only
+	// released chunks), so dataset groups satisfy the Owned contract.
+	gs.Owned = true
+	return gs, nil
 }
 
 // SpecsForColumns maps standard column names to their column specs (the

@@ -70,6 +70,12 @@ type Options struct {
 	// sorts against one store must use distinct prefixes. Dataset sorts
 	// ignore it and spill under "<OutputName>/tmp".
 	TempPrefix string
+	// Pipelining (SortStream only) is how many merged output groups may be
+	// in flight at once. ≤ 1 keeps the serial pull contract (groups build
+	// into reused builders, valid until the next group); > 1 draws builders
+	// from a bounded pool of that size, so a pumped edge can queue groups
+	// that stay valid until Release.
+	Pipelining int
 }
 
 // Sort externally sorts a dataset and writes a new sorted dataset,

@@ -167,13 +167,17 @@ func SortStream(ctx context.Context, store agd.BlobStore, in *agd.GroupStream, o
 		store:     store,
 		names:     superNames,
 		h:         h,
-		builders:  make([]*agd.ChunkBuilder, numCols),
 		specs:     specs,
 		chunkSize: opts.OutputChunkSize,
 		total:     total,
 	}
-	for i, spec := range specs {
-		ms.builders[i] = agd.NewChunkBuilder(spec.Type, 0)
+	if opts.Pipelining > 1 {
+		ms.pool = agd.NewBuilderPool(opts.Pipelining, specs)
+	} else {
+		ms.fixed = &agd.BuilderSet{Builders: make([]*agd.ChunkBuilder, numCols)}
+		for i, spec := range specs {
+			ms.fixed.Builders[i] = agd.NewChunkBuilder(spec.Type, 0)
+		}
 	}
 	meta := agd.StreamMeta{
 		Columns:    in.Meta.Columns,
@@ -182,32 +186,48 @@ func SortStream(ctx context.Context, store agd.BlobStore, in *agd.GroupStream, o
 		NumRecords: uint64(total),
 		ChunkSize:  opts.OutputChunkSize,
 	}
-	return agd.NewGroupStream(meta, ms.next, ms.cleanup), nil
+	// The stop hook sweeps the spill blobs even when a downstream stage
+	// dies mid-merge (an early Close never reaches the EOF-path cleanup),
+	// and closes the drained input so teardown keeps cascading upstream.
+	out := agd.NewGroupStream(meta, ms.next, func() {
+		ms.cleanup()
+		in.Close()
+	})
+	out.Owned = ms.pool != nil
+	return out, nil
 }
 
 // mergeGroupStream emits the heap merge of the spilled runs as row groups of
-// chunkSize records, built into a reused builder set (each group is valid
-// until the next one is requested).
+// chunkSize records. Serial pulls build into a reused builder set (each
+// group valid until the next one is requested); pumped sorts
+// (Options.Pipelining > 1) draw from a bounded pool so queued groups stay
+// valid until Release.
 type mergeGroupStream struct {
 	store     agd.BlobStore
 	names     []string
 	h         *mergeHeap
-	builders  []*agd.ChunkBuilder
+	fixed     *agd.BuilderSet
+	pool      *agd.BuilderPool
 	specs     []agd.ColumnSpec
 	chunkSize int
 	total     int
 	emitted   int
 	chunkIdx  int
-	cleaned   bool
+
+	cleanOnce sync.Once
+	cleanMu   sync.Mutex
 	cleanErr  error
 }
 
 func (ms *mergeGroupStream) next(ctx context.Context) (*agd.RowGroup, error) {
 	if ms.emitted >= ms.total {
-		wasClean := ms.cleaned
 		ms.cleanup()
-		if !wasClean && ms.cleanErr != nil {
-			return nil, ms.cleanErr
+		ms.cleanMu.Lock()
+		err := ms.cleanErr
+		ms.cleanErr = nil // report a failed sweep once, from the EOF pull
+		ms.cleanMu.Unlock()
+		if err != nil {
+			return nil, err
 		}
 		return nil, io.EOF
 	}
@@ -215,37 +235,52 @@ func (ms *mergeGroupStream) next(ctx context.Context) (*agd.RowGroup, error) {
 	if rows > ms.chunkSize {
 		rows = ms.chunkSize
 	}
+	set := ms.fixed
+	if ms.pool != nil {
+		var err error
+		if set, err = ms.pool.Get(ctx, uint64(ms.emitted)); err != nil {
+			return nil, err
+		}
+	}
+	builders := set.Builders
 	for i, spec := range ms.specs {
-		ms.builders[i].Reset(spec.Type, uint64(ms.emitted))
+		builders[i].Reset(spec.Type, uint64(ms.emitted))
 	}
 	err := ms.h.emit(rows, func(fields [][]byte) {
 		for i, f := range fields {
-			ms.builders[i].Append(f)
+			builders[i].Append(f)
 		}
 	})
 	if err != nil {
+		if ms.pool != nil {
+			ms.pool.Put(set)
+		}
 		return nil, err
 	}
-	chunks := make([]*agd.Chunk, len(ms.builders))
-	for i := range ms.builders {
-		chunks[i] = ms.builders[i].Chunk()
+	var release func()
+	if ms.pool != nil {
+		put := set
+		release = func() { ms.pool.Put(put) }
 	}
-	g := agd.NewRowGroup(ms.chunkIdx, 0, chunks, nil)
+	g := agd.NewRowGroup(ms.chunkIdx, 0, set.Chunks(), release)
 	ms.chunkIdx++
 	ms.emitted += rows
 	return g, nil
 }
 
-// cleanup deletes the spill blobs (once); a failed delete is reported from
-// the final next call.
+// cleanup deletes the spill blobs exactly once — idempotent and safe under
+// a teardown Close racing the merge's own EOF path. A failed delete is
+// reported from the final next call.
 func (ms *mergeGroupStream) cleanup() {
-	if ms.cleaned {
-		return
-	}
-	ms.cleaned = true
-	for _, name := range ms.names {
-		if err := ms.store.Delete(name); err != nil && ms.cleanErr == nil {
-			ms.cleanErr = err
+	ms.cleanOnce.Do(func() {
+		for _, name := range ms.names {
+			if err := ms.store.Delete(name); err != nil {
+				ms.cleanMu.Lock()
+				if ms.cleanErr == nil {
+					ms.cleanErr = err
+				}
+				ms.cleanMu.Unlock()
+			}
 		}
-	}
+	})
 }

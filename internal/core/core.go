@@ -56,6 +56,12 @@ type AlignConfig struct {
 	ExecutorThreads int
 	// Subchunks is the fine-grain split of each chunk. Default 8.
 	Subchunks int
+	// Pipelining (AlignStream only) is how many output groups may be in
+	// flight at once. ≤ 1 keeps the serial pull contract (the results chunk
+	// aliases one reused builder, valid until the next group); > 1 draws
+	// results builders from a bounded pool of that size, so a pumped edge
+	// can queue groups that stay valid until Release.
+	Pipelining int
 }
 
 func (c *AlignConfig) applyDefaults() {

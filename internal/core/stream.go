@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"persona/internal/agd"
@@ -12,12 +13,16 @@ import (
 )
 
 // alignStage is the per-stream state of a streaming alignment: pooled
-// aligner values, reusable result arenas and the output chunk builder.
+// aligner values, reusable result arenas and the output chunk builders
+// (one reused builder on the serial pull path, a bounded pool when the
+// stage is pumped).
 type alignStage struct {
 	exec      *dataflow.Executor
 	aligners  chan ReadAligner
 	arenas    []*agd.RecordArena
 	builder   *agd.ChunkBuilder
+	pool      *agd.BuilderPool
+	owned     bool // input groups are valid until Release
 	paired    bool
 	subchunks int
 	report    *AlignReport
@@ -55,12 +60,17 @@ func AlignStream(cfg AlignConfig, exec *dataflow.Executor, in *agd.GroupStream) 
 		exec:      exec,
 		aligners:  make(chan ReadAligner, exec.Workers()),
 		arenas:    make([]*agd.RecordArena, cfg.Subchunks),
-		builder:   agd.NewChunkBuilder(agd.TypeResults, 0),
+		owned:     in.Owned,
 		paired:    cfg.Paired,
 		subchunks: cfg.Subchunks,
 		report:    &AlignReport{},
 		started:   time.Now(),
 		basesCol:  basesCol,
+	}
+	if cfg.Pipelining > 1 {
+		st.pool = agd.NewBuilderPool(cfg.Pipelining, []agd.ColumnSpec{{Name: agd.ColResults, Type: agd.TypeResults}})
+	} else {
+		st.builder = agd.NewChunkBuilder(agd.TypeResults, 0)
 	}
 	for i := 0; i < exec.Workers(); i++ {
 		st.aligners <- factory()
@@ -70,17 +80,17 @@ func AlignStream(cfg AlignConfig, exec *dataflow.Executor, in *agd.GroupStream) 
 	}
 
 	meta := in.Meta.WithColumn(agd.ColResults)
-	finished := false
+	// finish runs from the EOF path or a concurrent teardown Close — once,
+	// whichever comes first (pumped pipelines can race the two).
+	var finishOnce sync.Once
 	finish := func() {
-		if finished {
-			return
-		}
-		finished = true
-		st.report.Elapsed = time.Since(st.started)
-		if st.report.Elapsed > 0 {
-			st.report.BasesPerSec = float64(st.report.Bases) / st.report.Elapsed.Seconds()
-		}
-		st.collectStats()
+		finishOnce.Do(func() {
+			st.report.Elapsed = time.Since(st.started)
+			if st.report.Elapsed > 0 {
+				st.report.BasesPerSec = float64(st.report.Bases) / st.report.Elapsed.Seconds()
+			}
+			st.collectStats()
+		})
 	}
 	next := func(ctx context.Context) (*agd.RowGroup, error) {
 		g, err := in.Next(ctx)
@@ -93,7 +103,9 @@ func AlignStream(cfg AlignConfig, exec *dataflow.Executor, in *agd.GroupStream) 
 		}
 		return st.alignGroup(ctx, g)
 	}
-	return agd.NewGroupStream(meta, next, func() { finish(); in.Close() }), st.report, nil
+	out := agd.NewGroupStream(meta, next, func() { finish(); in.Close() })
+	out.Owned = st.pool != nil && in.Owned
+	return out, st.report, nil
 }
 
 // alignGroup aligns one row group, returning the group with a results chunk
@@ -165,27 +177,45 @@ func (st *alignStage) alignGroup(ctx context.Context, g *agd.RowGroup) (*agd.Row
 		return nil, submitErr
 	}
 
-	st.builder.Reset(agd.TypeResults, bases.FirstOrdinal)
+	builder := st.builder
+	var set *agd.BuilderSet
+	if st.pool != nil {
+		var err error
+		if set, err = st.pool.Get(ctx, bases.FirstOrdinal); err != nil {
+			g.Release()
+			return nil, err
+		}
+		builder = set.Builders[0]
+	}
+	putSet := func() {
+		if set != nil {
+			st.pool.Put(set)
+		}
+	}
+	builder.Reset(agd.TypeResults, bases.FirstOrdinal)
 	for s := 0; s < sub; s++ {
 		ra := st.arenas[s]
 		for i := 0; i < ra.Len(); i++ {
-			st.builder.Append(ra.Record(i))
+			builder.Append(ra.Record(i))
 		}
 	}
-	if st.builder.NumRecords() != n {
+	if builder.NumRecords() != n {
+		putSet()
 		g.Release()
-		return nil, fmt.Errorf("core: group %d aligned %d of %d records", g.Index, st.builder.NumRecords(), n)
+		return nil, fmt.Errorf("core: group %d aligned %d of %d records", g.Index, builder.NumRecords(), n)
 	}
 
 	var chunkBases int64
 	for r := 0; r < n; r++ {
 		rec, err := bases.Record(r)
 		if err != nil {
+			putSet()
 			g.Release()
 			return nil, err
 		}
 		count, l := uvarint(rec)
 		if l <= 0 {
+			putSet()
 			g.Release()
 			return nil, fmt.Errorf("core: corrupt bases record in group %d", g.Index)
 		}
@@ -197,8 +227,15 @@ func (st *alignStage) alignGroup(ctx context.Context, g *agd.RowGroup) (*agd.Row
 
 	chunks := make([]*agd.Chunk, 0, len(g.Chunks)+1)
 	chunks = append(chunks, g.Chunks...)
-	chunks = append(chunks, st.builder.Chunk())
-	return agd.NewRowGroup(g.Index, g.Shard, chunks, g.Release), nil
+	chunks = append(chunks, builder.Chunk())
+	release := g.Release
+	if set != nil {
+		release = func() {
+			st.pool.Put(set)
+			g.Release()
+		}
+	}
+	return agd.NewRowGroup(g.Index, g.Shard, chunks, release), nil
 }
 
 // collectStats drains the aligner pool and aggregates SNAP work counters

@@ -1,0 +1,99 @@
+package dataflow
+
+import (
+	"context"
+	"sync"
+)
+
+// This file schedules pumps: the stage-driving loops of a pumped pipeline.
+// A pump spends most of its life blocked — on a bounded edge at depth, on an
+// empty upstream edge, on an exhausted buffer pool — so pumps are dedicated
+// goroutines, not executor tasks: parking a blocked pump on one of the
+// executor's fixed worker shards would starve the fine-grain subchunk tasks
+// the stages themselves submit (with #pumps ≥ #workers the graph deadlocks
+// outright). The Go scheduler parks blocked pumps for free; the sharded
+// executor keeps doing what it is good at — running short CPU-bound tasks.
+
+// Pump identifies one stage-driving goroutine. Home is the executor shard
+// the pump's fine-grain submissions should prefer (from Executor.NextShard),
+// so concurrent stages spread across shards instead of contending for one.
+type Pump struct {
+	// Name labels the pump in reports ("align", "sort", ...).
+	Name string
+	// Home is the pump's preferred executor shard.
+	Home int
+}
+
+// Pumps runs a set of pumps over one shared derived context. The first pump
+// failure cancels the context so every sibling unwinds; Wait blocks until
+// all pumps have exited and returns that first failure. The zero value is
+// not usable — construct with NewPumps.
+type Pumps struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewPumps prepares a pump set under a parent context: cancelling the parent
+// cancels every pump.
+func NewPumps(parent context.Context) *Pumps {
+	ctx, cancel := context.WithCancel(parent)
+	return &Pumps{ctx: ctx, cancel: cancel}
+}
+
+// Context returns the shared pump context. Edge watchers hang off it so
+// condition-variable waits (which cannot select on a context) still unwind
+// on cancellation.
+func (p *Pumps) Context() context.Context { return p.ctx }
+
+// Go starts one pump. fn receives the shared context; returning a non-nil
+// error records it (first failure wins) and cancels the siblings. Clean
+// EOF-driven exits return nil.
+func (p *Pumps) Go(pump Pump, fn func(ctx context.Context) error) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		if err := fn(p.ctx); err != nil {
+			p.fail(err)
+		}
+	}()
+}
+
+// Fail injects a failure from outside the pump set — e.g. the sink loop,
+// which runs on the caller's goroutine but participates in the same
+// first-error teardown.
+func (p *Pumps) Fail(err error) {
+	if err != nil {
+		p.fail(err)
+	}
+}
+
+func (p *Pumps) fail(err error) {
+	p.mu.Lock()
+	// First failure wins, except that a real error displaces a bare
+	// cancellation: when teardown races, the pump that saw ctx.Err() may
+	// report before the pump holding the root cause.
+	if p.err == nil || (isCtxErr(p.err) && !isCtxErr(err)) {
+		p.err = err
+	}
+	p.mu.Unlock()
+	p.cancel()
+}
+
+func isCtxErr(err error) bool {
+	return err == context.Canceled || err == context.DeadlineExceeded
+}
+
+// Wait blocks until every pump has exited, cancels the shared context (so a
+// clean run releases its watcher resources) and returns the first recorded
+// failure, nil for a clean run.
+func (p *Pumps) Wait() error {
+	p.wg.Wait()
+	p.cancel()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}

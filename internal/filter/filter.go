@@ -186,18 +186,28 @@ func RunDataset(ctx context.Context, ds *agd.Dataset, pred Predicate, opts Optio
 // pipelines: each group is replaced by a (possibly smaller) group holding
 // only the rows matching pred; groups left empty by the predicate are
 // dropped. Row order and columns are preserved, so the stream metadata
-// passes through unchanged. The returned stats update as groups flow. The
-// returned group's chunks alias reused builders, valid until the next
-// group.
-func RunStream(in *agd.GroupStream, pred Predicate) (*agd.GroupStream, *Stats, error) {
+// passes through unchanged. The returned stats update as groups flow.
+//
+// pipelining is how many output groups may be in flight at once. With
+// pipelining ≤ 1 (the serial pull path) output chunks alias one reused
+// builder set, valid until the next group; with pipelining > 1 builders come
+// from a bounded pool of that size and each group is valid until its
+// Release (the kept rows are copied, so the output owns its bytes outright).
+func RunStream(in *agd.GroupStream, pred Predicate, pipelining int) (*agd.GroupStream, *Stats, error) {
 	resCol := in.Meta.Col(agd.ColResults)
 	if resCol < 0 {
 		return nil, nil, fmt.Errorf("filter: stream has no results column")
 	}
 	specs := agd.SpecsForColumns(in.Meta.Columns)
-	builders := make([]*agd.ChunkBuilder, len(specs))
-	for i, spec := range specs {
-		builders[i] = agd.NewChunkBuilder(spec.Type, 0)
+	var pool *agd.BuilderPool
+	var fixed *agd.BuilderSet
+	if pipelining > 1 {
+		pool = agd.NewBuilderPool(pipelining, specs)
+	} else {
+		fixed = &agd.BuilderSet{Builders: make([]*agd.ChunkBuilder, len(specs))}
+		for i, spec := range specs {
+			fixed.Builders[i] = agd.NewChunkBuilder(spec.Type, 0)
+		}
 	}
 	stats := &Stats{}
 	outIdx := 0
@@ -210,8 +220,23 @@ func RunStream(in *agd.GroupStream, pred Predicate) (*agd.GroupStream, *Stats, e
 				return nil, err
 			}
 			first := g.Chunks[0].FirstOrdinal
+			set := fixed
+			if pool != nil {
+				if set, err = pool.Get(ctx, first); err != nil {
+					g.Release()
+					return nil, err
+				}
+			}
+			builders := set.Builders
 			for i, spec := range specs {
 				builders[i].Reset(spec.Type, first)
+			}
+			fail := func(err error) (*agd.RowGroup, error) {
+				if pool != nil {
+					pool.Put(set)
+				}
+				g.Release()
+				return nil, err
 			}
 			n := g.NumRecords()
 			kept := 0
@@ -219,13 +244,11 @@ func RunStream(in *agd.GroupStream, pred Predicate) (*agd.GroupStream, *Stats, e
 				stats.In++
 				rec, err := g.Chunks[resCol].Record(r)
 				if err != nil {
-					g.Release()
-					return nil, err
+					return fail(err)
 				}
 				res, err := agd.DecodeResultView(rec)
 				if err != nil {
-					g.Release()
-					return nil, err
+					return fail(err)
 				}
 				if !pred(&res) {
 					continue
@@ -233,8 +256,7 @@ func RunStream(in *agd.GroupStream, pred Predicate) (*agd.GroupStream, *Stats, e
 				for col, c := range g.Chunks {
 					f, err := c.Record(r)
 					if err != nil {
-						g.Release()
-						return nil, err
+						return fail(err)
 					}
 					// Rows stay in stored representation (bases compacted).
 					builders[col].Append(f)
@@ -244,16 +266,22 @@ func RunStream(in *agd.GroupStream, pred Predicate) (*agd.GroupStream, *Stats, e
 			stats.Kept += uint64(kept)
 			g.Release()
 			if kept == 0 {
+				if pool != nil {
+					pool.Put(set)
+				}
 				continue // fully filtered group: pull the next one
 			}
-			chunks := make([]*agd.Chunk, len(builders))
-			for i := range builders {
-				chunks[i] = builders[i].Chunk()
+			var release func()
+			if pool != nil {
+				put := set
+				release = func() { pool.Put(put) }
 			}
-			out := agd.NewRowGroup(outIdx, g.Shard, chunks, nil)
+			out := agd.NewRowGroup(outIdx, g.Shard, set.Chunks(), release)
 			outIdx++
 			return out, nil
 		}
 	}
-	return agd.NewGroupStream(meta, next, in.Close), stats, nil
+	out := agd.NewGroupStream(meta, next, in.Close)
+	out.Owned = pool != nil
+	return out, stats, nil
 }

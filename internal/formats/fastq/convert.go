@@ -15,6 +15,15 @@ type ImportOptions struct {
 	ChunkSize int
 	// RefSeqs, if known, is recorded in the manifest.
 	RefSeqs []agd.RefSeq
+	// Pipelining (ImportStream only) is how many parsed groups may be in
+	// flight at once. ≤ 1 keeps the serial pull contract (reused builders,
+	// each group valid until the next); > 1 draws builders from a bounded
+	// pool of that size so a pumped edge can queue groups.
+	Pipelining int
+	// Shards (ImportStream only) rotates group shard affinity over that many
+	// executor shards, so downstream sharded submissions (align subchunks)
+	// spread instead of landing on shard 0. 0 leaves every group on shard 0.
+	Shards int
 }
 
 // Import converts a FASTQ stream into an AGD dataset (the paper's import
@@ -66,17 +75,25 @@ func Import(ctx context.Context, store agd.BlobStore, name string, src io.Reader
 // source form of Import used by composed pipelines: the parsed chunks feed
 // the next stage in memory, and nothing is written to a store unless the
 // pipeline ends in a dataset sink. Each group holds ChunkSize reads in the
-// three standard read columns, built into reused builders (a group is valid
-// until the next one is requested). Scanner errors surface from Next.
+// three standard read columns. With opts.Pipelining ≤ 1 groups build into
+// reused builders (valid until the next group); with Pipelining > 1 builders
+// come from a bounded pool so queued groups stay valid until Release.
+// Scanner errors surface from Next.
 func ImportStream(src io.Reader, opts ImportOptions) *agd.GroupStream {
 	chunkSize := opts.ChunkSize
 	if chunkSize <= 0 {
 		chunkSize = agd.DefaultChunkSize
 	}
 	specs := agd.StandardReadColumns()
-	builders := make([]*agd.ChunkBuilder, len(specs))
-	for i, spec := range specs {
-		builders[i] = agd.NewChunkBuilder(spec.Type, 0)
+	var pool *agd.BuilderPool
+	var fixed *agd.BuilderSet
+	if opts.Pipelining > 1 {
+		pool = agd.NewBuilderPool(opts.Pipelining, specs)
+	} else {
+		fixed = &agd.BuilderSet{Builders: make([]*agd.ChunkBuilder, len(specs))}
+		for i, spec := range specs {
+			fixed.Builders[i] = agd.NewChunkBuilder(spec.Type, 0)
+		}
 	}
 	sc := NewScanner(src)
 	var (
@@ -93,6 +110,14 @@ func ImportStream(src io.Reader, opts ImportOptions) *agd.GroupStream {
 		if done {
 			return nil, io.EOF
 		}
+		set := fixed
+		if pool != nil {
+			var err error
+			if set, err = pool.Get(ctx, ordinal); err != nil {
+				return nil, err
+			}
+		}
+		builders := set.Builders
 		for i, spec := range specs {
 			builders[i].Reset(spec.Type, ordinal)
 		}
@@ -104,24 +129,36 @@ func ImportStream(src io.Reader, opts ImportOptions) *agd.GroupStream {
 			builders[2].Append(m)
 			rows++
 		}
-		if err := sc.Err(); err != nil {
+		fin := func(err error) (*agd.RowGroup, error) {
 			done = true
+			if pool != nil {
+				pool.Put(set)
+			}
 			return nil, err
 		}
+		if err := sc.Err(); err != nil {
+			return fin(err)
+		}
 		if rows == 0 {
-			done = true
-			return nil, io.EOF
+			return fin(io.EOF)
 		}
 		ordinal += uint64(rows)
-		chunks := make([]*agd.Chunk, len(builders))
-		for i := range builders {
-			chunks[i] = builders[i].Chunk()
+		shard := 0
+		if opts.Shards > 1 {
+			shard = idx % opts.Shards
 		}
-		g := agd.NewRowGroup(idx, 0, chunks, nil)
+		var release func()
+		if pool != nil {
+			put := set
+			release = func() { pool.Put(put) }
+		}
+		g := agd.NewRowGroup(idx, shard, set.Chunks(), release)
 		idx++
 		return g, nil
 	}
-	return agd.NewGroupStream(meta, next, nil)
+	gs := agd.NewGroupStream(meta, next, nil)
+	gs.Owned = pool != nil
+	return gs
 }
 
 // Export converts an AGD dataset back to FASTQ. Chunks arrive through a

@@ -190,33 +190,66 @@ func markChunk(chunk *agd.Chunk, builder *agd.ChunkBuilder, seen map[signature]s
 // carrying duplicate flags; the other columns pass through untouched.
 // Marking is order-dependent (the first occurrence survives), so the pass is
 // sequential — exactly the order the stream delivers. The returned stats
-// update as groups flow and are complete at io.EOF. The returned group's
-// results chunk aliases a reused builder, valid until the next group.
-func MarkStream(in *agd.GroupStream) (*agd.GroupStream, *Stats, error) {
+// update as groups flow and are complete at io.EOF.
+//
+// pipelining is how many output groups may be in flight at once. With
+// pipelining ≤ 1 (the serial pull path) the results chunk aliases one reused
+// builder, valid until the next group. With pipelining > 1 results builders
+// come from a bounded pool of that size and each group's chunks stay valid
+// until its Release (provided the input stream is Owned — the passthrough
+// columns alias the upstream group, held alive until the output releases).
+func MarkStream(in *agd.GroupStream, pipelining int) (*agd.GroupStream, *Stats, error) {
 	resCol := in.Meta.Col(agd.ColResults)
 	if resCol < 0 {
 		return nil, nil, fmt.Errorf("markdup: stream has no results column")
 	}
 	stats := &Stats{}
 	seen := make(map[signature]struct{}, in.Meta.NumRecords)
-	builder := agd.NewChunkBuilder(agd.TypeResults, 0)
+	var pool *agd.BuilderPool
+	var builder *agd.ChunkBuilder
+	if pipelining > 1 {
+		pool = agd.NewBuilderPool(pipelining, []agd.ColumnSpec{{Name: agd.ColResults, Type: agd.TypeResults}})
+	} else {
+		builder = agd.NewChunkBuilder(agd.TypeResults, 0)
+	}
 	var cigar align.Cigar
 	next := func(ctx context.Context) (*agd.RowGroup, error) {
 		g, err := in.Next(ctx)
 		if err != nil {
 			return nil, err
 		}
-		cigar, err = markChunk(g.Chunks[resCol], builder, seen, stats, cigar)
+		b := builder
+		var set *agd.BuilderSet
+		if pool != nil {
+			if set, err = pool.Get(ctx, g.Chunks[resCol].FirstOrdinal); err != nil {
+				g.Release()
+				return nil, err
+			}
+			b = set.Builders[0]
+		}
+		cigar, err = markChunk(g.Chunks[resCol], b, seen, stats, cigar)
 		if err != nil {
+			if set != nil {
+				pool.Put(set)
+			}
 			g.Release()
 			return nil, err
 		}
 		chunks := make([]*agd.Chunk, len(g.Chunks))
 		copy(chunks, g.Chunks)
-		chunks[resCol] = builder.Chunk()
-		return agd.NewRowGroup(g.Index, g.Shard, chunks, g.Release), nil
+		chunks[resCol] = b.Chunk()
+		release := g.Release
+		if set != nil {
+			release = func() {
+				pool.Put(set)
+				g.Release()
+			}
+		}
+		return agd.NewRowGroup(g.Index, g.Shard, chunks, release), nil
 	}
-	return agd.NewGroupStream(in.Meta, next, in.Close), stats, nil
+	out := agd.NewGroupStream(in.Meta, next, in.Close)
+	out.Owned = pool != nil && in.Owned
+	return out, stats, nil
 }
 
 // signatureOf computes a read's duplication signature, parsing its CIGAR

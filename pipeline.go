@@ -10,6 +10,7 @@ import (
 	"persona/internal/agdsort"
 	"persona/internal/align/snap"
 	"persona/internal/core"
+	"persona/internal/dataflow"
 	"persona/internal/filter"
 	"persona/internal/formats/bam"
 	"persona/internal/formats/fastq"
@@ -36,10 +37,23 @@ import (
 //		MarkDuplicates().
 //		ExportSAM(w).
 //		Run(ctx)
+//
+// Run is pumped by default: every stage is driven by its own pump goroutine
+// and adjacent stages are connected by bounded queues (depth EdgeDepth,
+// default DefaultEdgeDepth), so stage N+1 consumes chunk k−1 while stage N
+// produces chunk k. Serial() opts back into the strictly sequential pull
+// path; output bytes are identical either way.
 type Pipeline struct {
-	sess   *Session
-	stages []pipeStage
+	sess      *Session
+	stages    []pipeStage
+	serial    bool
+	edgeDepth int
 }
+
+// DefaultEdgeDepth is the default bounded-queue depth, in row groups, of
+// each pumped pipeline edge. Total groups in flight across a run stay under
+// the sum of its edge depths plus one in hand per stage.
+const DefaultEdgeDepth = 4
 
 type stageKind int
 
@@ -160,6 +174,22 @@ func (p *Pipeline) Write(dataset string) *Pipeline {
 	return p.add(pipeStage{kind: stageWrite, dataset: dataset})
 }
 
+// Serial opts out of the pumped scheduler: stages advance one row group at
+// a time on the caller's goroutine, as PR-5 pipelines did. Output bytes are
+// identical to the pumped path; only scheduling differs.
+func (p *Pipeline) Serial() *Pipeline {
+	p.serial = true
+	return p
+}
+
+// EdgeDepth sets the bounded-queue depth (in row groups) of every pumped
+// edge; values < 1 select DefaultEdgeDepth. Deeper edges absorb burstier
+// stages at the cost of more groups in flight.
+func (p *Pipeline) EdgeDepth(depth int) *Pipeline {
+	p.edgeDepth = depth
+	return p
+}
+
 // StageReport describes one stage of a completed run.
 type StageReport struct {
 	// Stage names the stage ("read", "align", "sort", ...).
@@ -170,8 +200,22 @@ type StageReport struct {
 	// Groups is how many chunk-granularity row groups that took.
 	Groups int64
 	// Elapsed is the wall time attributable to this stage alone (upstream
-	// time excluded).
+	// time excluded). On a pumped run it equals Busy: stages execute
+	// concurrently, so per-stage times overlap and their sum exceeds the
+	// run's wall — compare Busy against Blocked instead of against Elapsed
+	// of other stages.
 	Elapsed time.Duration
+	// Busy is time the stage's pump spent doing the stage's own work —
+	// producing groups (and, for barriers like sort, the eager spill
+	// phase), excluding time blocked on its neighboring edges.
+	Busy time.Duration
+	// Blocked is time the stage's pump spent waiting on its edges: starved
+	// for input (upstream slower) plus stalled pushing output (downstream
+	// slower, back-pressure at edge depth). Zero on a serial run.
+	Blocked time.Duration
+	// PeakQueue is the deepest the stage's output queue got during a pumped
+	// run (0 for the sink, which has no output edge, and on serial runs).
+	PeakQueue int
 }
 
 // ExecutorStats is the session executor's activity during one run.
@@ -209,6 +253,10 @@ type PipelineReport struct {
 	// run, when the session's store is wrapped with NewRetryStore (nil
 	// otherwise). Concurrent pipelines share the store, so deltas overlap.
 	Storage *StorageStats
+	// Pumped reports whether the run used the pumped scheduler; EdgeDepth
+	// is the bounded-queue depth its edges ran with (0 when serial).
+	Pumped    bool
+	EdgeDepth int
 }
 
 // validate checks the stage graph shape and column flow before anything
@@ -289,7 +337,8 @@ type edgeStats struct {
 	records uint64
 }
 
-// instrumented wraps a stream so deliveries are counted and timed.
+// instrumented wraps a stream so deliveries are counted and timed. The
+// wrapper preserves the delivery-ownership contract of the wrapped stream.
 func instrumented(s *agd.GroupStream, e *edgeStats) *agd.GroupStream {
 	next := func(ctx context.Context) (*agd.RowGroup, error) {
 		t0 := time.Now()
@@ -301,52 +350,204 @@ func instrumented(s *agd.GroupStream, e *edgeStats) *agd.GroupStream {
 		}
 		return g, err
 	}
-	return agd.NewGroupStream(s.Meta, next, s.Close)
+	out := agd.NewGroupStream(s.Meta, next, s.Close)
+	out.Owned = s.Owned
+	return out
 }
 
-// Run plans, validates and executes the pipeline, returning the aggregated
-// report. Cancellation and deadline of ctx are checked per chunk at every
-// stage.
-func (p *Pipeline) Run(ctx context.Context) (*PipelineReport, error) {
-	sess := p.sess
-	report := &PipelineReport{}
-	start := time.Now()
-	execSub0, execDone0, execBusy0 := sess.exec.Stats()
-	steals0 := sess.exec.Steals()
-	storage0, resilient := sess.ResilienceStats()
+// runBase carries the counters snapshotted at Run entry, diffed into the
+// report on completion.
+type runBase struct {
+	start     time.Time
+	sub0      int64
+	done0     int64
+	busy0     int64
+	steals0   int64
+	storage0  StorageStats
+	resilient bool
+}
 
-	// Source.
+func (p *Pipeline) snapshotBase() runBase {
+	sess := p.sess
+	b := runBase{start: time.Now()}
+	b.sub0, b.done0, b.busy0 = sess.exec.Stats()
+	b.steals0 = sess.exec.Steals()
+	b.storage0, b.resilient = sess.ResilienceStats()
+	return b
+}
+
+func (p *Pipeline) finishBase(report *PipelineReport, b runBase) {
+	sess := p.sess
+	report.Elapsed = time.Since(b.start)
+	sub1, done1, busy1 := sess.exec.Stats()
+	report.Executor = ExecutorStats{
+		Submitted: sub1 - b.sub0,
+		Completed: done1 - b.done0,
+		Steals:    sess.exec.Steals() - b.steals0,
+		Busy:      time.Duration(busy1 - b.busy0),
+	}
+	if b.resilient {
+		storage1, _ := sess.ResilienceStats()
+		delta := storage1.Delta(b.storage0)
+		report.Storage = &delta
+	}
+}
+
+// stageNames returns the report label of every stage, in graph order.
+func (p *Pipeline) stageNames() []string {
+	names := make([]string, 0, len(p.stages))
+	for _, st := range p.stages {
+		name := st.kind.String()
+		if st.kind == stageSort {
+			name = "sort-" + st.by.String()
+		}
+		names = append(names, name)
+	}
+	return names
+}
+
+// openSource validates the graph and opens the source stream. pipelining
+// and shards configure a pumped FASTQ source (0, 0 for the serial path).
+func (p *Pipeline) openSource(pipelining, shards int) (*agd.GroupStream, error) {
+	sess := p.sess
 	src := p.stages[0]
-	var (
-		stream     *agd.GroupStream
-		err        error
-		hasResults bool
-	)
 	switch src.kind {
 	case stageRead:
-		ds, oerr := agd.Open(sess.store, src.dataset)
-		if oerr != nil {
-			return nil, oerr
+		ds, err := agd.Open(sess.store, src.dataset)
+		if err != nil {
+			return nil, err
 		}
-		hasResults = ds.Manifest.HasColumn(agd.ColResults)
+		hasResults := ds.Manifest.HasColumn(agd.ColResults)
 		if err := p.validate(ds.Manifest.Columns, hasResults); err != nil {
 			return nil, err
 		}
-		stream, err = ds.Groups(agd.StreamOptions{
+		return ds.Groups(agd.StreamOptions{
 			Prefetch:    sess.prefetch,
 			ShardedPool: sess.chunkPool,
 			Codec:       agd.Codec{Exec: sess.exec},
 		})
-		if err != nil {
-			return nil, err
-		}
 	case stageImportFASTQ:
 		if err := p.validate([]string{agd.ColBases, agd.ColQual, agd.ColMetadata}, false); err != nil {
 			return nil, err
 		}
-		stream = fastq.ImportStream(src.src, fastq.ImportOptions{ChunkSize: src.chunkSize, RefSeqs: src.refs})
-	default:
-		return nil, fmt.Errorf("persona: pipeline has no source")
+		return fastq.ImportStream(src.src, fastq.ImportOptions{
+			ChunkSize:  src.chunkSize,
+			RefSeqs:    src.refs,
+			Pipelining: pipelining,
+			Shards:     shards,
+		}), nil
+	}
+	return nil, fmt.Errorf("persona: pipeline has no source")
+}
+
+// buildStage constructs one transform stage over its input stream.
+// pipelining sizes the stage's output builder pool (0 on the serial path).
+// The stats the stage reports land in the shared report/dups/fstats slots —
+// on the pumped path each slot is written by exactly one pump before the
+// Wait barrier, so the post-Wait reads are ordered.
+func (p *Pipeline) buildStage(ctx context.Context, st pipeStage, in *agd.GroupStream, pipelining int, report *PipelineReport, dups **DupStats, fstats **FilterStats) (*agd.GroupStream, error) {
+	sess := p.sess
+	switch st.kind {
+	case stageAlign:
+		out, alignReport, err := core.AlignStream(core.AlignConfig{
+			Index:      st.idx,
+			Aligner:    snap.Config{MaxDist: st.alignOpts.MaxDist},
+			Pipelining: pipelining,
+		}, sess.exec, in)
+		report.Align = alignReport
+		return out, err
+	case stageSort:
+		return agdsort.SortStream(ctx, sess.store, in, agdsort.Options{
+			By:         st.by,
+			TempPrefix: sess.tempPrefix(),
+			Pipelining: pipelining,
+		})
+	case stageMarkDup:
+		out, d, err := markdup.MarkStream(in, pipelining)
+		*dups = d
+		return out, err
+	case stageFilter:
+		out, f, err := filter.RunStream(in, st.pred, pipelining)
+		*fstats = f
+		return out, err
+	}
+	return nil, fmt.Errorf("persona: %s is not a transform stage", st.kind)
+}
+
+// runSink drains the final stream into the pipeline's sink, returning the
+// records consumed.
+func (p *Pipeline) runSink(ctx context.Context, stream *agd.GroupStream, report *PipelineReport) (uint64, error) {
+	sess := p.sess
+	sink := p.stages[len(p.stages)-1]
+	switch sink.kind {
+	case stageExportSAM:
+		return sam.ExportStream(ctx, stream, sink.dst)
+	case stageExportBAM:
+		return bam.ExportStream(ctx, stream, sink.dst)
+	case stageExportFASTQ:
+		return fastq.ExportStream(ctx, stream, sink.dst)
+	case stageWrite:
+		m, err := agd.WriteGroups(ctx, stream, sess.store, sink.dataset, agd.WriterOptions{})
+		var n uint64
+		if m != nil {
+			report.Manifest = m
+			n = m.NumRecords()
+		}
+		return n, err
+	}
+	return 0, fmt.Errorf("persona: pipeline has no sink")
+}
+
+// passthroughStage reports whether a stage's output groups keep their input
+// group alive until Release (its output chunks alias upstream chunks).
+// Pool windows must cover the whole passthrough span: a group produced
+// above such a stage stays checked out across every edge the aliasing
+// chain crosses.
+func passthroughStage(k stageKind) bool {
+	return k == stageAlign || k == stageMarkDup
+}
+
+// poolWindow sizes the builder pool of the stage at index i for a pumped
+// run: one set being filled, plus (depth+1) per downstream edge — depth
+// queued groups and one in the consumer's hand — across consecutive
+// passthrough stages (which keep the producing stage's sets checked out
+// beyond their own edge). An undersized window would block the producer
+// (safe back-pressure, wasted overlap); this window never blocks.
+func (p *Pipeline) poolWindow(i, depth int) int {
+	w := 1
+	for j := i; j < len(p.stages)-1; j++ {
+		w += depth + 1
+		if !passthroughStage(p.stages[j+1].kind) {
+			break
+		}
+	}
+	return w
+}
+
+// Run plans, validates and executes the pipeline, returning the aggregated
+// report. Cancellation and deadline of ctx are checked per chunk at every
+// stage. By default stages run pumped — each driven by its own goroutine
+// over bounded queues (see Pipeline doc); Serial() pipelines advance one
+// group at a time instead. Output bytes are identical either way.
+func (p *Pipeline) Run(ctx context.Context) (*PipelineReport, error) {
+	if len(p.stages) < 2 {
+		return nil, fmt.Errorf("persona: pipeline has no sink (end with Export* or Write)")
+	}
+	if p.serial {
+		return p.runSerial(ctx)
+	}
+	return p.runPumped(ctx)
+}
+
+// runSerial is the strictly sequential pull path: one goroutine advances
+// the whole graph one row group at a time (PR-5 behavior).
+func (p *Pipeline) runSerial(ctx context.Context) (*PipelineReport, error) {
+	report := &PipelineReport{}
+	base := p.snapshotBase()
+
+	stream, err := p.openSource(0, 0)
+	if err != nil {
+		return nil, err
 	}
 
 	// Transform stages, each instrumented so per-stage time can be told
@@ -366,30 +567,9 @@ func (p *Pipeline) Run(ctx context.Context) (*PipelineReport, error) {
 		fstats *FilterStats
 	)
 	for _, st := range p.stages[1 : len(p.stages)-1] {
-		var (
-			out        *agd.GroupStream
-			setupNanos int64
-		)
-		switch st.kind {
-		case stageAlign:
-			var alignReport *core.AlignReport
-			out, alignReport, err = core.AlignStream(core.AlignConfig{
-				Index:   st.idx,
-				Aligner: snap.Config{MaxDist: st.alignOpts.MaxDist},
-			}, sess.exec, stream)
-			report.Align = alignReport
-		case stageSort:
-			setup := time.Now()
-			out, err = agdsort.SortStream(ctx, sess.store, stream, agdsort.Options{
-				By:         st.by,
-				TempPrefix: sess.tempPrefix(),
-			})
-			setupNanos = time.Since(setup).Nanoseconds()
-		case stageMarkDup:
-			out, dups, err = markdup.MarkStream(stream)
-		case stageFilter:
-			out, fstats, err = filter.RunStream(stream, st.pred)
-		}
+		setup := time.Now()
+		out, err := p.buildStage(ctx, st, stream, 0, report, &dups, &fstats)
+		setupNanos := time.Since(setup).Nanoseconds()
 		if err != nil {
 			// The deferred Close tears down the upstream chain built so far.
 			return nil, err
@@ -397,39 +577,24 @@ func (p *Pipeline) Run(ctx context.Context) (*PipelineReport, error) {
 		stream = wire(out)
 		// A barrier stage's eager phase (sort's staging + spill) runs at
 		// construction, before any Next: charge it to this stage's edge.
-		edges[len(edges)-1].setup = setupNanos
-	}
-
-	// Sink.
-	sink := p.stages[len(p.stages)-1]
-	var n uint64
-	switch sink.kind {
-	case stageExportSAM:
-		n, err = sam.ExportStream(ctx, stream, sink.dst)
-	case stageExportBAM:
-		n, err = bam.ExportStream(ctx, stream, sink.dst)
-	case stageExportFASTQ:
-		n, err = fastq.ExportStream(ctx, stream, sink.dst)
-	case stageWrite:
-		var m *agd.Manifest
-		m, err = agd.WriteGroups(ctx, stream, sess.store, sink.dataset, agd.WriterOptions{})
-		if m != nil {
-			report.Manifest = m
-			n = m.NumRecords()
+		if st.kind == stageSort {
+			edges[len(edges)-1].setup = setupNanos
 		}
 	}
+
+	n, err := p.runSink(ctx, stream, report)
 	if err != nil {
 		return nil, err
 	}
 	stream.Close() // finalize stage reports (align stats, spill cleanup)
 	report.Records = n
-	report.Elapsed = time.Since(start)
 	if dups != nil {
 		report.Dups = *dups
 	}
 	if fstats != nil {
 		report.Filtered = *fstats
 	}
+	p.finishBase(report, base)
 
 	// Per-stage attribution: every edge's cumulative Next time includes its
 	// upstream pulls (the pipeline is pull-based), so a stage's own time is
@@ -437,42 +602,225 @@ func (p *Pipeline) Run(ctx context.Context) (*PipelineReport, error) {
 	// upstream edge — the upstream's time is spent entirely inside this
 	// stage's pulls or setup. The sink gets the run's remainder: total
 	// minus the last edge and every setup phase.
-	names := make([]string, 0, len(p.stages))
-	for _, st := range p.stages {
-		name := st.kind.String()
-		if st.kind == stageSort {
-			name = "sort-" + st.by.String()
-		}
-		names = append(names, name)
-	}
+	names := p.stageNames()
 	var prev, setups int64
 	for i, e := range edges {
+		own := time.Duration(e.nanos + e.setup - prev)
 		report.Stages = append(report.Stages, StageReport{
 			Stage:   names[i],
 			Records: e.records,
 			Groups:  e.groups,
-			Elapsed: time.Duration(e.nanos + e.setup - prev),
+			Elapsed: own,
+			Busy:    own,
 		})
 		prev = e.nanos
 		setups += e.setup
 	}
+	sinkOwn := report.Elapsed - time.Duration(prev+setups)
 	report.Stages = append(report.Stages, StageReport{
 		Stage:   names[len(names)-1],
 		Records: n,
-		Elapsed: report.Elapsed - time.Duration(prev+setups),
+		Elapsed: sinkOwn,
+		Busy:    sinkOwn,
 	})
+	return report, nil
+}
 
-	execSub1, execDone1, execBusy1 := sess.exec.Stats()
-	report.Executor = ExecutorStats{
-		Submitted: execSub1 - execSub0,
-		Completed: execDone1 - execDone0,
-		Steals:    sess.exec.Steals() - steals0,
-		Busy:      time.Duration(execBusy1 - execBusy0),
+// metaMsg hands a constructed stage's output metadata (or its construction
+// failure) to the downstream pump, which needs it to build its edge facade.
+type metaMsg struct {
+	meta agd.StreamMeta
+	err  error
+}
+
+// runPumped drives every stage as a pump goroutine connected by bounded
+// edges: stage N+1 consumes chunk k−1 while stage N produces chunk k.
+// Memory stays bounded (groups in flight ≤ Σ edge depths + one in hand per
+// stage, enforced by edge depth and the stages' builder-pool windows), and
+// teardown cascades both ways — a failing stage closes its output edge
+// (downstream sees the error) and its input stream (upstream pumps stop,
+// queued groups drain back to their pools).
+func (p *Pipeline) runPumped(ctx context.Context) (*PipelineReport, error) {
+	sess := p.sess
+	depth := p.edgeDepth
+	if depth < 1 {
+		depth = DefaultEdgeDepth
 	}
-	if resilient {
-		storage1, _ := sess.ResilienceStats()
-		delta := storage1.Delta(storage0)
-		report.Storage = &delta
+	report := &PipelineReport{Pumped: true, EdgeDepth: depth}
+	base := p.snapshotBase()
+	names := p.stageNames()
+	nStages := len(p.stages)
+	nEdges := nStages - 1
+
+	source, err := p.openSource(p.poolWindow(0, depth), sess.exec.NumShards())
+	if err != nil {
+		return nil, err
 	}
+
+	bedges := make([]*agd.BoundedEdge, nEdges)
+	metaCh := make([]chan metaMsg, nEdges)
+	for i := range bedges {
+		bedges[i] = agd.NewBoundedEdge(depth)
+		metaCh[i] = make(chan metaMsg, 1)
+	}
+	// One stats slot per producing stage; each is written only by its own
+	// pump, and the pump Wait below orders the final reads.
+	stats := make([]*edgeStats, nStages-1)
+	for i := range stats {
+		stats[i] = &edgeStats{}
+	}
+	setups := make([]int64, nStages-1)
+	dupSlots := make([]*DupStats, nStages)
+	fstatSlots := make([]*FilterStats, nStages)
+
+	pumps := dataflow.NewPumps(ctx)
+	// Edge waits are condition variables and cannot select on a context: a
+	// watcher fails every edge when the pump context dies (parent
+	// cancellation or first pump failure), releasing queued groups and
+	// waking both sides of every edge.
+	stopWatch := context.AfterFunc(pumps.Context(), func() {
+		cause := context.Cause(pumps.Context())
+		if cause == nil {
+			cause = context.Canceled
+		}
+		for _, e := range bedges {
+			e.Fail(cause)
+		}
+	})
+	defer stopWatch()
+
+	// Source pump.
+	pumps.Go(dataflow.Pump{Name: names[0], Home: sess.exec.NextShard()}, func(pctx context.Context) error {
+		_, err := agd.RunPump(pctx, instrumented(source, stats[0]), bedges[0])
+		return err
+	})
+	metaCh[0] <- metaMsg{meta: source.Meta}
+
+	// Transform pumps. Each waits for its upstream stage's metadata (sort
+	// sends late: its eager spill phase runs at construction), builds the
+	// stage over the input edge's stream facade, announces its own output
+	// metadata and pumps until EOF or failure.
+	for i := 1; i < nStages-1; i++ {
+		st := p.stages[i]
+		window := p.poolWindow(i, depth)
+		pumps.Go(dataflow.Pump{Name: names[i], Home: sess.exec.NextShard()}, func(pctx context.Context) error {
+			var m metaMsg
+			select {
+			case m = <-metaCh[i-1]:
+			case <-pctx.Done():
+				m = metaMsg{err: pctx.Err()}
+			}
+			if m.err != nil {
+				// Upstream never came up; forward the failure (it is
+				// already recorded where it happened) and unwind.
+				metaCh[i] <- m
+				bedges[i].CloseSend(m.err)
+				bedges[i-1].CloseRecv()
+				return nil
+			}
+			in := bedges[i-1].Stream(m.meta)
+			setup := time.Now()
+			var d *DupStats
+			var f *FilterStats
+			out, err := p.buildStage(pctx, st, in, window, report, &d, &f)
+			if st.kind == stageSort {
+				setups[i] = time.Since(setup).Nanoseconds()
+			}
+			dupSlots[i], fstatSlots[i] = d, f
+			if err != nil {
+				metaCh[i] <- metaMsg{err: err}
+				bedges[i].CloseSend(err)
+				in.Close()
+				return err
+			}
+			metaCh[i] <- metaMsg{meta: out.Meta}
+			_, perr := agd.RunPump(pctx, instrumented(out, stats[i]), bedges[i])
+			return perr
+		})
+	}
+
+	// Sink, on the caller's goroutine.
+	var m metaMsg
+	select {
+	case m = <-metaCh[nEdges-1]:
+	case <-pumps.Context().Done():
+		m = metaMsg{err: context.Cause(pumps.Context())}
+	}
+	var n uint64
+	var sinkWall time.Duration
+	var sinkErr error
+	if m.err == nil {
+		facade := bedges[nEdges-1].Stream(m.meta)
+		t0 := time.Now()
+		n, sinkErr = p.runSink(ctx, facade, report)
+		sinkWall = time.Since(t0)
+		if sinkErr != nil {
+			pumps.Fail(sinkErr)
+		}
+		facade.Close() // drains the edge if the sink stopped early
+	}
+	perr := pumps.Wait()
+	if perr == nil {
+		perr = sinkErr
+	}
+	if perr == nil {
+		perr = m.err
+	}
+	if perr != nil {
+		return nil, perr
+	}
+
+	report.Records = n
+	for _, d := range dupSlots {
+		if d != nil {
+			report.Dups = *d
+		}
+	}
+	for _, f := range fstatSlots {
+		if f != nil {
+			report.Filtered = *f
+		}
+	}
+	p.finishBase(report, base)
+
+	// Per-stage attribution under overlap: a stage's Busy is the wall its
+	// pump spent inside the stage's Next (plus sort's eager spill phase)
+	// minus the time those pulls sat blocked on the upstream edge; Blocked
+	// is that starvation plus back-pressure stalls pushing downstream.
+	// Stages run concurrently, so Busy values overlap in wall time and do
+	// not sum to Elapsed.
+	for i := 0; i < nStages-1; i++ {
+		e := stats[i]
+		var popW time.Duration
+		if i > 0 {
+			popW = bedges[i-1].PopWait()
+		}
+		busy := time.Duration(e.nanos+setups[i]) - popW
+		if busy < 0 {
+			busy = 0
+		}
+		report.Stages = append(report.Stages, StageReport{
+			Stage:     names[i],
+			Records:   e.records,
+			Groups:    e.groups,
+			Elapsed:   busy,
+			Busy:      busy,
+			Blocked:   popW + bedges[i].PushWait(),
+			PeakQueue: bedges[i].PeakDepth(),
+		})
+	}
+	lastPop := bedges[nEdges-1].PopWait()
+	busySink := sinkWall - lastPop
+	if busySink < 0 {
+		busySink = 0
+	}
+	report.Stages = append(report.Stages, StageReport{
+		Stage:   names[nStages-1],
+		Records: n,
+		Groups:  bedges[nEdges-1].Moved(),
+		Elapsed: busySink,
+		Busy:    busySink,
+		Blocked: lastPop,
+	})
 	return report, nil
 }
