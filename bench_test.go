@@ -188,7 +188,7 @@ func BenchmarkFig6_MeasuredThreadSweep(b *testing.B) {
 	sc.NumReads = 800
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig6Measured(io.Discard, sc, 2); err != nil {
+		if _, err := experiments.RunFig6Measured(context.Background(), io.Discard, sc, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,7 +211,7 @@ func BenchmarkFig7_MeasuredCluster(b *testing.B) {
 	sc.NumReads = 800
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig7Measured(io.Discard, sc, []int{2}); err != nil {
+		if _, err := experiments.RunFig7Measured(context.Background(), io.Discard, sc, []int{2}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -224,7 +224,7 @@ func BenchmarkFig8_Profiles(b *testing.B) {
 	sc.NumReads = 500
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig8(io.Discard, sc); err != nil {
+		if _, err := experiments.RunFig8(context.Background(), io.Discard, sc); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -235,7 +235,7 @@ func BenchmarkFig8_Profiles(b *testing.B) {
 func BenchmarkDupmark_Comparison(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunDupmark(io.Discard, benchScale()); err != nil {
+		if _, err := experiments.RunDupmark(context.Background(), io.Discard, benchScale()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -557,7 +557,7 @@ func BenchmarkAblation_ChunkSize(b *testing.B) {
 	sc.NumReads = 1000
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunChunkSizeAblation(io.Discard, sc); err != nil {
+		if _, err := experiments.RunChunkSizeAblation(context.Background(), io.Discard, sc); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -566,7 +566,7 @@ func BenchmarkAblation_ChunkSize(b *testing.B) {
 func BenchmarkAblation_Compression(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunCompressionAblation(io.Discard, benchScale()); err != nil {
+		if _, err := experiments.RunCompressionAblation(context.Background(), io.Discard, benchScale()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -577,7 +577,7 @@ func BenchmarkAblation_Subchunks(b *testing.B) {
 	sc.NumReads = 1000
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunSubchunkAblation(io.Discard, sc); err != nil {
+		if _, err := experiments.RunSubchunkAblation(context.Background(), io.Discard, sc); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,16 +14,25 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"persona/internal/experiments"
 )
 
 func main() {
+	// Ctrl-C / SIGTERM cancels the in-flight experiment instead of leaving
+	// a half-run measurement.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	run := flag.String("run", "all", "comma-separated experiment ids (table1,table2,table3,fig5,fig6,fig7,fig8,dupmark,conv,ablation,all)")
 	genomeSize := flag.Int("genome", 0, "override measured-workload genome size in bases")
 	numReads := flag.Int("reads", 0, "override measured-workload read count")
@@ -58,6 +67,10 @@ func main() {
 
 	out := os.Stdout
 	fail := func(id string, err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "persona-bench: %s: interrupted\n", id)
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "persona-bench: %s: %v\n", id, err)
 		os.Exit(1)
 	}
@@ -72,7 +85,7 @@ func main() {
 			fail("table1", err)
 		}
 		defer os.RemoveAll(dir)
-		if _, err := experiments.RunTable1Measured(out, sc, dir); err != nil {
+		if _, err := experiments.RunTable1Measured(ctx, out, sc, dir); err != nil {
 			fail("table1", err)
 		}
 	}
@@ -85,7 +98,7 @@ func main() {
 	if all || want["fig6"] {
 		ran++
 		experiments.RunFig6(out)
-		if _, err := experiments.RunFig6Measured(out, sc, runtime.NumCPU()); err != nil {
+		if _, err := experiments.RunFig6Measured(ctx, out, sc, runtime.NumCPU()); err != nil {
 			fail("fig6", err)
 		}
 	}
@@ -94,31 +107,31 @@ func main() {
 		if _, err := experiments.RunFig7(out); err != nil {
 			fail("fig7", err)
 		}
-		if _, err := experiments.RunFig7Measured(out, sc, []int{1, 2, 4}); err != nil {
+		if _, err := experiments.RunFig7Measured(ctx, out, sc, []int{1, 2, 4}); err != nil {
 			fail("fig7", err)
 		}
 	}
 	if all || want["table2"] {
 		ran++
-		if _, err := experiments.RunTable2(out, sc); err != nil {
+		if _, err := experiments.RunTable2(ctx, out, sc); err != nil {
 			fail("table2", err)
 		}
 	}
 	if all || want["dupmark"] {
 		ran++
-		if _, err := experiments.RunDupmark(out, sc); err != nil {
+		if _, err := experiments.RunDupmark(ctx, out, sc); err != nil {
 			fail("dupmark", err)
 		}
 	}
 	if all || want["conv"] {
 		ran++
-		if _, err := experiments.RunConversion(out, sc); err != nil {
+		if _, err := experiments.RunConversion(ctx, out, sc); err != nil {
 			fail("conv", err)
 		}
 	}
 	if all || want["fig8"] {
 		ran++
-		if _, err := experiments.RunFig8(out, sc); err != nil {
+		if _, err := experiments.RunFig8(ctx, out, sc); err != nil {
 			fail("fig8", err)
 		}
 	}
@@ -130,13 +143,13 @@ func main() {
 	}
 	if all || want["ablation"] {
 		ran++
-		if _, err := experiments.RunChunkSizeAblation(out, sc); err != nil {
+		if _, err := experiments.RunChunkSizeAblation(ctx, out, sc); err != nil {
 			fail("ablation", err)
 		}
-		if _, err := experiments.RunCompressionAblation(out, sc); err != nil {
+		if _, err := experiments.RunCompressionAblation(ctx, out, sc); err != nil {
 			fail("ablation", err)
 		}
-		if _, err := experiments.RunSubchunkAblation(out, sc); err != nil {
+		if _, err := experiments.RunSubchunkAblation(ctx, out, sc); err != nil {
 			fail("ablation", err)
 		}
 	}

@@ -16,25 +16,35 @@
 //	persona export  -store DIR -name DS -format sam|bam|fastq [-o FILE|-]
 //	persona info    -store DIR -name DS
 //	persona run     -store DIR -name DS [-align] [-sort location|metadata] [-markdup] [-minmapq N] [-dedup] -format sam|bam|fastq [-o FILE|-]
+//	persona submit  -server URL [-tenant T] -name DS [-align] [-sort location|metadata] [-markdup] [-minmapq N] [-dedup] -format sam|bam|fastq [-wait] [-o FILE|-]
+//	persona status  -server URL [-tenant T] [-id JOB]
+//	persona fetch   -server URL [-tenant T] -id JOB [-o FILE|-]
 //
 // The synthetic reference substitutes for hg19; `persona
 // index` persists it in the store so later commands can rebuild the seed
 // index deterministically.
+//
+// submit/status/fetch talk to a running persona-server; every command
+// cancels its work cleanly on Ctrl-C (SIGINT/SIGTERM).
 package main
 
 import (
 	"compress/gzip"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"persona"
 	"persona/internal/agd"
 	"persona/internal/genome"
+	"persona/internal/jobs"
 )
 
 // gzipReader wraps a reader with gzip decompression.
@@ -46,42 +56,59 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
+
+	// Ctrl-C / SIGTERM cancels the command's context: pipelines stop at the
+	// next chunk boundary, pooled chunks go back, and partial spill blobs
+	// are cleaned up instead of orphaned.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	switch cmd {
 	case "import":
-		err = cmdImport(args)
+		err = cmdImport(ctx, args)
 	case "index":
-		err = cmdIndex(args)
+		err = cmdIndex(ctx, args)
 	case "align":
-		err = cmdAlign(args)
+		err = cmdAlign(ctx, args)
 	case "sort":
-		err = cmdSort(args)
+		err = cmdSort(ctx, args)
 	case "markdup":
-		err = cmdMarkdup(args)
+		err = cmdMarkdup(ctx, args)
 	case "export":
-		err = cmdExport(args)
+		err = cmdExport(ctx, args)
 	case "info":
-		err = cmdInfo(args)
+		err = cmdInfo(ctx, args)
 	case "import-sam":
-		err = cmdImportSAM(args)
+		err = cmdImportSAM(ctx, args)
 	case "filter":
-		err = cmdFilter(args)
+		err = cmdFilter(ctx, args)
 	case "varcall":
-		err = cmdVarcall(args)
+		err = cmdVarcall(ctx, args)
 	case "run":
-		err = cmdRun(args)
+		err = cmdRun(ctx, args)
+	case "submit":
+		err = cmdSubmit(ctx, args)
+	case "status":
+		err = cmdStatus(ctx, args)
+	case "fetch":
+		err = cmdFetch(ctx, args)
 	default:
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "persona %s: interrupted\n", cmd)
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "persona %s: %v\n", cmd, err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: persona <import|import-sam|index|align|sort|markdup|filter|varcall|export|run|info> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: persona <import|import-sam|index|align|sort|markdup|filter|varcall|export|run|info|submit|status|fetch> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'persona <command> -h' for command flags")
 }
 
@@ -112,7 +139,7 @@ func loadReference(store persona.Store) (*genome.Genome, error) {
 	return persona.SynthesizeGenome(meta.GenomeSize, meta.Seed)
 }
 
-func cmdIndex(args []string) error {
+func cmdIndex(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
 	size := fs.Int("genome-size", 8_000_000, "synthetic reference size in bases")
@@ -137,7 +164,7 @@ func cmdIndex(args []string) error {
 	return nil
 }
 
-func cmdImport(args []string) error {
+func cmdImport(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("import", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
 	name := fs.String("name", "", "dataset name")
@@ -177,7 +204,7 @@ func cmdImport(args []string) error {
 	if g, err := loadReference(store); err == nil {
 		refs = persona.RefSeqs(g)
 	}
-	m, n, err := persona.ImportFASTQ(context.Background(), store, *name, in, refs, *chunk)
+	m, n, err := persona.ImportFASTQ(ctx, store, *name, in, refs, *chunk)
 	if err != nil {
 		return err
 	}
@@ -185,7 +212,7 @@ func cmdImport(args []string) error {
 	return nil
 }
 
-func cmdAlign(args []string) error {
+func cmdAlign(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("align", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
 	name := fs.String("name", "", "dataset name")
@@ -208,7 +235,7 @@ func cmdAlign(args []string) error {
 		return err
 	}
 	if *nodes > 0 {
-		report, _, err := persona.AlignDistributed(context.Background(), store, *name, idx, *nodes, *threads)
+		report, _, err := persona.AlignDistributed(ctx, store, *name, idx, *nodes, *threads)
 		if err != nil {
 			return err
 		}
@@ -217,7 +244,7 @@ func cmdAlign(args []string) error {
 			report.BasesPerSec/1e6, report.Imbalance*100)
 		return nil
 	}
-	report, _, err := persona.Align(context.Background(), store, *name, idx, persona.AlignOptions{ExecutorThreads: *threads})
+	report, _, err := persona.Align(ctx, store, *name, idx, persona.AlignOptions{ExecutorThreads: *threads})
 	if err != nil {
 		return err
 	}
@@ -226,7 +253,7 @@ func cmdAlign(args []string) error {
 	return nil
 }
 
-func cmdSort(args []string) error {
+func cmdSort(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sort", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
 	name := fs.String("name", "", "dataset name")
@@ -246,7 +273,7 @@ func cmdSort(args []string) error {
 	} else if *by != "location" {
 		return fmt.Errorf("unknown sort key %q", *by)
 	}
-	m, err := persona.Sort(context.Background(), store, *name, key, *out)
+	m, err := persona.Sort(ctx, store, *name, key, *out)
 	if err != nil {
 		return err
 	}
@@ -254,7 +281,7 @@ func cmdSort(args []string) error {
 	return nil
 }
 
-func cmdMarkdup(args []string) error {
+func cmdMarkdup(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("markdup", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
 	name := fs.String("name", "", "dataset name")
@@ -266,7 +293,7 @@ func cmdMarkdup(args []string) error {
 	if *name == "" {
 		return fmt.Errorf("missing -name")
 	}
-	stats, err := persona.MarkDuplicates(context.Background(), store, *name)
+	stats, err := persona.MarkDuplicates(ctx, store, *name)
 	if err != nil {
 		return err
 	}
@@ -275,7 +302,7 @@ func cmdMarkdup(args []string) error {
 	return nil
 }
 
-func cmdExport(args []string) error {
+func cmdExport(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
 	name := fs.String("name", "", "dataset name")
@@ -301,11 +328,11 @@ func cmdExport(args []string) error {
 	var n uint64
 	switch *format {
 	case "sam":
-		n, err = persona.ExportSAM(context.Background(), store, *name, out)
+		n, err = persona.ExportSAM(ctx, store, *name, out)
 	case "bam":
-		n, err = persona.ExportBAM(context.Background(), store, *name, out)
+		n, err = persona.ExportBAM(ctx, store, *name, out)
 	case "fastq":
-		n, err = persona.ExportFASTQ(context.Background(), store, *name, out)
+		n, err = persona.ExportFASTQ(ctx, store, *name, out)
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
@@ -316,7 +343,7 @@ func cmdExport(args []string) error {
 	return nil
 }
 
-func cmdInfo(args []string) error {
+func cmdInfo(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
 	name := fs.String("name", "", "dataset name")
@@ -352,7 +379,7 @@ func cmdInfo(args []string) error {
 	return nil
 }
 
-func cmdImportSAM(args []string) error {
+func cmdImportSAM(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("import-sam", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
 	name := fs.String("name", "", "dataset name")
@@ -375,7 +402,7 @@ func cmdImportSAM(args []string) error {
 		defer f.Close()
 		in = f
 	}
-	m, n, err := persona.ImportSAM(context.Background(), store, *name, in, *chunk)
+	m, n, err := persona.ImportSAM(ctx, store, *name, in, *chunk)
 	if err != nil {
 		return err
 	}
@@ -384,7 +411,7 @@ func cmdImportSAM(args []string) error {
 	return nil
 }
 
-func cmdFilter(args []string) error {
+func cmdFilter(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("filter", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
 	name := fs.String("name", "", "dataset name")
@@ -413,7 +440,7 @@ func cmdFilter(args []string) error {
 	if len(preds) == 0 {
 		return fmt.Errorf("no predicate: pass -minmapq, -mapped and/or -dedup")
 	}
-	m, stats, err := persona.Filter(context.Background(), store, *name, persona.FilterAnd(preds...), *out)
+	m, stats, err := persona.Filter(ctx, store, *name, persona.FilterAnd(preds...), *out)
 	if err != nil {
 		return err
 	}
@@ -421,7 +448,7 @@ func cmdFilter(args []string) error {
 	return nil
 }
 
-func cmdVarcall(args []string) error {
+func cmdVarcall(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("varcall", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
 	name := fs.String("name", "", "dataset name")
@@ -438,7 +465,7 @@ func cmdVarcall(args []string) error {
 	if err != nil {
 		return err
 	}
-	variants, err := persona.CallVariants(context.Background(), store, *name, ref)
+	variants, err := persona.CallVariants(ctx, store, *name, ref)
 	if err != nil {
 		return err
 	}
@@ -461,7 +488,7 @@ func cmdVarcall(args []string) error {
 // cmdRun composes one fused Session/Pipeline graph over a dataset: optional
 // align / sort / markdup / filter stages ending in an export — chunks
 // stream stage-to-stage, with no intermediate dataset written to the store.
-func cmdRun(args []string) error {
+func cmdRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	storeDir := fs.String("store", "", "store directory")
 	name := fs.String("name", "", "dataset name")
@@ -537,7 +564,7 @@ func cmdRun(args []string) error {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
-	report, err := p.Run(context.Background())
+	report, err := p.Run(ctx)
 	if err != nil {
 		return err
 	}
@@ -545,5 +572,165 @@ func cmdRun(args []string) error {
 		fmt.Fprintf(os.Stderr, "%-14s %8d records  %v\n", st.Stage, st.Records, st.Elapsed.Round(time.Millisecond))
 	}
 	fmt.Fprintf(os.Stderr, "%-14s %8d records  %v total\n", "pipeline", report.Records, report.Elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// serverClient builds a jobs.Client from the common -server/-tenant flags.
+func serverClient(server, tenant string) (*jobs.Client, error) {
+	if server == "" {
+		return nil, fmt.Errorf("missing -server (e.g. http://127.0.0.1:7333)")
+	}
+	return &jobs.Client{Base: server, Tenant: tenant}, nil
+}
+
+// printJob renders one job line: ID, state, attempts, and either the error
+// or the result size.
+func printJob(st *jobs.JobStatus) {
+	line := fmt.Sprintf("%-10s %-8s %-8s attempts=%d", st.ID, st.Tenant, st.State, st.Attempts)
+	switch {
+	case st.State == jobs.StateFailed:
+		line += "  error: " + st.Error
+	case st.State == jobs.StateDone && st.Result != nil:
+		line += fmt.Sprintf("  %d records in %s", st.Result.Records, st.Result.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Println(line)
+}
+
+// cmdSubmit posts a declarative pipeline job to a persona-server; with
+// -wait it polls to completion, streams per-stage progress to stderr and
+// writes the result to -o.
+func cmdSubmit(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:7333", "persona-server base URL")
+	tenant := fs.String("tenant", "", "tenant name (default assigned by server)")
+	name := fs.String("name", "", "dataset name")
+	alignStage := fs.Bool("align", false, "align the dataset against the server's reference")
+	sortBy := fs.String("sort", "", "sort stage: location or metadata")
+	markdup := fs.Bool("markdup", false, "mark duplicates")
+	minMapQ := fs.Int("minmapq", 0, "filter: keep reads with at least this mapping quality")
+	dedup := fs.Bool("dedup", false, "filter: drop duplicate-flagged reads")
+	format := fs.String("format", "sam", "output format: sam, bam, fastq or dataset")
+	wait := fs.Bool("wait", false, "poll until the job finishes and fetch the result")
+	outPath := fs.String("o", "-", "result output file with -wait ('-' for stdout)")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("missing -name")
+	}
+	c, err := serverClient(*server, *tenant)
+	if err != nil {
+		return err
+	}
+	spec := jobs.Spec{
+		Dataset: *name, Align: *alignStage, Sort: *sortBy, MarkDup: *markdup,
+		MinMapQ: *minMapQ, Dedup: *dedup, Format: *format,
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s\n", st.ID)
+	if !*wait {
+		fmt.Println(st.ID)
+		return nil
+	}
+	fin, err := c.Wait(ctx, st.ID, 200*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	if fin.State != jobs.StateDone {
+		return fmt.Errorf("job %s %s: %s", fin.ID, fin.State, fin.Error)
+	}
+	for _, sp := range fin.Progress {
+		fmt.Fprintf(os.Stderr, "%-14s %8d records\n", sp.Stage, sp.Records)
+	}
+	data, _, err := c.Result(ctx, fin.ID)
+	if err != nil {
+		return err
+	}
+	out := io.Writer(os.Stdout)
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if _, err := out.Write(data); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "job %s done: %d bytes\n", fin.ID, len(data))
+	return nil
+}
+
+// cmdStatus shows one job (with live per-stage progress) or, without -id,
+// every job the server knows about for the tenant.
+func cmdStatus(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:7333", "persona-server base URL")
+	tenant := fs.String("tenant", "", "tenant name filter")
+	id := fs.String("id", "", "job ID (empty: list jobs)")
+	fs.Parse(args)
+	c, err := serverClient(*server, *tenant)
+	if err != nil {
+		return err
+	}
+	if *id == "" {
+		sts, err := c.Jobs(ctx, *tenant)
+		if err != nil {
+			return err
+		}
+		for _, st := range sts {
+			printJob(st)
+		}
+		return nil
+	}
+	st, err := c.Status(ctx, *id)
+	if err != nil {
+		return err
+	}
+	printJob(st)
+	for _, sp := range st.Progress {
+		state := "running"
+		if sp.Done {
+			state = "done"
+		}
+		fmt.Printf("  %-14s %8d records  %s\n", sp.Stage, sp.Records, state)
+	}
+	return nil
+}
+
+// cmdFetch downloads a finished job's result bytes.
+func cmdFetch(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:7333", "persona-server base URL")
+	tenant := fs.String("tenant", "", "tenant name")
+	id := fs.String("id", "", "job ID")
+	outPath := fs.String("o", "-", "output file ('-' for stdout)")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("missing -id")
+	}
+	c, err := serverClient(*server, *tenant)
+	if err != nil {
+		return err
+	}
+	data, ct, err := c.Result(ctx, *id)
+	if err != nil {
+		return err
+	}
+	out := io.Writer(os.Stdout)
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if _, err := out.Write(data); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fetched %s: %d bytes (%s)\n", *id, len(data), ct)
 	return nil
 }

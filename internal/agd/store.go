@@ -76,16 +76,35 @@ func (s *MemStore) Size() int64 {
 }
 
 // DirStore is a BlobStore over a local directory; blob names map to file
-// paths ('/' separators become directories).
+// paths ('/' separators become directories). Puts are atomic: data lands in
+// a temp file that is renamed over the final path, so a crash mid-Put can
+// never leave a torn blob under a live name (it leaves at most an invisible
+// temp file, which Get and List never surface).
 type DirStore struct {
 	root string
 	// sem bounds concurrent async file reads (see GetAsync).
 	sem chan struct{}
+	// noSync skips the fsync calls of Put (NewDirStoreNoSync): atomicity
+	// is kept (temp + rename) but durability is left to the OS — for
+	// benchmarks and throwaway test dirs.
+	noSync bool
 }
 
 // dirStoreParallelism is how many async file reads a DirStore keeps in
 // flight: enough to fill a disk queue without exhausting file descriptors.
 const dirStoreParallelism = 16
+
+// tmpPattern marks in-flight Put temp files; List filters them out so a
+// crashed Put's leftover is invisible rather than a phantom blob.
+const (
+	tmpPrefix = ".agd-put-"
+	tmpSuffix = ".tmp"
+)
+
+// isTempName reports whether a path base names an in-flight Put temp file.
+func isTempName(base string) bool {
+	return strings.HasPrefix(base, tmpPrefix) && strings.HasSuffix(base, tmpSuffix)
+}
 
 // NewDirStore returns a store rooted at dir, creating it if needed.
 func NewDirStore(dir string) (*DirStore, error) {
@@ -95,20 +114,84 @@ func NewDirStore(dir string) (*DirStore, error) {
 	return &DirStore{root: dir, sem: make(chan struct{}, dirStoreParallelism)}, nil
 }
 
+// NewDirStoreNoSync returns a store whose Puts stay atomic (temp + rename)
+// but skip fsync — faster, with durability left to the OS's writeback.
+func NewDirStoreNoSync(dir string) (*DirStore, error) {
+	s, err := NewDirStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.noSync = true
+	return s, nil
+}
+
 func (s *DirStore) path(name string) string {
 	return filepath.Join(s.root, filepath.FromSlash(name))
 }
 
-// Put implements BlobStore.
+// Put implements BlobStore. The write is crash-safe: data goes to a temp
+// file in the destination directory, is fsync'd, then renamed over the
+// final path, and the directory is fsync'd so the rename itself is durable.
+// A reader concurrent with Put (or a crash at any point) sees either the
+// whole previous blob or the whole new one — never a prefix that would
+// later fail the chunk checksum.
 func (s *DirStore) Put(name string, data []byte) error {
 	p := s.path(name)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("put %q: %w", name, err)
 	}
-	if err := os.WriteFile(p, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(dir, tmpPrefix+"*"+tmpSuffix)
+	if err != nil {
 		return fmt.Errorf("put %q: %w", name, err)
+	}
+	tmpName := tmp.Name()
+	// Any failure from here on removes the temp file; the final path is
+	// untouched until the rename.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("put %q: %w", name, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if !s.noSync {
+		if err := tmp.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("put %q: %w", name, err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("put %q: %w", name, err)
+	}
+	if err := os.Rename(tmpName, p); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("put %q: %w", name, err)
+	}
+	if !s.noSync {
+		if err := syncDir(dir); err != nil {
+			return fmt.Errorf("put %q: %w", name, err)
+		}
 	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Get implements BlobStore.
@@ -142,6 +225,9 @@ func (s *DirStore) List(prefix string) ([]string, error) {
 		rel, err := filepath.Rel(s.root, path)
 		if err != nil {
 			return err
+		}
+		if isTempName(filepath.Base(path)) {
+			return nil // in-flight or crashed Put temp, not a blob
 		}
 		name := filepath.ToSlash(rel)
 		if strings.HasPrefix(name, prefix) {

@@ -29,7 +29,7 @@ type ChunkSizeRow struct {
 // RunChunkSizeAblation imports and aligns the same workload at several AGD
 // chunk sizes, reporting storage efficiency (large chunks compress better)
 // against pipeline latency granularity.
-func RunChunkSizeAblation(w io.Writer, sc Scale) ([]ChunkSizeRow, error) {
+func RunChunkSizeAblation(ctx context.Context, w io.Writer, sc Scale) ([]ChunkSizeRow, error) {
 	g, rs, err := sc.simulatedReads()
 	if err != nil {
 		return nil, err
@@ -53,7 +53,7 @@ func RunChunkSizeAblation(w io.Writer, sc Scale) ([]ChunkSizeRow, error) {
 		}
 		store := agd.NewMemStore()
 		start := time.Now()
-		m, _, err := importFASTQ(store, "ds", fq, agd.RefSeqsFromGenome(g), chunkSize)
+		m, _, err := importFASTQ(ctx, store, "ds", fq, agd.RefSeqsFromGenome(g), chunkSize)
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +73,7 @@ func RunChunkSizeAblation(w io.Writer, sc Scale) ([]ChunkSizeRow, error) {
 		}
 
 		start = time.Now()
-		if _, _, err := core.Align(context.Background(), core.AlignConfig{
+		if _, _, err := core.Align(ctx, core.AlignConfig{
 			Store: store, Dataset: "ds", Index: idx, ExecutorThreads: 2,
 		}); err != nil {
 			return nil, err
@@ -108,7 +108,7 @@ type CompressionRow struct {
 // RunCompressionAblation measures the bases column under the four
 // combinations of base compaction and gzip — the two size optimizations of
 // §3 — over one paper-sized chunk (100k reads).
-func RunCompressionAblation(w io.Writer, sc Scale) ([]CompressionRow, error) {
+func RunCompressionAblation(ctx context.Context, w io.Writer, sc Scale) ([]CompressionRow, error) {
 	g, rs, err := sc.simulatedReads()
 	if err != nil {
 		return nil, err
@@ -175,7 +175,7 @@ type SubchunkRow struct {
 // splits, demonstrating why the executor exists: one task per chunk leaves
 // cores idle at chunk boundaries (the §4.3 straggler problem), while
 // subchunking keeps them busy.
-func RunSubchunkAblation(w io.Writer, sc Scale) ([]SubchunkRow, error) {
+func RunSubchunkAblation(ctx context.Context, w io.Writer, sc Scale) ([]SubchunkRow, error) {
 	section(w, "Ablation: fine-grain subchunk split (Fig. 4)")
 	fmt.Fprintf(w, "workload: %s\n", sc)
 	fmt.Fprintf(w, "%10s %10s\n", "subchunks", "align(s)")
@@ -187,7 +187,7 @@ func RunSubchunkAblation(w io.Writer, sc Scale) ([]SubchunkRow, error) {
 			return nil, err
 		}
 		start := time.Now()
-		if _, _, err := core.Align(context.Background(), core.AlignConfig{
+		if _, _, err := core.Align(ctx, core.AlignConfig{
 			Store: store, Dataset: "ds", Index: f.Index,
 			ExecutorThreads: 2, Subchunks: sub,
 			// A single aligner node with one chunk in flight exposes the

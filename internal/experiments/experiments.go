@@ -101,13 +101,13 @@ func newSnapAligner(idx *snap.Index) *snap.Aligner {
 }
 
 // importFASTQ wraps fastq.Import for the conversion experiment.
-func importFASTQ(store agd.BlobStore, name, text string, refs []agd.RefSeq, chunkSize int) (*agd.Manifest, uint64, error) {
-	return fastq.Import(context.Background(), store, name, strings.NewReader(text), fastq.ImportOptions{ChunkSize: chunkSize, RefSeqs: refs})
+func importFASTQ(ctx context.Context, store agd.BlobStore, name, text string, refs []agd.RefSeq, chunkSize int) (*agd.Manifest, uint64, error) {
+	return fastq.Import(ctx, store, name, strings.NewReader(text), fastq.ImportOptions{ChunkSize: chunkSize, RefSeqs: refs})
 }
 
 // exportBAM wraps bam.Export for the conversion experiment.
-func exportBAM(ds *agd.Dataset, w io.Writer) (uint64, error) {
-	return bam.Export(context.Background(), ds, w)
+func exportBAM(ctx context.Context, ds *agd.Dataset, w io.Writer) (uint64, error) {
+	return bam.Export(ctx, ds, w)
 }
 
 // section prints a header for an experiment section.

@@ -23,7 +23,7 @@ func TestTable1Simulated(t *testing.T) {
 }
 
 func TestTable1Measured(t *testing.T) {
-	res, err := RunTable1Measured(io.Discard, tinyScale(), t.TempDir())
+	res, err := RunTable1Measured(t.Context(), io.Discard, tinyScale(), t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestTable1Measured(t *testing.T) {
 }
 
 func TestTable2(t *testing.T) {
-	res, err := RunTable2(io.Discard, tinyScale())
+	res, err := RunTable2(t.Context(), io.Discard, tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestTable2(t *testing.T) {
 }
 
 func TestDupmark(t *testing.T) {
-	res, err := RunDupmark(io.Discard, tinyScale())
+	res, err := RunDupmark(t.Context(), io.Discard, tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestDupmark(t *testing.T) {
 }
 
 func TestConversion(t *testing.T) {
-	res, err := RunConversion(io.Discard, tinyScale())
+	res, err := RunConversion(t.Context(), io.Discard, tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestFigs(t *testing.T) {
 }
 
 func TestFig8(t *testing.T) {
-	res, err := RunFig8(io.Discard, tinyScale())
+	res, err := RunFig8(t.Context(), io.Discard, tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestFig8(t *testing.T) {
 }
 
 func TestFig6Measured(t *testing.T) {
-	pts, err := RunFig6Measured(io.Discard, tinyScale(), 2)
+	pts, err := RunFig6Measured(t.Context(), io.Discard, tinyScale(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestFig6Measured(t *testing.T) {
 }
 
 func TestFig7Measured(t *testing.T) {
-	pts, err := RunFig7Measured(io.Discard, tinyScale(), []int{1, 2})
+	pts, err := RunFig7Measured(t.Context(), io.Discard, tinyScale(), []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestScaleString(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	sc := tinyScale()
-	rows, err := RunChunkSizeAblation(io.Discard, sc)
+	rows, err := RunChunkSizeAblation(t.Context(), io.Discard, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestAblations(t *testing.T) {
 			rows[len(rows)-1].BytesPerRead, rows[0].BytesPerRead)
 	}
 
-	crows, err := RunCompressionAblation(io.Discard, sc)
+	crows, err := RunCompressionAblation(t.Context(), io.Discard, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestAblations(t *testing.T) {
 		}
 	}
 
-	srows, err := RunSubchunkAblation(io.Discard, sc)
+	srows, err := RunSubchunkAblation(t.Context(), io.Discard, sc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,7 +20,7 @@ type Fig7MeasuredPoint struct {
 // in-process worker nodes) for each node count. On a small machine the
 // nodes share cores, so throughput validates functionality and the
 // imbalance claim, not paper-scale linearity — that comes from the DES.
-func RunFig7Measured(w io.Writer, sc Scale, nodeCounts []int) ([]Fig7MeasuredPoint, error) {
+func RunFig7Measured(ctx context.Context, w io.Writer, sc Scale, nodeCounts []int) ([]Fig7MeasuredPoint, error) {
 	var out []Fig7MeasuredPoint
 	section(w, "Figure 7 (measured): real distributed runtime")
 	fmt.Fprintf(w, "workload: %s\n", sc)
@@ -30,7 +30,7 @@ func RunFig7Measured(w io.Writer, sc Scale, nodeCounts []int) ([]Fig7MeasuredPoi
 		if err != nil {
 			return nil, err
 		}
-		report, _, err := cluster.Align(context.Background(), store, "ds", f.Index, cluster.Config{
+		report, _, err := cluster.Align(ctx, store, "ds", f.Index, cluster.Config{
 			Nodes: n, ThreadsPerNode: 1,
 		})
 		if err != nil {

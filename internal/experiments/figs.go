@@ -77,7 +77,7 @@ type Fig6MeasuredPoint struct {
 
 // RunFig6Measured sweeps executor threads 1..maxThreads with the real
 // pipeline on a small dataset.
-func RunFig6Measured(w io.Writer, sc Scale, maxThreads int) ([]Fig6MeasuredPoint, error) {
+func RunFig6Measured(ctx context.Context, w io.Writer, sc Scale, maxThreads int) ([]Fig6MeasuredPoint, error) {
 	var out []Fig6MeasuredPoint
 	section(w, "Figure 6 (measured): real executor-thread sweep")
 	fmt.Fprintf(w, "workload: %s\n", sc)
@@ -87,7 +87,7 @@ func RunFig6Measured(w io.Writer, sc Scale, maxThreads int) ([]Fig6MeasuredPoint
 		if err != nil {
 			return nil, err
 		}
-		report, _, err := core.Align(context.Background(), core.AlignConfig{
+		report, _, err := core.Align(ctx, core.AlignConfig{
 			Store: store, Dataset: "ds", Index: f.Index, ExecutorThreads: t,
 		})
 		if err != nil {
@@ -155,7 +155,7 @@ type Fig8Result struct {
 // The Fig. 8 workload uses a repeat-rich reference (hg19 is roughly 45%
 // repetitive; the default synthetic config's 5% would starve SNAP of the
 // candidate-verification work that dominates its real profile).
-func RunFig8(w io.Writer, sc Scale) (*Fig8Result, error) {
+func RunFig8(ctx context.Context, w io.Writer, sc Scale) (*Fig8Result, error) {
 	cfg := genome.DefaultSyntheticConfig(sc.GenomeSize, sc.Seed)
 	cfg.RepeatFraction = 0.45
 	g, err := genome.Synthesize(cfg)
@@ -229,7 +229,7 @@ type ConversionResult struct {
 }
 
 // RunConversion measures FASTQ→AGD import and AGD→BAM export throughput.
-func RunConversion(w io.Writer, sc Scale) (*ConversionResult, error) {
+func RunConversion(ctx context.Context, w io.Writer, sc Scale) (*ConversionResult, error) {
 	g, rs, err := sc.simulatedReads()
 	if err != nil {
 		return nil, err
@@ -241,7 +241,7 @@ func RunConversion(w io.Writer, sc Scale) (*ConversionResult, error) {
 
 	store := agd.NewMemStore()
 	start := time.Now()
-	if _, _, err := importFASTQ(store, "conv", fq, agd.RefSeqsFromGenome(g), sc.ChunkSize); err != nil {
+	if _, _, err := importFASTQ(ctx, store, "conv", fq, agd.RefSeqsFromGenome(g), sc.ChunkSize); err != nil {
 		return nil, err
 	}
 	importSecs := time.Since(start).Seconds()
@@ -254,7 +254,7 @@ func RunConversion(w io.Writer, sc Scale) (*ConversionResult, error) {
 	}
 	cw := &discardCounter{}
 	start = time.Now()
-	if _, err := exportBAM(f.Dataset, cw); err != nil {
+	if _, err := exportBAM(ctx, f.Dataset, cw); err != nil {
 		return nil, err
 	}
 	exportSecs := time.Since(start).Seconds()

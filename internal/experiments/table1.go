@@ -77,7 +77,7 @@ func (c *countingStore) Put(name string, data []byte) error {
 // the standalone row-oriented pipeline (gz FASTQ in → SAM text out) versus
 // the Persona AGD dataflow pipeline, both with the same SNAP aligner
 // underneath.
-func RunTable1Measured(w io.Writer, sc Scale, dir string) (*Table1Measured, error) {
+func RunTable1Measured(ctx context.Context, w io.Writer, sc Scale, dir string) (*Table1Measured, error) {
 	g, rs, err := sc.simulatedReads()
 	if err != nil {
 		return nil, err
@@ -143,7 +143,7 @@ func RunTable1Measured(w io.Writer, sc Scale, dir string) (*Table1Measured, erro
 
 	// Run 2: Persona AGD pipeline.
 	personaStart := time.Now()
-	if _, _, err := core.Align(context.Background(), core.AlignConfig{
+	if _, _, err := core.Align(ctx, core.AlignConfig{
 		Store: store, Dataset: "ds", Index: idx, ExecutorThreads: 2,
 	}); err != nil {
 		return nil, err

@@ -29,7 +29,7 @@ type Table2Result struct {
 // RunTable2 measures full-dataset sorting: Persona's AGD external merge
 // sort versus the samtools-style BAM sort (with and without the SAM→BAM
 // conversion) and the Picard-style single-threaded sort.
-func RunTable2(w io.Writer, sc Scale) (*Table2Result, error) {
+func RunTable2(ctx context.Context, w io.Writer, sc Scale) (*Table2Result, error) {
 	store := agd.NewMemStore()
 	f, err := sc.fixture(store, "ds", true)
 	if err != nil {
@@ -38,7 +38,7 @@ func RunTable2(w io.Writer, sc Scale) (*Table2Result, error) {
 
 	// Render the row-oriented inputs the baselines need.
 	var samText bytes.Buffer
-	if _, err := sam.Export(context.Background(), f.Dataset, &samText); err != nil {
+	if _, err := sam.Export(ctx, f.Dataset, &samText); err != nil {
 		return nil, err
 	}
 	refs := f.Dataset.Manifest.RefSeqs
@@ -50,7 +50,7 @@ func RunTable2(w io.Writer, sc Scale) (*Table2Result, error) {
 	res := &Table2Result{Scale: sc}
 
 	start := time.Now()
-	if _, err := agdsort.SortDataset(context.Background(), f.Dataset, agdsort.Options{By: agdsort.ByLocation, OutputName: "sorted"}); err != nil {
+	if _, err := agdsort.SortDataset(ctx, f.Dataset, agdsort.Options{By: agdsort.ByLocation, OutputName: "sorted"}); err != nil {
 		return nil, err
 	}
 	res.PersonaSeconds = time.Since(start).Seconds()
@@ -103,20 +103,20 @@ type DupmarkResult struct {
 
 // RunDupmark measures duplicate marking: Persona over the results column
 // versus the Samblaster-style SAM streaming marker.
-func RunDupmark(w io.Writer, sc Scale) (*DupmarkResult, error) {
+func RunDupmark(ctx context.Context, w io.Writer, sc Scale) (*DupmarkResult, error) {
 	store := agd.NewMemStore()
 	f, err := sc.fixture(store, "ds", true)
 	if err != nil {
 		return nil, err
 	}
 	var samText bytes.Buffer
-	if _, err := sam.Export(context.Background(), f.Dataset, &samText); err != nil {
+	if _, err := sam.Export(ctx, f.Dataset, &samText); err != nil {
 		return nil, err
 	}
 	refs := f.Dataset.Manifest.RefSeqs
 
 	start := time.Now()
-	stats, err := markdup.MarkDataset(context.Background(), f.Dataset)
+	stats, err := markdup.MarkDataset(ctx, f.Dataset)
 	if err != nil {
 		return nil, err
 	}

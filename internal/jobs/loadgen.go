@@ -1,0 +1,148 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig drives a saturation run against a Manager: Tenants concurrent
+// submitters each pushing JobsPerTenant copies of Spec as fast as admission
+// allows, absorbing load-shed rejections with backoff.
+type LoadConfig struct {
+	Tenants       int
+	JobsPerTenant int
+	Spec          Spec
+	// Poll is the completion-poll interval (default 2ms).
+	Poll time.Duration
+	// SubmitRetry is the backoff after an ErrOverloaded rejection
+	// (default 5ms).
+	SubmitRetry time.Duration
+}
+
+// LoadResult summarizes a saturation run.
+type LoadResult struct {
+	Jobs      int           `json:"jobs"`
+	Completed int           `json:"completed"`
+	Failed    int           `json:"failed"`
+	Rejected  int64         `json:"rejected"` // 429s absorbed by retry
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	JobsPerS  float64       `json:"jobs_per_s"`
+	P50       time.Duration `json:"p50_ns"`
+	P95       time.Duration `json:"p95_ns"`
+	P99       time.Duration `json:"p99_ns"`
+}
+
+// RunLoad saturates a started Manager and reports throughput and
+// submit-to-done latency percentiles. Latency includes queueing — under
+// overload that is the honest number.
+func RunLoad(ctx context.Context, m *Manager, cfg LoadConfig) (LoadResult, error) {
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 1
+	}
+	if cfg.JobsPerTenant <= 0 {
+		cfg.JobsPerTenant = 1
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 2 * time.Millisecond
+	}
+	if cfg.SubmitRetry <= 0 {
+		cfg.SubmitRetry = 5 * time.Millisecond
+	}
+
+	var (
+		rejected  atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		completed int
+		failed    int
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Tenants; t++ {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			for i := 0; i < cfg.JobsPerTenant; i++ {
+				var st *JobStatus
+				t0 := time.Now()
+				for {
+					var err error
+					st, err = m.Submit(tenant, cfg.Spec)
+					if err == nil {
+						break
+					}
+					if !IsTransient(err) || ctx.Err() != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					rejected.Add(1)
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(cfg.SubmitRetry):
+					}
+				}
+				for {
+					cur, err := m.Status(st.ID)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					if cur.State.Terminal() {
+						mu.Lock()
+						if cur.State == StateDone {
+							completed++
+							latencies = append(latencies, time.Since(t0))
+						} else {
+							failed++
+						}
+						mu.Unlock()
+						break
+					}
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(cfg.Poll):
+					}
+				}
+			}
+		}(fmt.Sprintf("tenant-%d", t))
+	}
+	wg.Wait()
+
+	res := LoadResult{
+		Jobs:      cfg.Tenants * cfg.JobsPerTenant,
+		Completed: completed,
+		Failed:    failed,
+		Rejected:  rejected.Load(),
+		Elapsed:   time.Since(start),
+	}
+	if res.Elapsed > 0 {
+		res.JobsPerS = float64(completed) / res.Elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(latencies)-1))
+			return latencies[i]
+		}
+		res.P50, res.P95, res.P99 = pct(0.50), pct(0.95), pct(0.99)
+	}
+	if firstErr != nil && ctx.Err() == nil {
+		return res, fmt.Errorf("loadgen: %w", firstErr)
+	}
+	return res, nil
+}

@@ -1,0 +1,51 @@
+package jobs
+
+import (
+	"fmt"
+	"testing"
+
+	"persona"
+)
+
+// BenchmarkServiceLoad saturates one warm Manager with concurrent tenants
+// submitting full WGS jobs (align → sort → markdup → SAM) and reports
+// service throughput and submit-to-done latency percentiles — the PERF.md
+// "service under load" numbers. One iteration is one complete load run.
+func BenchmarkServiceLoad(b *testing.B) {
+	store := persona.NewMemStore()
+	g := importTestDataset(b, store, "ds")
+	spec := Spec{Dataset: "ds", Align: true, Sort: "location", MarkDup: true, Format: "sam"}
+	for _, tenants := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			sess := persona.NewSession(store, persona.SessionOptions{})
+			defer sess.Close()
+			m, err := NewManager(Config{Store: store, Session: sess, Reference: g, Workers: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Recover(); err != nil {
+				b.Fatal(err)
+			}
+			m.Start()
+			defer m.Drain(b.Context())
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last LoadResult
+			for i := 0; i < b.N; i++ {
+				res, err := RunLoad(b.Context(), m, LoadConfig{
+					Tenants: tenants, JobsPerTenant: 8, Spec: spec,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != res.Jobs {
+					b.Fatalf("only %d/%d jobs completed", res.Completed, res.Jobs)
+				}
+				last = res
+			}
+			b.ReportMetric(last.JobsPerS, "jobs/s")
+			b.ReportMetric(float64(last.P50.Microseconds())/1e3, "p50-ms")
+			b.ReportMetric(float64(last.P99.Microseconds())/1e3, "p99-ms")
+		})
+	}
+}

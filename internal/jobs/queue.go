@@ -1,0 +1,163 @@
+package jobs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// fairQueue is the admission-controlled dispatch queue: per-tenant FIFOs
+// served by weighted round-robin. A tenant with weight w gets up to w
+// consecutive dispatches per turn of the ring, so under contention tenants
+// share workers in proportion to weight; an idle tenant's turn is skipped
+// (the scheduler is work-conserving, never idling a worker to enforce
+// fairness). Admission is atomic with the budget check, so concurrent
+// submits cannot over-admit past the depth or byte budgets.
+type fairQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	tenants  map[string]*tenantQ
+	ring     []string // tenant names in first-seen order
+	cur      int      // ring index currently holding the turn
+	credit   int      // dispatches left in the current turn
+	queued   int
+	qBytes   int64
+	closed   bool
+	weightOf func(tenant string) int
+}
+
+type tenantQ struct {
+	weight int
+	jobs   []*job
+}
+
+func newFairQueue(weightOf func(string) int) *fairQueue {
+	q := &fairQueue{tenants: make(map[string]*tenantQ), weightOf: weightOf}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// tenant returns (creating if needed) a tenant's queue and ring slot.
+func (q *fairQueue) tenant(name string) *tenantQ {
+	tq, ok := q.tenants[name]
+	if !ok {
+		w := q.weightOf(name)
+		if w < 1 {
+			w = 1
+		}
+		tq = &tenantQ{weight: w}
+		q.tenants[name] = tq
+		q.ring = append(q.ring, name)
+		if len(q.ring) == 1 {
+			q.credit = w
+		}
+	}
+	return tq
+}
+
+// tryAdmit atomically checks the budgets and enqueues: either the job is
+// admitted and counted, or a classified rejection comes back. Called with
+// the job already journaled PENDING; on rejection the caller unwinds the
+// journal record.
+func (q *fairQueue) tryAdmit(j *job, maxQueued int, maxBytes int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("admit %q: %w", j.rec.ID, ErrDraining)
+	}
+	if maxQueued > 0 && q.queued+1 > maxQueued {
+		return fmt.Errorf("admit %q: queue depth %d at budget %d: %w", j.rec.ID, q.queued, maxQueued, ErrOverloaded)
+	}
+	if maxBytes > 0 && q.qBytes+j.rec.EstBytes > maxBytes {
+		return fmt.Errorf("admit %q: queued bytes %d + %d over budget %d: %w", j.rec.ID, q.qBytes, j.rec.EstBytes, maxBytes, ErrOverloaded)
+	}
+	q.enqueueLocked(j)
+	return nil
+}
+
+// push enqueues bypassing the budgets — recovery re-admits jobs that were
+// already accepted in a previous life, and retry requeues return a job the
+// budget still counts. Reports false when the queue is closed (drain): the
+// job stays journaled PENDING for the next incarnation.
+func (q *fairQueue) push(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.enqueueLocked(j)
+	return true
+}
+
+func (q *fairQueue) enqueueLocked(j *job) {
+	tq := q.tenant(j.rec.Tenant)
+	tq.jobs = append(tq.jobs, j)
+	q.queued++
+	q.qBytes += j.rec.EstBytes
+	q.cond.Signal()
+}
+
+// pop blocks for the next job in weighted round-robin order, returning nil
+// once the queue closes. The closed check comes first: a drain must not
+// start queued jobs — they stay journaled PENDING for the next incarnation,
+// while already-claimed jobs run to completion. Workers exit on nil.
+func (q *fairQueue) pop() *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil
+		}
+		if j := q.nextLocked(); j != nil {
+			q.queued--
+			q.qBytes -= j.rec.EstBytes
+			return j
+		}
+		q.cond.Wait()
+	}
+}
+
+// nextLocked picks the next job by WRR: serve the turn-holding tenant while
+// it has credit and work, otherwise advance the turn (a fresh turn always
+// has credit, so one full scan of the ring visits every tenant).
+func (q *fairQueue) nextLocked() *job {
+	n := len(q.ring)
+	if n == 0 || q.queued == 0 {
+		return nil
+	}
+	for scanned := 0; scanned < n; scanned++ {
+		tq := q.tenants[q.ring[q.cur]]
+		if q.credit > 0 && len(tq.jobs) > 0 {
+			j := tq.jobs[0]
+			tq.jobs = tq.jobs[1:]
+			q.credit--
+			if q.credit == 0 || len(tq.jobs) == 0 {
+				q.advanceLocked()
+			}
+			return j
+		}
+		q.advanceLocked()
+	}
+	return nil
+}
+
+func (q *fairQueue) advanceLocked() {
+	q.cur = (q.cur + 1) % len(q.ring)
+	q.credit = q.tenants[q.ring[q.cur]].weight
+}
+
+// load reports the queued depth and byte estimate under budget.
+func (q *fairQueue) load() (depth int, bytes int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued, q.qBytes
+}
+
+// close stops admission and wakes every blocked worker; queued jobs stay
+// queued (drain lets in-flight work finish; queued work stays journaled
+// PENDING for the next incarnation).
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,112 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func qjob(id, tenant string, est int64) *job {
+	return &job{rec: Record{ID: id, Tenant: tenant, EstBytes: est}}
+}
+
+func weights(m map[string]int) func(string) int {
+	return func(t string) int { return m[t] }
+}
+
+// TestFairQueueWRROrder: with weights a=2, b=1 and both queues loaded, pops
+// interleave a,a,b — weighted round-robin, not FIFO and not starvation.
+func TestFairQueueWRROrder(t *testing.T) {
+	q := newFairQueue(weights(map[string]int{"a": 2, "b": 1}))
+	for i := 0; i < 4; i++ {
+		q.push(qjob(string(rune('0'+i)), "a", 0))
+	}
+	for i := 0; i < 2; i++ {
+		q.push(qjob(string(rune('4'+i)), "b", 0))
+	}
+	var order []string
+	for i := 0; i < 6; i++ {
+		order = append(order, q.pop().rec.Tenant)
+	}
+	want := []string{"a", "a", "b", "a", "a", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFairQueueWorkConserving: an idle tenant's turn is skipped — a lone
+// busy tenant gets every dispatch rather than idling the worker.
+func TestFairQueueWorkConserving(t *testing.T) {
+	q := newFairQueue(weights(map[string]int{"a": 1, "b": 5}))
+	q.push(qjob("x", "b", 0)) // b enters the ring
+	if got := q.pop().rec.Tenant; got != "b" {
+		t.Fatalf("pop = %s, want b", got)
+	}
+	for i := 0; i < 3; i++ {
+		q.push(qjob(string(rune('0'+i)), "a", 0))
+	}
+	for i := 0; i < 3; i++ {
+		if got := q.pop().rec.Tenant; got != "a" {
+			t.Fatalf("pop %d = %s while b idle, want a", i, got)
+		}
+	}
+}
+
+// TestFairQueueAdmissionBudgets: tryAdmit enforces depth and byte budgets
+// atomically and classifies rejections.
+func TestFairQueueAdmissionBudgets(t *testing.T) {
+	q := newFairQueue(weights(nil))
+	if err := q.tryAdmit(qjob("1", "a", 100), 2, 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.tryAdmit(qjob("2", "a", 100), 2, 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.tryAdmit(qjob("3", "a", 10), 2, 250); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("depth-budget reject = %v, want ErrOverloaded", err)
+	}
+	if err := q.tryAdmit(qjob("3", "a", 100), 3, 250); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("byte-budget reject = %v, want ErrOverloaded", err)
+	}
+	depth, bytes := q.load()
+	if depth != 2 || bytes != 200 {
+		t.Fatalf("load = %d jobs/%d bytes after rejections, want 2/200", depth, bytes)
+	}
+	// Dispatch frees budget.
+	if q.pop() == nil {
+		t.Fatal("pop returned nil with work queued")
+	}
+	if err := q.tryAdmit(qjob("3", "a", 100), 2, 250); err != nil {
+		t.Fatalf("admit after dispatch freed budget: %v", err)
+	}
+}
+
+// TestFairQueueCloseSemantics: close stops admission (ErrDraining), wakes
+// blocked workers with nil, and refuses to hand out queued jobs — they stay
+// journaled PENDING for the next incarnation.
+func TestFairQueueCloseSemantics(t *testing.T) {
+	q := newFairQueue(weights(nil))
+	q.push(qjob("1", "a", 0))
+	popped := make(chan *job, 1)
+	go func() {
+		q.pop() // consumes job 1
+		popped <- q.pop()
+	}()
+	waitFor(t, time.Second, "first pop", func() bool { d, _ := q.load(); return d == 0 })
+	q.close()
+	if j := <-popped; j != nil {
+		t.Fatalf("pop after close = %v, want nil", j.rec.ID)
+	}
+	if err := q.tryAdmit(qjob("2", "a", 0), 0, 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("admit after close = %v, want ErrDraining", err)
+	}
+	if q.push(qjob("3", "a", 0)) {
+		t.Fatal("push succeeded after close")
+	}
+	q.push(qjob("4", "a", 0))
+	if q.pop() != nil {
+		t.Fatal("closed queue handed out a queued job")
+	}
+}

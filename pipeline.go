@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"persona/internal/agd"
@@ -44,10 +45,13 @@ import (
 // produces chunk k. Serial() opts back into the strictly sequential pull
 // path; output bytes are identical either way.
 type Pipeline struct {
-	sess      *Session
-	stages    []pipeStage
-	serial    bool
-	edgeDepth int
+	sess       *Session
+	stages     []pipeStage
+	serial     bool
+	edgeDepth  int
+	tempPrefix string
+	tmpSeq     atomic.Uint64
+	progress   *Progress
 }
 
 // DefaultEdgeDepth is the default bounded-queue depth, in row groups, of
@@ -188,6 +192,34 @@ func (p *Pipeline) Serial() *Pipeline {
 func (p *Pipeline) EdgeDepth(depth int) *Pipeline {
 	p.edgeDepth = depth
 	return p
+}
+
+// TempPrefix overrides the session-assigned prefix barrier stages (sort)
+// spill temporary blobs under. A job-oriented caller sets a job-unique
+// prefix so every blob a run writes — spills included — lives under one
+// sweepable namespace, making a crashed run safe to re-run after deleting
+// the prefix. Empty (the default) keeps the session's ".pipeline/<n>/tmp"
+// scheme. When a pipeline has several barrier stages, each gets a distinct
+// subprefix under the given one.
+func (p *Pipeline) TempPrefix(prefix string) *Pipeline {
+	p.tempPrefix = prefix
+	return p
+}
+
+// Observe attaches a live progress view to the next Run: per-stage record
+// and group counters updated as chunks flow, readable concurrently via
+// prog.Snapshot while the run is in flight.
+func (p *Pipeline) Observe(prog *Progress) *Pipeline {
+	p.progress = prog
+	return p
+}
+
+// spillPrefix returns the temp-blob prefix for one barrier-stage build.
+func (p *Pipeline) spillPrefix() string {
+	if p.tempPrefix == "" {
+		return p.sess.tempPrefix()
+	}
+	return fmt.Sprintf("%s/%d", p.tempPrefix, p.tmpSeq.Add(1))
 }
 
 // StageReport describes one stage of a completed run.
@@ -339,7 +371,10 @@ type edgeStats struct {
 
 // instrumented wraps a stream so deliveries are counted and timed. The
 // wrapper preserves the delivery-ownership contract of the wrapped stream.
-func instrumented(s *agd.GroupStream, e *edgeStats) *agd.GroupStream {
+// slot, when non-nil, mirrors the counters into a live Progress view (the
+// stats themselves stay unsynchronized — each is written by one goroutine
+// and read only after the run's barrier).
+func instrumented(s *agd.GroupStream, e *edgeStats, slot *progressSlot) *agd.GroupStream {
 	next := func(ctx context.Context) (*agd.RowGroup, error) {
 		t0 := time.Now()
 		g, err := s.Next(ctx)
@@ -347,6 +382,13 @@ func instrumented(s *agd.GroupStream, e *edgeStats) *agd.GroupStream {
 		if g != nil {
 			e.groups++
 			e.records += uint64(g.NumRecords())
+			if slot != nil {
+				slot.groups.Add(1)
+				slot.records.Add(uint64(g.NumRecords()))
+			}
+		}
+		if err == io.EOF && slot != nil {
+			slot.done.Store(true)
 		}
 		return g, err
 	}
@@ -459,7 +501,7 @@ func (p *Pipeline) buildStage(ctx context.Context, st pipeStage, in *agd.GroupSt
 	case stageSort:
 		return agdsort.SortStream(ctx, sess.store, in, agdsort.Options{
 			By:         st.by,
-			TempPrefix: sess.tempPrefix(),
+			TempPrefix: p.spillPrefix(),
 			Pipelining: pipelining,
 		})
 	case stageMarkDup:
@@ -549,6 +591,9 @@ func (p *Pipeline) runSerial(ctx context.Context) (*PipelineReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.progress != nil {
+		p.progress.init(p.stageNames())
+	}
 
 	// Transform stages, each instrumented so per-stage time can be told
 	// apart afterwards. Closing the final stream tears the whole chain down
@@ -556,8 +601,12 @@ func (p *Pipeline) runSerial(ctx context.Context) (*PipelineReport, error) {
 	edges := make([]*edgeStats, 0, len(p.stages))
 	wire := func(s *agd.GroupStream) *agd.GroupStream {
 		e := &edgeStats{}
+		var slot *progressSlot
+		if p.progress != nil {
+			slot = p.progress.slot(len(edges))
+		}
 		edges = append(edges, e)
-		return instrumented(s, e)
+		return instrumented(s, e, slot)
 	}
 	stream = wire(stream)
 	defer func() { stream.Close() }()
@@ -594,6 +643,9 @@ func (p *Pipeline) runSerial(ctx context.Context) (*PipelineReport, error) {
 	if fstats != nil {
 		report.Filtered = *fstats
 	}
+	if p.progress != nil {
+		p.progress.finish(n, edges[len(edges)-1].groups)
+	}
 	p.finishBase(report, base)
 
 	// Per-stage attribution: every edge's cumulative Next time includes its
@@ -626,6 +678,14 @@ func (p *Pipeline) runSerial(ctx context.Context) (*PipelineReport, error) {
 	return report, nil
 }
 
+// progSlot returns stage i's live progress slot, nil when unobserved.
+func (p *Pipeline) progSlot(i int) *progressSlot {
+	if p.progress == nil {
+		return nil
+	}
+	return p.progress.slot(i)
+}
+
 // metaMsg hands a constructed stage's output metadata (or its construction
 // failure) to the downstream pump, which needs it to build its edge facade.
 type metaMsg struct {
@@ -655,6 +715,9 @@ func (p *Pipeline) runPumped(ctx context.Context) (*PipelineReport, error) {
 	source, err := p.openSource(p.poolWindow(0, depth), sess.exec.NumShards())
 	if err != nil {
 		return nil, err
+	}
+	if p.progress != nil {
+		p.progress.init(names)
 	}
 
 	bedges := make([]*agd.BoundedEdge, nEdges)
@@ -691,7 +754,7 @@ func (p *Pipeline) runPumped(ctx context.Context) (*PipelineReport, error) {
 
 	// Source pump.
 	pumps.Go(dataflow.Pump{Name: names[0], Home: sess.exec.NextShard()}, func(pctx context.Context) error {
-		_, err := agd.RunPump(pctx, instrumented(source, stats[0]), bedges[0])
+		_, err := agd.RunPump(pctx, instrumented(source, stats[0], p.progSlot(0)), bedges[0])
 		return err
 	})
 	metaCh[0] <- metaMsg{meta: source.Meta}
@@ -734,7 +797,7 @@ func (p *Pipeline) runPumped(ctx context.Context) (*PipelineReport, error) {
 				return err
 			}
 			metaCh[i] <- metaMsg{meta: out.Meta}
-			_, perr := agd.RunPump(pctx, instrumented(out, stats[i]), bedges[i])
+			_, perr := agd.RunPump(pctx, instrumented(out, stats[i], p.progSlot(i)), bedges[i])
 			return perr
 		})
 	}
@@ -780,6 +843,9 @@ func (p *Pipeline) runPumped(ctx context.Context) (*PipelineReport, error) {
 		if f != nil {
 			report.Filtered = *f
 		}
+	}
+	if p.progress != nil {
+		p.progress.finish(n, bedges[nEdges-1].Moved())
 	}
 	p.finishBase(report, base)
 
