@@ -106,6 +106,58 @@ func BenchmarkTable1_AsyncReadPrefetch(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1_ColdWarmCache measures the decoded-chunk cache on the
+// Table 1 read→align workload at zero and object-store (25 ms) blob
+// latency. cold flushes the session cache before every op, so each run
+// pays full fetch+decode; warm pre-warms once and every measured op is
+// served from the cache — at 25 ms that removes the storage tier entirely
+// and the warm number should sit near the 0 ms compute floor.
+func BenchmarkTable1_ColdWarmCache(b *testing.B) {
+	store := agd.NewMemStore()
+	f, err := testutil.BuildE(store, "ds", testutil.Config{
+		GenomeSize: 200_000, NumReads: 2000, ReadLen: 101, ChunkSize: 250, Seed: 4, SkipAlign: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runOnce := func(b *testing.B, sess *persona.Session) {
+		if _, err := sess.Read("ds").
+			Align(f.Index, persona.AlignOptions{}).
+			ExportSAM(io.Discard).
+			Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, lat := range []time.Duration{0, 25 * time.Millisecond} {
+		var bs storage.Store = agd.NewMemStore()
+		if err := copyStore(store, bs.(agd.BlobStore)); err != nil {
+			b.Fatal(err)
+		}
+		if lat > 0 {
+			bs = storage.WithLatency(bs, lat)
+		}
+		for _, mode := range []string{"cold", "warm"} {
+			b.Run(fmt.Sprintf("latency=%s/%s", lat, mode), func(b *testing.B) {
+				sess := persona.NewSession(bs, persona.SessionOptions{})
+				defer sess.Close()
+				if mode == "warm" {
+					runOnce(b, sess)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "cold" {
+						b.StopTimer()
+						sess.FlushCache()
+						b.StartTimer()
+					}
+					runOnce(b, sess)
+				}
+			})
+		}
+	}
+}
+
 func copyStore(src, dst agd.BlobStore, prefixes ...string) error {
 	names, err := src.List("")
 	if err != nil {

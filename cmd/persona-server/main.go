@@ -11,7 +11,7 @@
 //	persona-server -store DIR [-addr HOST:PORT] [-workers N]
 //	               [-max-queued N] [-max-queued-mb MB] [-max-attempts N]
 //	               [-deadline D] [-drain-grace D] [-weights a=2,b=1]
-//	               [-resilient]
+//	               [-resilient] [-cache-mb MB]
 //
 // The API (see internal/jobs/api.go):
 //
@@ -19,7 +19,8 @@
 //	GET  /v1/jobs[?tenant=T]  list jobs
 //	GET  /v1/jobs/{id}        status with live per-stage progress
 //	GET  /v1/jobs/{id}/result fetch a DONE job's output
-//	GET  /v1/stats            service counters
+//	GET  /v1/stats            service counters (incl. chunk-cache hit rates)
+//	POST /v1/cache/flush      drop the session caches after out-of-band writes
 //	GET  /v1/healthz          liveness
 //
 // `persona submit/status/fetch` are the matching CLI client commands.
@@ -98,17 +99,18 @@ func main() {
 	drainGrace := fs.Duration("drain-grace", 30*time.Second, "SIGTERM grace for in-flight jobs")
 	weightsFlag := fs.String("weights", "", "tenant dispatch weights, e.g. a=2,b=1")
 	resilient := fs.Bool("resilient", true, "wrap the store with the retry/hedge layer")
+	cacheMB := fs.Int64("cache-mb", 64, "decoded-chunk cache budget in MiB (0 disables)")
 	fs.Parse(os.Args[1:])
 
 	if err := run(*storeDir, *addr, *workers, *maxQueued, *maxQueuedMB, *maxAttempts,
-		*deadline, *drainGrace, *weightsFlag, *resilient); err != nil {
+		*deadline, *drainGrace, *weightsFlag, *resilient, *cacheMB); err != nil {
 		fmt.Fprintf(os.Stderr, "persona-server: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(storeDir, addr string, workers, maxQueued int, maxQueuedMB int64, maxAttempts int,
-	deadline, drainGrace time.Duration, weightsFlag string, resilient bool) error {
+	deadline, drainGrace time.Duration, weightsFlag string, resilient bool, cacheMB int64) error {
 	if storeDir == "" {
 		return fmt.Errorf("missing -store")
 	}
@@ -131,7 +133,11 @@ func run(storeDir, addr string, workers, maxQueued int, maxQueuedMB int64, maxAt
 		log.Printf("reference loaded: %s", ref)
 	}
 
-	sess := persona.NewSession(store, persona.SessionOptions{})
+	cacheBytes := cacheMB << 20
+	if cacheMB <= 0 {
+		cacheBytes = -1 // disabled
+	}
+	sess := persona.NewSession(store, persona.SessionOptions{CacheBytes: cacheBytes})
 	defer sess.Close()
 	mgr, err := jobs.NewManager(jobs.Config{
 		Store:           store,

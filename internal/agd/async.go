@@ -223,7 +223,9 @@ type batchFailure struct {
 	err  error
 }
 
-// readBlob reads one blob with stat + pread into an exactly-sized buffer.
+// readBlob reads one blob with stat + a positional vectored read into an
+// exactly-sized buffer: on 64-bit Linux the whole blob arrives in one preadv
+// (store_linux.go), elsewhere in a portable ReadAt loop.
 func (s *DirStore) readBlob(name string) ([]byte, error) {
 	f, err := os.Open(s.path(name))
 	if err != nil {
@@ -238,16 +240,13 @@ func (s *DirStore) readBlob(name string) ([]byte, error) {
 		return nil, fmt.Errorf("get %q: %w", name, err)
 	}
 	buf := make([]byte, info.Size())
-	for off := 0; off < len(buf); {
-		n, err := f.ReadAt(buf[off:], int64(off))
-		off += n
-		if err == io.EOF {
-			// The file shrank between stat and read; return what exists.
-			return buf[:off], nil
+	if err := readVectored(f, 0, [][]byte{buf}); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			// The file shrank between stat and read; whatever exists was
+			// read, but the caller cannot know how much — treat as corrupt.
+			return nil, fmt.Errorf("get %q: %w: blob shrank mid-read", name, ErrCorrupt)
 		}
-		if err != nil {
-			return nil, fmt.Errorf("get %q: %w", name, err)
-		}
+		return nil, fmt.Errorf("get %q: %w", name, err)
 	}
 	return buf, nil
 }

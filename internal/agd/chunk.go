@@ -199,6 +199,14 @@ func (c *Chunk) Record(i int) ([]byte, error) {
 	return c.Data[off[i]:off[i+1]], nil
 }
 
+// MemSize estimates the chunk's resident memory in bytes: record data, the
+// relative index, the (possibly materialized) absolute index, and a small
+// fixed overhead for the struct itself. The chunk cache's byte budget is
+// accounted in these units.
+func (c *Chunk) MemSize() int64 {
+	return int64(cap(c.Data)) + 4*int64(cap(c.lengths)) + 8*int64(cap(c.offsets)) + 64
+}
+
 // Clone returns an independently owned deep copy: mutating or recycling the
 // receiver afterwards cannot affect the copy. Used to detach a row group
 // from a stage whose builders recycle on the next pull.

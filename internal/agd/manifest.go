@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // RefSeq records the name and length of one reference contig the dataset was
@@ -74,12 +75,75 @@ func (m *Manifest) ChunkBlobPath(i int, col string) string {
 
 // RegisterColumn appends a column name to the manifest (whose chunk blobs
 // must already exist, e.g. written by cluster workers) and persists the
-// updated manifest. The existence checks are issued as async batches, so
-// registration costs a round trip per window instead of one per chunk; the
-// window also bounds how many fetched blobs are pinned at once.
+// updated manifest. On range-capable stores the existence checks probe only
+// each blob's 40-byte header (validated against the manifest's record
+// counts) on a bounded worker pool; elsewhere they fall back to async
+// full-blob batches, costing a round trip per window instead of one per
+// chunk.
 func RegisterColumn(store BlobStore, m *Manifest, col string) (*Manifest, error) {
 	if m.HasColumn(col) {
 		return nil, fmt.Errorf("agd: dataset %q already has column %q", m.Name, col)
+	}
+	if err := verifyColumnBlobs(store, m, col); err != nil {
+		return nil, err
+	}
+	return RegisterColumnUnchecked(store, m, col)
+}
+
+// RegisterColumnUnchecked appends a column and persists the manifest without
+// probing the chunk blobs — for callers that already know they exist: a
+// writer that just produced them, or the Session's column-verified cache on
+// repeat jobs, where the probe round trips are pure overhead.
+func RegisterColumnUnchecked(store BlobStore, m *Manifest, col string) (*Manifest, error) {
+	if m.HasColumn(col) {
+		return nil, fmt.Errorf("agd: dataset %q already has column %q", m.Name, col)
+	}
+	updated := *m
+	updated.Columns = append(append([]string{}, m.Columns...), col)
+	if err := WriteManifest(store, &updated); err != nil {
+		return nil, err
+	}
+	return &updated, nil
+}
+
+// registerProbeWorkers bounds concurrent header probes during RegisterColumn.
+const registerProbeWorkers = 16
+
+// verifyColumnBlobs checks that every chunk blob of col exists (and, where
+// only headers are fetched, that record counts match the manifest).
+func verifyColumnBlobs(store BlobStore, m *Manifest, col string) error {
+	if rs, ok := store.(RangeBlobStore); ok {
+		workers := min(registerProbeWorkers, len(m.Chunks))
+		var cursor atomic.Int64
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(m.Chunks) {
+						errs <- nil
+						return
+					}
+					meta, err := ReadChunkMeta(rs, m.ChunkBlobPath(i, col))
+					if err != nil {
+						errs <- fmt.Errorf("agd: registering column %q: chunk %d: %w", col, i, err)
+						return
+					}
+					if meta.Records != m.Chunks[i].Records {
+						errs <- fmt.Errorf("agd: registering column %q: chunk %d has %d records, manifest says %d",
+							col, i, meta.Records, m.Chunks[i].Records)
+						return
+					}
+				}
+			}()
+		}
+		var first error
+		for w := 0; w < workers; w++ {
+			if err := <-errs; err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
 	}
 	const checkWindow = 64
 	as := AsyncOf(store)
@@ -92,16 +156,11 @@ func RegisterColumn(store BlobStore, m *Manifest, col string) (*Manifest, error)
 		}
 		for i, fut := range as.GetBatch(names) {
 			if _, err := fut.Wait(context.Background()); err != nil {
-				return nil, fmt.Errorf("agd: registering column %q: chunk %d blob missing: %w", col, lo+i, err)
+				return fmt.Errorf("agd: registering column %q: chunk %d blob missing: %w", col, lo+i, err)
 			}
 		}
 	}
-	updated := *m
-	updated.Columns = append(append([]string{}, m.Columns...), col)
-	if err := WriteManifest(store, &updated); err != nil {
-		return nil, err
-	}
-	return &updated, nil
+	return nil
 }
 
 // NumRecords returns the dataset's total record count.

@@ -1,0 +1,32 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package agd
+
+import (
+	"io"
+	"os"
+)
+
+// readVectored fills bufs from f starting at off — the portable fallback
+// for platforms without the preadv fast path (store_linux.go): one ReadAt
+// loop per buffer. Returns io.ErrUnexpectedEOF if the file ends before the
+// buffers are full.
+func readVectored(f *os.File, off int64, bufs [][]byte) error {
+	for _, b := range bufs {
+		for len(b) > 0 {
+			n, err := f.ReadAt(b, off)
+			b = b[n:]
+			off += int64(n)
+			if err == io.EOF {
+				if len(b) > 0 {
+					return io.ErrUnexpectedEOF
+				}
+				break
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package agd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -34,6 +35,13 @@ type StreamOptions struct {
 	// Pool. The same shard is handed to the codec (Codec.WithShard), so a
 	// multi-member decode runs on the chunk's own shard too.
 	ShardedPool *dataflow.ShardedItemPool[*Chunk]
+	// Cache, when non-nil, makes the stream read through the shared decoded
+	// chunk cache: hits skip the fetch, CRC verify and decode entirely;
+	// misses become singleflight fills this stream owns. Cached chunks are
+	// always freshly allocated and pinned until Release — the stream never
+	// checks them out of Pool/ShardedPool (the pools still provide shard
+	// affinity hints, but no chunk object can be both cached and pooled).
+	Cache *ChunkCache
 	// Codec decodes the fetched blobs; the zero value is the package
 	// default. Pipelines pass their shared-executor codec.
 	Codec Codec
@@ -43,6 +51,23 @@ type StreamOptions struct {
 // unset: deep enough to hide per-blob latency behind decode, shallow enough
 // that a handful of streams cannot balloon memory.
 const DefaultPrefetch = 4
+
+// fetchSlot is one column of one chunk's in-flight window. Exactly one of
+// three shapes:
+//
+//	ent == nil             plain fetch (no cache): fut resolves the blob
+//	ent != nil, fill true  cache miss owned by this stream: fut resolves the
+//	                       blob, and Next must Commit or Abort the entry
+//	ent != nil, fill false cache hit or another stream's in-flight fill:
+//	                       no fetch; Next waits on the entry
+type fetchSlot struct {
+	fut  *Future
+	ent  *CacheEntry
+	fill bool
+	// done marks an owned fill already resolved (Commit/Abort), so cleanup
+	// paths do not abort it a second time.
+	done bool
+}
 
 // ChunkStream iterates the column chunks of a dataset in chunk order while
 // keeping a window of blob fetches in flight through the store's async read
@@ -55,6 +80,7 @@ type ChunkStream struct {
 	codec Codec
 	pool  *dataflow.ItemPool[*Chunk]
 	spool *dataflow.ShardedItemPool[*Chunk]
+	cache *ChunkCache
 
 	window int
 	start  int
@@ -63,9 +89,9 @@ type ChunkStream struct {
 	mu     sync.Mutex
 	next   int // next chunk index to claim
 	issued int // first chunk index whose fetch has not been issued
-	// futs[i-start] holds chunk i's in-flight column fetches; entries are
+	// slots[i-start] holds chunk i's in-flight column slots; entries are
 	// nilled as chunks are claimed.
-	futs [][]*Future
+	slots [][]fetchSlot
 	// names is the blob-name scratch reused across GetBatch calls
 	// (implementations must not retain it).
 	names  []string
@@ -78,6 +104,9 @@ type StreamChunk struct {
 	// Index is the chunk's position in the manifest.
 	Index  int
 	chunks []*Chunk
+	// ents[k], when non-nil, is the pinned cache entry backing chunks[k];
+	// Release unpins it instead of recycling the chunk.
+	ents   []*CacheEntry
 	stream *ChunkStream
 }
 
@@ -95,14 +124,21 @@ func (sc *StreamChunk) Col(name string) *Chunk {
 	return nil
 }
 
-// Release returns the chunks to the stream's pool — on a sharded pool, to
-// the chunk's own shard's free list. The caller must not reference the
-// chunks (or slices of their data) afterwards. On a pool-less stream it is
-// a no-op.
+// Release ends the caller's use of the row group: cache-backed chunks are
+// unpinned (they stay resident for the next reader), pooled chunks return to
+// the stream's pool — on a sharded pool, to the chunk's own shard's free
+// list. The caller must not reference the chunks (or slices of their data)
+// afterwards. On a pool-less, cache-less stream it is a no-op.
 func (sc *StreamChunk) Release() {
 	s := sc.stream
-	for _, c := range sc.chunks {
-		if c == nil {
+	for k, c := range sc.chunks {
+		if sc.ents != nil && sc.ents[k] != nil {
+			s.cache.Unpin(sc.ents[k])
+			continue
+		}
+		if c == nil || s.cache != nil {
+			// Cache-mode chunks that are not entry-backed (abandoned-fill
+			// fallbacks) are standalone allocations; never pool them.
 			continue
 		}
 		switch {
@@ -113,6 +149,7 @@ func (sc *StreamChunk) Release() {
 		}
 	}
 	sc.chunks = nil
+	sc.ents = nil
 }
 
 // Shard returns the executor shard this chunk is affine to (chunk index
@@ -179,28 +216,53 @@ func (d *Dataset) Stream(opts StreamOptions) (*ChunkStream, error) {
 		codec:  opts.Codec,
 		pool:   opts.Pool,
 		spool:  opts.ShardedPool,
+		cache:  opts.Cache,
 		window: window,
 		start:  start,
 		end:    end,
 		next:   start,
 		issued: start,
-		futs:   make([][]*Future, end-start),
-		names:  make([]string, len(cols)),
+		slots:  make([][]fetchSlot, end-start),
+		names:  make([]string, 0, len(cols)),
 	}, nil
 }
 
-// issueToLocked issues fetch batches for chunks [s.issued, hi). Callers hold
-// s.mu.
+// issueToLocked issues fetch batches for chunks [s.issued, hi). With a cache,
+// each column is looked up first: hits and other streams' in-flight fills
+// cost no fetch at all; only owned misses go into the GetBatch. Callers hold
+// s.mu (lock order is stream.mu then cache.mu).
 func (s *ChunkStream) issueToLocked(hi int) {
 	if hi > s.end {
 		hi = s.end
 	}
 	for ; s.issued < hi; s.issued++ {
 		entry := s.ds.Manifest.Chunks[s.issued]
+		slots := make([]fetchSlot, len(s.cols))
+		names := s.names[:0]
 		for k, col := range s.cols {
-			s.names[k] = chunkPath(entry, col)
+			name := chunkPath(entry, col)
+			if s.cache != nil {
+				ent, fill := s.cache.Lookup(name)
+				slots[k].ent = ent
+				slots[k].fill = fill
+				if !fill {
+					continue
+				}
+			}
+			names = append(names, name)
 		}
-		s.futs[s.issued-s.start] = s.as.GetBatch(s.names)
+		if len(names) > 0 {
+			futs := s.as.GetBatch(names)
+			fi := 0
+			for k := range slots {
+				if slots[k].ent == nil || slots[k].fill {
+					slots[k].fut = futs[fi]
+					fi++
+				}
+			}
+		}
+		s.names = names[:0]
+		s.slots[s.issued-s.start] = slots
 	}
 }
 
@@ -217,8 +279,8 @@ func (s *ChunkStream) Next(ctx context.Context) (*StreamChunk, error) {
 	i := s.next
 	s.next++
 	s.issueToLocked(i + s.window)
-	futs := s.futs[i-s.start]
-	s.futs[i-s.start] = nil
+	slots := s.slots[i-s.start]
+	s.slots[i-s.start] = nil
 	s.mu.Unlock()
 
 	shard := 0
@@ -227,25 +289,76 @@ func (s *ChunkStream) Next(ctx context.Context) (*StreamChunk, error) {
 		shard = i % s.spool.Shards()
 		codec = codec.WithShard(shard)
 	}
-	chunks := make([]*Chunk, len(futs))
+	entry := s.ds.Manifest.Chunks[i]
+	chunks := make([]*Chunk, len(slots))
 	fail := func(err error) (*StreamChunk, error) {
-		for _, c := range chunks {
-			if c == nil {
+		for k := range slots {
+			sl := &slots[k]
+			if sl.ent != nil {
+				if sl.fill && !sl.done {
+					// Abandon unresolved owned fills so waiters fall back
+					// to a direct read instead of blocking forever.
+					s.cache.Abort(sl.ent, nil)
+				}
+				s.cache.Unpin(sl.ent)
 				continue
 			}
-			switch {
-			case s.spool != nil:
-				s.spool.Put(shard, c)
-			case s.pool != nil:
-				s.pool.Put(c)
+			if c := chunks[k]; c != nil && s.cache == nil {
+				switch {
+				case s.spool != nil:
+					s.spool.Put(shard, c)
+				case s.pool != nil:
+					s.pool.Put(c)
+				}
 			}
 		}
 		return nil, err
 	}
-	for k, fut := range futs {
-		blob, err := fut.Wait(ctx)
+	validate := func(c *Chunk, col string) error {
+		if want := int(entry.Records); c.NumRecords() != want {
+			return fmt.Errorf("%w: chunk %q has %d records, manifest says %d",
+				ErrCorrupt, chunkPath(entry, col), c.NumRecords(), want)
+		}
+		return nil
+	}
+
+	// Pass 1: resolve every fetch this stream owns — plain fetches and the
+	// singleflight cache fills it was assigned. Owned fills Commit (or
+	// Abort) before pass 2 waits on anything filled elsewhere, so streams
+	// covering the same chunks in different column orders cannot form a
+	// waits-for cycle across each other's fills.
+	for k := range slots {
+		sl := &slots[k]
+		if sl.ent != nil && !sl.fill {
+			continue
+		}
+		blob, err := sl.fut.Wait(ctx)
 		if err != nil {
+			if sl.ent != nil {
+				s.cache.Abort(sl.ent, err)
+				sl.done = true
+			}
 			return fail(err)
+		}
+		if sl.ent != nil {
+			// Owned fill: decode into a fresh chunk (never pooled — cached
+			// chunks must not be recyclable under later readers) and
+			// validate before Commit, so a corrupt blob is never cached.
+			c, err := codec.Decode(blob)
+			if err != nil {
+				err = fmt.Errorf("agd: chunk %q: %w", chunkPath(entry, s.cols[k]), err)
+			} else {
+				err = validate(c, s.cols[k])
+			}
+			if err != nil {
+				s.cache.Abort(sl.ent, err)
+				sl.done = true
+				return fail(err)
+			}
+			s.cache.Commit(sl.ent, c)
+			sl.done = true
+			chunks[k] = c
+			continue
 		}
 		var c *Chunk
 		switch {
@@ -268,23 +381,81 @@ func (s *ChunkStream) Next(ctx context.Context) (*StreamChunk, error) {
 			c, err = codec.Decode(blob)
 		}
 		if err != nil {
-			return fail(fmt.Errorf("agd: chunk %q: %w", chunkPath(s.ds.Manifest.Chunks[i], s.cols[k]), err))
+			return fail(fmt.Errorf("agd: chunk %q: %w", chunkPath(entry, s.cols[k]), err))
 		}
 		chunks[k] = c
-		if want := int(s.ds.Manifest.Chunks[i].Records); c.NumRecords() != want {
-			return fail(fmt.Errorf("%w: chunk %q has %d records, manifest says %d",
-				ErrCorrupt, chunkPath(s.ds.Manifest.Chunks[i], s.cols[k]), c.NumRecords(), want))
+		if err := validate(c, s.cols[k]); err != nil {
+			return fail(err)
 		}
 	}
-	return &StreamChunk{Index: i, chunks: chunks, stream: s}, nil
+
+	// Pass 2: collect cache hits and other streams' fills. Validation
+	// happened before the chunk was committed, so hits are trusted as-is.
+	for k := range slots {
+		sl := &slots[k]
+		if sl.ent == nil || sl.fill {
+			continue
+		}
+		c, err := sl.ent.Wait(ctx)
+		if errors.Is(err, ErrCacheAbandoned) {
+			// The filling stream closed before completing its fill; read
+			// the blob directly. The result stays standalone (uncached,
+			// unpooled) — the next Lookup will restart a proper fill.
+			s.cache.Unpin(sl.ent)
+			sl.ent = nil
+			name := chunkPath(entry, s.cols[k])
+			blob, ferr := s.as.GetAsync(name).Wait(ctx)
+			if ferr == nil {
+				c, ferr = codec.Decode(blob)
+			}
+			if ferr != nil {
+				return fail(fmt.Errorf("agd: chunk %q: %w", name, ferr))
+			}
+			chunks[k] = c
+			if verr := validate(c, s.cols[k]); verr != nil {
+				return fail(verr)
+			}
+			continue
+		}
+		if err != nil {
+			return fail(err)
+		}
+		chunks[k] = c
+	}
+
+	var ents []*CacheEntry
+	if s.cache != nil {
+		ents = make([]*CacheEntry, len(slots))
+		for k := range slots {
+			ents[k] = slots[k].ent
+		}
+	}
+	return &StreamChunk{Index: i, chunks: chunks, ents: ents, stream: s}, nil
 }
 
 // Close stops the stream: subsequent Next calls return io.EOF and no further
 // fetches are issued. Fetches already in flight complete in the background
-// and their results are dropped.
+// and their results are dropped; owned cache fills that were never resolved
+// are abandoned so streams waiting on them fall back to direct reads.
 func (s *ChunkStream) Close() {
 	s.mu.Lock()
 	s.closed = true
-	s.futs = nil
+	slots := s.slots
+	s.slots = nil
 	s.mu.Unlock()
+	if s.cache == nil {
+		return
+	}
+	for _, ss := range slots {
+		for k := range ss {
+			sl := &ss[k]
+			if sl.ent == nil {
+				continue
+			}
+			if sl.fill && !sl.done {
+				s.cache.Abort(sl.ent, nil)
+			}
+			s.cache.Unpin(sl.ent)
+		}
+	}
 }

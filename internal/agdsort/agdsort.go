@@ -76,6 +76,15 @@ type Options struct {
 	// from a bounded pool of that size, so a pumped edge can queue groups
 	// that stay valid until Release.
 	Pipelining int
+	// SpillDecider chooses, per spilled superchunk run, whether the blob is
+	// compressed, given its raw payload size — typically a
+	// tco.SpillPolicy.Decide closure fed with the store's measured read
+	// profile. It also returns a short reason tag for reporting. Nil spills
+	// raw (the right call on local stores).
+	SpillDecider func(runBytes int64) (agd.Compression, string)
+	// Spill, when non-nil, accumulates per-run spill accounting for the
+	// pipeline report.
+	Spill *SpillStats
 }
 
 // Sort externally sorts a dataset and writes a new sorted dataset,
@@ -146,7 +155,7 @@ func SortDataset(ctx context.Context, ds *agd.Dataset, opts Options) (*agd.Manif
 				return
 			}
 			sortKeys(cols[keyCol], keys, opts.By)
-			if err := writeSuperchunk(store, superNames[b], cols, keys); err != nil {
+			if err := writeSuperchunk(store, superNames[b], cols, keys, &opts); err != nil {
 				errs <- err
 			}
 		}(b, start, end)
@@ -308,10 +317,13 @@ func prefixKey(b []byte) uint64 {
 
 // writeSuperchunk encodes the sorted rows into one temporary blob, reading
 // fields straight from the staging arenas: each record is the concatenation
-// of uvarint-length-prefixed fields. Temporaries are deleted right after the
-// merge, so they are stored uncompressed — paying gzip twice on data that
-// lives for seconds would only burn the cores the merge needs.
-func writeSuperchunk(store agd.BlobStore, name string, cols []*agd.RecordArena, keys []sortEntry) error {
+// of uvarint-length-prefixed fields. By default temporaries are stored
+// uncompressed — they are deleted right after the merge, and on a local
+// store paying gzip twice on data that lives for seconds would only burn
+// the cores the merge needs. On remote stores opts.SpillDecider can flip
+// that per run when transfer time dominates (the merge's DecodeChunk reads
+// either encoding transparently via the blob header).
+func writeSuperchunk(store agd.BlobStore, name string, cols []*agd.RecordArena, keys []sortEntry, opts *Options) error {
 	b := agd.NewChunkBuilder(agd.TypeRaw, 0)
 	var buf []byte
 	var tmp [binary.MaxVarintLen64]byte
@@ -325,9 +337,19 @@ func writeSuperchunk(store agd.BlobStore, name string, cols []*agd.RecordArena, 
 		}
 		b.Append(buf)
 	}
-	blob, err := agd.EncodeChunk(b.Chunk(), agd.CompressNone)
+	c := b.Chunk()
+	raw := int64(len(c.Data))
+	comp, reason := agd.CompressNone, "default-raw"
+	if opts.SpillDecider != nil {
+		comp, reason = opts.SpillDecider(raw)
+	}
+	blob, err := agd.EncodeChunk(c, comp)
 	if err != nil {
 		return err
 	}
-	return store.Put(name, blob)
+	if err := store.Put(name, blob); err != nil {
+		return err
+	}
+	opts.Spill.record(raw, int64(len(blob)), comp, reason)
+	return nil
 }

@@ -75,7 +75,7 @@ func SortStream(ctx context.Context, store agd.BlobStore, in *agd.GroupStream, o
 			defer wg.Done()
 			defer func() { <-sem }()
 			sortKeys(cols[keyCol], keys, opts.By)
-			if err := writeSuperchunk(store, name, cols, keys); err != nil {
+			if err := writeSuperchunk(store, name, cols, keys, &opts); err != nil {
 				select {
 				case errs <- err:
 				default:

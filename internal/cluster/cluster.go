@@ -54,6 +54,11 @@ type Config struct {
 	// completes before dying mid-run (failure injection for recovery
 	// tests; the run completes on the surviving workers).
 	NodeFaults map[int]int
+	// SkipColumnCheck registers the results column without re-probing every
+	// chunk blob. Set by callers (the client Session) that verified the
+	// column on a previous run of the same dataset, so repeat jobs skip
+	// one header round trip per chunk.
+	SkipColumnCheck bool
 }
 
 // NodeReport describes one worker's run.
@@ -204,7 +209,12 @@ func Align(ctx context.Context, store storage.Store, datasetName string, idx *sn
 		report.Imbalance = float64(maxE-minE) / float64(mean)
 	}
 
-	updated, err := agd.RegisterColumn(store, m, agd.ColResults)
+	var updated *agd.Manifest
+	if cfg.SkipColumnCheck {
+		updated, err = agd.RegisterColumnUnchecked(store, m, agd.ColResults)
+	} else {
+		updated, err = agd.RegisterColumn(store, m, agd.ColResults)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

@@ -13,7 +13,8 @@ import (
 //	GET  /v1/jobs             list jobs (optional ?tenant=)
 //	GET  /v1/jobs/{id}        job status with live per-stage progress
 //	GET  /v1/jobs/{id}/result a DONE job's exported bytes (or ResultMeta JSON)
-//	GET  /v1/stats            service counters
+//	GET  /v1/stats            service counters (incl. session cache stats)
+//	POST /v1/cache/flush      drop the session chunk/manifest caches (admin)
 //	GET  /v1/healthz          liveness (503 while draining)
 //
 // Error responses are JSON {"error": ...} with the status derived from the
@@ -32,6 +33,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
 	mux.HandleFunc("GET /v1/stats", m.handleStats)
+	mux.HandleFunc("POST /v1/cache/flush", m.handleCacheFlush)
 	mux.HandleFunc("GET /v1/healthz", m.handleHealthz)
 	return mux
 }
@@ -122,6 +124,14 @@ func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
 
 func (m *Manager) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, m.Stats())
+}
+
+func (m *Manager) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
+	entries, bytes := m.FlushCache()
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"flushed_entries": int64(entries),
+		"flushed_bytes":   bytes,
+	})
 }
 
 func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {

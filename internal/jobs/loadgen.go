@@ -146,3 +146,35 @@ func RunLoad(ctx context.Context, m *Manager, cfg LoadConfig) (LoadResult, error
 	}
 	return res, nil
 }
+
+// ColdWarmResult contrasts the same load run against a cold and a warm
+// session cache.
+type ColdWarmResult struct {
+	Cold LoadResult `json:"cold"`
+	Warm LoadResult `json:"warm"`
+	// Speedup is warm jobs/s over cold jobs/s.
+	Speedup float64 `json:"speedup"`
+}
+
+// RunLoadColdWarm measures what the session's chunk cache buys repeat jobs:
+// it flushes the cache, runs the load cold, then runs the identical load
+// again warm (every dataset chunk the first pass decoded is now cached) and
+// reports both plus the jobs/s ratio.
+func RunLoadColdWarm(ctx context.Context, m *Manager, cfg LoadConfig) (ColdWarmResult, error) {
+	var out ColdWarmResult
+	m.FlushCache()
+	cold, err := RunLoad(ctx, m, cfg)
+	out.Cold = cold
+	if err != nil {
+		return out, err
+	}
+	warm, err := RunLoad(ctx, m, cfg)
+	out.Warm = warm
+	if err != nil {
+		return out, err
+	}
+	if cold.JobsPerS > 0 {
+		out.Speedup = warm.JobsPerS / cold.JobsPerS
+	}
+	return out, nil
+}

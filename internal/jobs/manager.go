@@ -103,6 +103,10 @@ type Stats struct {
 	Jobs        int                    `json:"jobs"`
 	Draining    bool                   `json:"draining"`
 	Tenants     map[string]TenantStats `json:"tenants"`
+	// Cache is the session chunk cache's cumulative counters (nil when the
+	// session runs without a cache) — how much of the fleet's read traffic
+	// repeat jobs are absorbing.
+	Cache *persona.CacheStats `json:"cache,omitempty"`
 }
 
 // RecoveryReport summarizes a journal replay at boot.
@@ -661,7 +665,17 @@ func (m *Manager) Stats() Stats {
 	for name, ts := range m.tenants {
 		s.Tenants[name] = *ts
 	}
+	if cs, ok := m.cfg.Session.CacheStats(); ok {
+		s.Cache = &cs
+	}
 	return s
+}
+
+// FlushCache empties the session's chunk cache and cached manifests — the
+// admin escape hatch after out-of-band store mutation. Returns what was
+// dropped.
+func (m *Manager) FlushCache() (entries int, bytes int64) {
+	return m.cfg.Session.FlushCache()
 }
 
 // DispatchOrder returns the recent tenant dispatch sequence (most recent

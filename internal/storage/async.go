@@ -8,6 +8,7 @@ package storage
 // queue per object storage daemon.
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -135,23 +136,92 @@ func (s *ObjectStore) Close() {
 
 var _ AsyncStore = (*ObjectStore)(nil)
 
-// latencyStore wraps a Store so every Get costs at least a fixed simulated
-// device latency. Benchmarks use it to make fetch-stall effects visible on
-// an in-memory store: a synchronous reader pays the latency once per blob,
-// while prefetched reads overlap their waits.
-type latencyStore struct {
-	Store
-	d time.Duration
+// LatencyStore wraps a Store so every read costs at least a fixed simulated
+// device latency — the reusable bench harness for remote-store experiments.
+// Synchronous Gets sleep the full delay each; asynchronous reads (GetAsync/
+// GetBatch) complete no earlier than the delay after issue but overlap both
+// each other and the underlying fetch, exactly how round trips to a remote
+// object store behave. Earlier revisions delayed only the synchronous path,
+// which silently exempted any natively-async inner store from the simulated
+// latency. Writes are not delayed: the harness isolates read latency.
+type LatencyStore struct {
+	inner Store
+	as    AsyncStore
+	d     time.Duration
 }
 
-// WithLatency wraps store with d of per-Get simulated read latency. The
-// wrapper is deliberately not an AsyncStore, so Async(WithLatency(...))
-// exercises the generic adapter over the delayed Get.
-func WithLatency(store Store, d time.Duration) Store {
-	return latencyStore{Store: store, d: d}
+// WithLatency wraps store with d of per-read simulated latency on both the
+// synchronous and asynchronous read paths.
+func WithLatency(store Store, d time.Duration) *LatencyStore {
+	return &LatencyStore{inner: store, as: Async(store), d: d}
 }
 
-func (l latencyStore) Get(name string) ([]byte, error) {
+// Delay returns the simulated per-read latency.
+func (l *LatencyStore) Delay() time.Duration { return l.d }
+
+// Get implements Store with the full delay paid synchronously.
+func (l *LatencyStore) Get(name string) ([]byte, error) {
 	time.Sleep(l.d)
-	return l.Store.Get(name)
+	return l.inner.Get(name)
 }
+
+// Put implements Store (not delayed).
+func (l *LatencyStore) Put(name string, data []byte) error { return l.inner.Put(name, data) }
+
+// Delete implements Store (not delayed).
+func (l *LatencyStore) Delete(name string) error { return l.inner.Delete(name) }
+
+// List implements Store (not delayed).
+func (l *LatencyStore) List(prefix string) ([]string, error) { return l.inner.List(prefix) }
+
+// GetAsync implements AsyncStore: the inner fetch is issued immediately and
+// the future resolves once both the delay and the fetch have elapsed, so
+// in-flight reads overlap their latencies.
+func (l *LatencyStore) GetAsync(name string) *Future {
+	return l.delayBatch(l.as.GetBatch([]string{name}))[0]
+}
+
+// GetBatch implements AsyncStore: every read in the batch is issued at once
+// and pays the delay concurrently — a window of N reads costs one delay of
+// wall clock, not N, which is what a prefetching reader buys on a real
+// remote store.
+func (l *LatencyStore) GetBatch(names []string) []*Future {
+	return l.delayBatch(l.as.GetBatch(names))
+}
+
+func (l *LatencyStore) delayBatch(inner []*Future) []*Future {
+	futs := make([]*Future, len(inner))
+	resolves := make([]func([]byte, error), len(inner))
+	for i := range inner {
+		futs[i], resolves[i] = agd.NewFuture()
+	}
+	timer := time.After(l.d)
+	go func() {
+		<-timer
+		for i, f := range inner {
+			<-f.Done()
+			resolves[i](f.Wait(context.Background()))
+		}
+	}()
+	return futs
+}
+
+// GetRange implements agd.RangeBlobStore with the same per-read delay, so
+// header probes on a simulated remote store still cost a round trip.
+func (l *LatencyStore) GetRange(name string, off int64, n int) ([]byte, error) {
+	time.Sleep(l.d)
+	return agd.RangeOf(l.inner).GetRange(name, off, n)
+}
+
+// GetRanges implements agd.RangeBlobStore (one delay per call — the ranges
+// travel in one round trip).
+func (l *LatencyStore) GetRanges(name string, ranges []agd.ByteRange) ([][]byte, error) {
+	time.Sleep(l.d)
+	return agd.RangeOf(l.inner).GetRanges(name, ranges)
+}
+
+var (
+	_ Store              = (*LatencyStore)(nil)
+	_ AsyncStore         = (*LatencyStore)(nil)
+	_ agd.RangeBlobStore = (*LatencyStore)(nil)
+)

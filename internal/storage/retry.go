@@ -143,19 +143,53 @@ func (a RetryStats) Delta(b RetryStats) RetryStats {
 	}
 }
 
-// latencyRing keeps the most recent successful read latencies for the
-// adaptive hedge delay.
+// latencyRing keeps the most recent successful read latencies (and their
+// payload sizes) for the adaptive hedge delay and the measured read profile
+// that drives storage-aware policies (spill compression).
 type latencyRing struct {
 	mu      sync.Mutex
 	samples [128]time.Duration
+	bytes   [128]int64
 	n       int // total recorded
 }
 
-func (l *latencyRing) record(d time.Duration) {
+func (l *latencyRing) record(d time.Duration, size int) {
 	l.mu.Lock()
-	l.samples[l.n%len(l.samples)] = d
+	i := l.n % len(l.samples)
+	l.samples[i] = d
+	l.bytes[i] = int64(size)
 	l.n++
 	l.mu.Unlock()
+}
+
+// profile returns the median read latency, the mean observed throughput in
+// MB/s (total bytes over total read time across the retained window), and
+// the number of samples behind them. Throughput is 0 when the window carries
+// no bytes or no measurable time.
+func (l *latencyRing) profile() (lat time.Duration, mbps float64, samples int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.n
+	if n > len(l.samples) {
+		n = len(l.samples)
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	cp := make([]time.Duration, n)
+	copy(cp, l.samples[:n])
+	sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+	lat = cp[n/2]
+	var sumBytes int64
+	var sumTime time.Duration
+	for i := 0; i < n; i++ {
+		sumBytes += l.bytes[i]
+		sumTime += l.samples[i]
+	}
+	if sumTime > 0 && sumBytes > 0 {
+		mbps = float64(sumBytes) / 1e6 / sumTime.Seconds()
+	}
+	return lat, mbps, n
 }
 
 // p99 returns the 99th percentile of the ring, or 0 until it has enough
@@ -229,6 +263,16 @@ func (r *RetryStore) RetryStats() RetryStats {
 	}
 }
 
+// ReadProfile reports the store's measured read behavior over the recent
+// successful-read window: median per-read latency, mean throughput in MB/s,
+// and how many samples back them. Policies that trade CPU against transfer
+// time (agdsort's spill compression via internal/tco) feed on this instead
+// of a configuration flag, so the decision tracks the store actually
+// attached — local disk, or a remote object store with real round trips.
+func (r *RetryStore) ReadProfile() (lat time.Duration, mbps float64, samples int) {
+	return r.lat.profile()
+}
+
 func (r *RetryStore) rand() float64 {
 	r.rngMu.Lock()
 	defer r.rngMu.Unlock()
@@ -262,7 +306,7 @@ func (r *RetryStore) attemptGet(name string) ([]byte, error) {
 	if r.pol.OpTimeout <= 0 {
 		data, err := r.inner.Get(name)
 		if err == nil {
-			r.lat.record(time.Since(t0))
+			r.lat.record(time.Since(t0), len(data))
 		}
 		return data, err
 	}
@@ -273,7 +317,7 @@ func (r *RetryStore) attemptGet(name string) ([]byte, error) {
 	case <-fut.Done():
 		data, err := fut.Wait(context.Background())
 		if err == nil {
-			r.lat.record(time.Since(t0))
+			r.lat.record(time.Since(t0), len(data))
 		}
 		return data, err
 	case <-t.C:

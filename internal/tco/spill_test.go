@@ -1,0 +1,86 @@
+package tco
+
+import (
+	"testing"
+	"time"
+)
+
+// crossoverMBps computes the store throughput at which compressing a spill
+// run breaks even under the default encode/decode rates: below it transfer
+// dominates (compress), above it CPU dominates (skip). Both sides scale
+// linearly in run size, so the decision pivots on the measured profile, not
+// the run.
+func crossoverMBps() float64 {
+	cpuPerMB := 1/float64(DefaultCompressMBps) + DefaultSpillRatio/float64(DefaultDecompressMBps)
+	return 2 * (1 - DefaultSpillRatio) / cpuPerMB
+}
+
+func TestSpillPolicyCrossover(t *testing.T) {
+	x := crossoverMBps()
+	if x < 50 || x > 500 {
+		t.Fatalf("default crossover %.1f MB/s outside plausible range", x)
+	}
+	remote := func(mbps float64) SpillPolicy {
+		return SpillPolicy{Profile: StorageProfile{
+			ReadLatency: 25 * time.Millisecond,
+			ReadMBps:    mbps,
+			Samples:     32,
+		}}
+	}
+	const run = 8 << 20
+
+	// Slow remote store (transfer-dominated side of the crossover).
+	d := remote(x / 2).Decide(run)
+	if !d.Compress || d.Reason != "transfer-dominated" {
+		t.Fatalf("slow store: %+v, want compress/transfer-dominated", d)
+	}
+	if d.DollarDelta >= 0 {
+		t.Fatalf("slow store: dollar delta %.6f, want negative (compressing is cheaper)", d.DollarDelta)
+	}
+	if d.TransferSavedSec <= d.CPUSpentSec {
+		t.Fatalf("slow store: saved %.3fs <= spent %.3fs", d.TransferSavedSec, d.CPUSpentSec)
+	}
+
+	// Fast remote store (CPU-dominated side).
+	d = remote(x * 2).Decide(run)
+	if d.Compress || d.Reason != "cpu-dominated" {
+		t.Fatalf("fast store: %+v, want skip/cpu-dominated", d)
+	}
+	if d.DollarDelta <= 0 {
+		t.Fatalf("fast store: dollar delta %.6f, want positive (compressing would cost)", d.DollarDelta)
+	}
+}
+
+func TestSpillPolicyGuards(t *testing.T) {
+	// Unprofiled store: never compress on a guess.
+	d := SpillPolicy{}.Decide(8 << 20)
+	if d.Compress || d.Reason != "unprofiled" {
+		t.Fatalf("unprofiled: %+v", d)
+	}
+
+	// Local store: sub-threshold latency skips regardless of throughput.
+	d = SpillPolicy{Profile: StorageProfile{
+		ReadLatency: time.Millisecond,
+		ReadMBps:    5, // would be transfer-dominated if it were remote
+		Samples:     100,
+	}}.Decide(8 << 20)
+	if d.Compress || d.Reason != "local" {
+		t.Fatalf("local: %+v", d)
+	}
+
+	// Zero-size run must not panic or produce NaNs that flip the decision.
+	d = SpillPolicy{Profile: StorageProfile{
+		ReadLatency: 25 * time.Millisecond, ReadMBps: 10, Samples: 8,
+	}}.Decide(0)
+	if d.Compress {
+		t.Fatalf("zero-byte run compressed: %+v", d)
+	}
+}
+
+func TestCPUHourRate(t *testing.T) {
+	rate := Default().CPUHourRate()
+	// $8450 × 1.538 over 5 years ≈ $0.297/hour.
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("CPUHourRate = %.4f, want ≈ 0.30", rate)
+	}
+}

@@ -90,6 +90,12 @@ type (
 	// StorageStats counts a resilient store's retry/hedge activity
 	// (storage.RetryStats).
 	StorageStats = storage.RetryStats
+	// CacheStats counts the session chunk cache's hits, misses, fills and
+	// evictions (agd.CacheStats).
+	CacheStats = agd.CacheStats
+	// SpillReport summarizes a sort's spill-compression decisions
+	// (agdsort.SpillReport).
+	SpillReport = agdsort.SpillReport
 	// RetryPolicy tunes a resilient store wrapper (NewRetryStore).
 	RetryPolicy = storage.RetryPolicy
 	// FaultPolicy scripts a fault-injecting store wrapper (NewFaultStore).

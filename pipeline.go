@@ -285,6 +285,13 @@ type PipelineReport struct {
 	// run, when the session's store is wrapped with NewRetryStore (nil
 	// otherwise). Concurrent pipelines share the store, so deltas overlap.
 	Storage *StorageStats
+	// Cache carries the session chunk cache's activity during this run (nil
+	// when the cache is disabled). Concurrent pipelines share the cache, so
+	// deltas overlap.
+	Cache *CacheStats
+	// Spill carries the sort stage's spill-compression accounting, when the
+	// pipeline sorted (nil otherwise).
+	Spill *SpillReport
 	// Pumped reports whether the run used the pumped scheduler; EdgeDepth
 	// is the bounded-queue depth its edges ran with (0 when serial).
 	Pumped    bool
@@ -407,6 +414,8 @@ type runBase struct {
 	steals0   int64
 	storage0  StorageStats
 	resilient bool
+	cache0    CacheStats
+	cached    bool
 }
 
 func (p *Pipeline) snapshotBase() runBase {
@@ -415,6 +424,7 @@ func (p *Pipeline) snapshotBase() runBase {
 	b.sub0, b.done0, b.busy0 = sess.exec.Stats()
 	b.steals0 = sess.exec.Steals()
 	b.storage0, b.resilient = sess.ResilienceStats()
+	b.cache0, b.cached = sess.CacheStats()
 	return b
 }
 
@@ -432,6 +442,11 @@ func (p *Pipeline) finishBase(report *PipelineReport, b runBase) {
 		storage1, _ := sess.ResilienceStats()
 		delta := storage1.Delta(b.storage0)
 		report.Storage = &delta
+	}
+	if b.cached {
+		cache1, _ := sess.CacheStats()
+		delta := cache1.Delta(b.cache0)
+		report.Cache = &delta
 	}
 }
 
@@ -455,7 +470,7 @@ func (p *Pipeline) openSource(pipelining, shards int) (*agd.GroupStream, error) 
 	src := p.stages[0]
 	switch src.kind {
 	case stageRead:
-		ds, err := agd.Open(sess.store, src.dataset)
+		ds, err := sess.openDataset(src.dataset)
 		if err != nil {
 			return nil, err
 		}
@@ -466,6 +481,7 @@ func (p *Pipeline) openSource(pipelining, shards int) (*agd.GroupStream, error) 
 		return ds.Groups(agd.StreamOptions{
 			Prefetch:    sess.prefetch,
 			ShardedPool: sess.chunkPool,
+			Cache:       sess.cache,
 			Codec:       agd.Codec{Exec: sess.exec},
 		})
 	case stageImportFASTQ:
@@ -499,11 +515,20 @@ func (p *Pipeline) buildStage(ctx context.Context, st pipeStage, in *agd.GroupSt
 		report.Align = alignReport
 		return out, err
 	case stageSort:
-		return agdsort.SortStream(ctx, sess.store, in, agdsort.Options{
-			By:         st.by,
-			TempPrefix: p.spillPrefix(),
-			Pipelining: pipelining,
+		// Spill runs all complete inside SortStream (the sort's phase-1
+		// barrier), so the stats are final when it returns — single-writer
+		// before the pumped path's Wait, like report.Align above.
+		spill := &agdsort.SpillStats{}
+		out, err := agdsort.SortStream(ctx, sess.store, in, agdsort.Options{
+			By:           st.by,
+			TempPrefix:   p.spillPrefix(),
+			Pipelining:   pipelining,
+			SpillDecider: sess.spillDecider(),
+			Spill:        spill,
 		})
+		rep := spill.Report()
+		report.Spill = &rep
+		return out, err
 	case stageMarkDup:
 		out, d, err := markdup.MarkStream(in, pipelining)
 		*dups = d
@@ -529,11 +554,18 @@ func (p *Pipeline) runSink(ctx context.Context, stream *agd.GroupStream, report 
 	case stageExportFASTQ:
 		return fastq.ExportStream(ctx, stream, sink.dst)
 	case stageWrite:
+		// The write replaces whatever blobs the target dataset had: drop any
+		// cached chunks/manifest for it, then remember the fresh manifest so
+		// an immediately following read skips the open round trip.
+		sess.invalidateDataset(sink.dataset)
 		m, err := agd.WriteGroups(ctx, stream, sess.store, sink.dataset, agd.WriterOptions{})
 		var n uint64
 		if m != nil {
 			report.Manifest = m
 			n = m.NumRecords()
+			if err == nil {
+				sess.rememberManifest(sink.dataset, m)
+			}
 		}
 		return n, err
 	}

@@ -6,11 +6,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"persona/internal/agd"
 	"persona/internal/align/snap"
 	"persona/internal/cluster"
 	"persona/internal/dataflow"
+	"persona/internal/tco"
 )
 
 // SessionOptions configures a Session.
@@ -22,7 +24,18 @@ type SessionOptions struct {
 	// many chunks' column blobs are kept in flight, counting the one being
 	// processed. 0 picks the stream default.
 	Prefetch int
+	// CacheBytes is the byte budget of the session's read-through decoded
+	// chunk cache: pipeline sources serve repeat chunk reads from it,
+	// skipping the fetch, CRC verify and decode entirely (hot references,
+	// repeat jobs in the server). 0 picks DefaultCacheBytes; negative
+	// disables the cache.
+	CacheBytes int64
 }
+
+// DefaultCacheBytes is the chunk cache budget when SessionOptions.CacheBytes
+// is zero: enough for the hot columns of a reference-scale dataset without
+// crowding out the arenas and pools of an active pipeline.
+const DefaultCacheBytes int64 = 64 << 20
 
 // Session owns the long-lived resources Persona pipelines share: the blob
 // store, one sharded work-stealing executor (all fine-grain compute), the
@@ -35,12 +48,15 @@ type Session struct {
 	store     Store
 	exec      *dataflow.Executor
 	chunkPool *dataflow.ShardedItemPool[*agd.Chunk]
+	cache     *agd.ChunkCache // nil when disabled
 	prefetch  int
 	seq       atomic.Uint64 // distinct spill prefixes for concurrent sorts
 
-	mu      sync.Mutex
-	indexes map[*Genome]*Index
-	closed  bool
+	mu        sync.Mutex
+	indexes   map[*Genome]*Index
+	manifests map[string]*agd.Manifest // dataset name → parsed manifest
+	verified  map[string]bool          // dataset+"\x00"+column → blobs probed OK
+	closed    bool
 }
 
 // NewSession opens a session over a store.
@@ -56,12 +72,23 @@ func NewSession(store Store, opts SessionOptions) *Session {
 	// worth of columns per shard gives several concurrent pipelines slack
 	// while still back-pressuring a runaway source.
 	poolSize := 8 * 4 * exec.NumShards()
+	var cache *agd.ChunkCache
+	if opts.CacheBytes >= 0 {
+		budget := opts.CacheBytes
+		if budget == 0 {
+			budget = DefaultCacheBytes
+		}
+		cache = agd.NewChunkCache(budget)
+	}
 	return &Session{
 		store:     store,
 		exec:      exec,
 		chunkPool: agd.NewShardedChunkPool(exec.NumShards(), poolSize),
+		cache:     cache,
 		prefetch:  opts.Prefetch,
 		indexes:   make(map[*Genome]*Index),
+		manifests: make(map[string]*agd.Manifest),
+		verified:  make(map[string]bool),
 	}
 }
 
@@ -104,11 +131,132 @@ func (s *Session) AlignDistributed(ctx context.Context, dataset string, ref *Gen
 	if err != nil {
 		return nil, nil, err
 	}
-	return cluster.Align(ctx, s.store, dataset, idx, cluster.Config{
-		Nodes:          nodes,
-		ThreadsPerNode: threadsPerNode,
-		Executor:       s.exec,
+	// A repeat align of the same dataset re-registers the results column; if
+	// this session already probed those blobs once, skip the per-chunk
+	// round trips on the final RegisterColumn.
+	verKey := dataset + "\x00" + agd.ColResults
+	s.mu.Lock()
+	skipCheck := s.verified[verKey]
+	s.mu.Unlock()
+	rep, m, err := cluster.Align(ctx, s.store, dataset, idx, cluster.Config{
+		Nodes:           nodes,
+		ThreadsPerNode:  threadsPerNode,
+		Executor:        s.exec,
+		SkipColumnCheck: skipCheck,
 	})
+	if err != nil {
+		return rep, m, err
+	}
+	// The align rewrote the dataset's results blobs and manifest: cached
+	// decoded chunks and the remembered manifest are stale. Replace the
+	// manifest with the one the align just produced and mark the results
+	// column verified (the register round either probed it or reused a
+	// previous probe).
+	s.invalidateDataset(dataset)
+	s.mu.Lock()
+	s.manifests[dataset] = m
+	s.verified[verKey] = true
+	s.mu.Unlock()
+	return rep, m, nil
+}
+
+// openDataset opens a dataset through the session's manifest cache: reading
+// back a dataset this session just wrote or aligned skips the manifest
+// Get+parse round trip. Only manifests the session itself produced are
+// served from memory — a dataset it merely read before may have been
+// rewritten by another writer, so those always re-open from the store.
+func (s *Session) openDataset(name string) (*agd.Dataset, error) {
+	s.mu.Lock()
+	m := s.manifests[name]
+	s.mu.Unlock()
+	if m != nil {
+		return agd.OpenManifest(s.store, m), nil
+	}
+	return agd.Open(s.store, name)
+}
+
+// rememberManifest records the manifest of a dataset this session just
+// wrote, so an immediately following read skips the open round trip.
+func (s *Session) rememberManifest(name string, m *agd.Manifest) {
+	s.mu.Lock()
+	s.manifests[name] = m
+	s.mu.Unlock()
+}
+
+// invalidateDataset drops everything the session cached about a dataset —
+// decoded chunks, the parsed manifest, column probes — because its blobs
+// were just rewritten.
+func (s *Session) invalidateDataset(name string) {
+	s.mu.Lock()
+	delete(s.manifests, name)
+	for k := range s.verified {
+		if ds, _, ok := cutVerifiedKey(k); ok && ds == name {
+			delete(s.verified, k)
+		}
+	}
+	s.mu.Unlock()
+	if s.cache != nil {
+		s.cache.InvalidatePrefix(name + "/")
+	}
+}
+
+func cutVerifiedKey(k string) (dataset, col string, ok bool) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == 0 {
+			return k[:i], k[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// CacheStats snapshots the session chunk cache's counters; ok is false when
+// the cache is disabled.
+func (s *Session) CacheStats() (stats CacheStats, ok bool) {
+	if s.cache == nil {
+		return CacheStats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
+// FlushCache empties the chunk cache and forgets cached manifests and column
+// probes, returning what was dropped. The admin escape hatch for when the
+// store was mutated behind the session's back.
+func (s *Session) FlushCache() (entries int, bytes int64) {
+	s.mu.Lock()
+	s.manifests = make(map[string]*agd.Manifest)
+	s.verified = make(map[string]bool)
+	s.mu.Unlock()
+	if s.cache == nil {
+		return 0, 0
+	}
+	return s.cache.Flush()
+}
+
+// spillDecider builds the cost-driven spill-compression policy for this
+// session's sorts: when the store is resilience-wrapped, its measured read
+// profile feeds tco.SpillPolicy and each superchunk run is priced
+// individually; otherwise (no evidence) runs stay raw. The returned decider
+// is nil-safe for agdsort.Options.
+func (s *Session) spillDecider() func(runBytes int64) (agd.Compression, string) {
+	profiler, ok := s.store.(interface {
+		ReadProfile() (time.Duration, float64, int)
+	})
+	if !ok {
+		return nil
+	}
+	return func(runBytes int64) (agd.Compression, string) {
+		lat, mbps, samples := profiler.ReadProfile()
+		policy := tco.SpillPolicy{Profile: tco.StorageProfile{
+			ReadLatency: lat,
+			ReadMBps:    mbps,
+			Samples:     samples,
+		}}
+		dec := policy.Decide(runBytes)
+		if dec.Compress {
+			return agd.CompressGzip, dec.Reason
+		}
+		return agd.CompressNone, dec.Reason
+	}
 }
 
 // Close releases the session's executor. Pipelines must not be run (or be
