@@ -15,7 +15,7 @@
 //	persona import-sam -store DIR -name DS [-sam FILE|-]
 //	persona export  -store DIR -name DS -format sam|bam|fastq [-o FILE|-]
 //	persona info    -store DIR -name DS
-//	persona run     -store DIR -name DS [-align] [-sort location|metadata] [-markdup] [-minmapq N] [-dedup] -format sam|bam|fastq [-o FILE|-]
+//	persona run     -store DIR -name DS [-align] [-sort location|metadata] [-markdup] [-minmapq N] [-dedup] [-nodes N] -format sam|bam|fastq [-o FILE|-]
 //	persona submit  -server URL [-tenant T] -name DS [-align] [-sort location|metadata] [-markdup] [-minmapq N] [-dedup] -format sam|bam|fastq [-wait] [-o FILE|-]
 //	persona status  -server URL [-tenant T] [-id JOB]
 //	persona fetch   -server URL [-tenant T] -id JOB [-o FILE|-]
@@ -499,6 +499,7 @@ func cmdRun(ctx context.Context, args []string) error {
 	dedup := fs.Bool("dedup", false, "filter: drop duplicate-flagged reads")
 	format := fs.String("format", "sam", "output format: sam, bam or fastq")
 	outPath := fs.String("o", "-", "output file ('-' for stdout)")
+	nodes := fs.Int("nodes", 0, "distributed worker nodes (0 = single-server pipeline; needs -sort)")
 	fs.Parse(args)
 	store, err := openStore(*storeDir)
 	if err != nil {
@@ -564,6 +565,9 @@ func cmdRun(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+	if *nodes > 0 {
+		p = p.Distributed(*nodes)
+	}
 	report, err := p.Run(ctx)
 	if err != nil {
 		return err
@@ -572,6 +576,10 @@ func cmdRun(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "%-14s %8d records  %v\n", st.Stage, st.Records, st.Elapsed.Round(time.Millisecond))
 	}
 	fmt.Fprintf(os.Stderr, "%-14s %8d records  %v total\n", "pipeline", report.Records, report.Elapsed.Round(time.Millisecond))
+	if c := report.Cluster; c != nil {
+		fmt.Fprintf(os.Stderr, "cluster: %d nodes, %d partitions, shuffle %.1f MiB, skew %.2f, imbalance %.1f%%\n",
+			len(c.Nodes), c.Partitions, float64(c.ShuffleBytes)/(1<<20), c.PartitionSkew, 100*c.Imbalance)
+	}
 	return nil
 }
 

@@ -6,16 +6,18 @@
 package main
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"persona"
 	"persona/internal/formats/fastq"
 	"persona/internal/reads"
 	"persona/internal/simulate"
+	"persona/internal/storage"
 )
 
 func main() {
@@ -45,8 +47,9 @@ func main() {
 	}
 
 	fmt.Println("real distributed runtime (in-process nodes, TCP manifest server):")
+	var profiled *storage.RetryStore
 	for _, nodes := range []int{1, 2, 4} {
-		store := persona.NewMemStore()
+		store := persona.NewRetryStore(persona.NewMemStore(), persona.RetryPolicy{})
 		if _, _, err := persona.ImportFASTQ(context.Background(), store, "ds", strings.NewReader(fq.String()), persona.RefSeqs(ref), 1000); err != nil {
 			log.Fatal(err)
 		}
@@ -56,11 +59,44 @@ func main() {
 		}
 		fmt.Printf("  %d node(s): %7.2f Mbases/s  imbalance %.1f%%  (%d chunks over %d nodes)\n",
 			nodes, report.BasesPerSec/1e6, report.Imbalance*100, chunksOf(report), len(report.Nodes))
+		profiled = store
+	}
+
+	fmt.Println("\nreal distributed fused pipeline (read → align → sort → markdup → export):")
+	for _, nodes := range []int{1, 2, 4} {
+		store := persona.NewMemStore()
+		if _, _, err := persona.ImportFASTQ(context.Background(), store, "ds", strings.NewReader(fq.String()), persona.RefSeqs(ref), 1000); err != nil {
+			log.Fatal(err)
+		}
+		sess := persona.NewSession(store, persona.SessionOptions{})
+		var sam bytes.Buffer
+		report, err := sess.Read("ds").
+			Align(idx, persona.AlignOptions{}).
+			Sort(persona.ByLocation).
+			MarkDuplicates().
+			ExportSAM(&sam).
+			Distributed(nodes).
+			Run(context.Background())
+		sess.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := report.Cluster
+		fmt.Printf("  %d node(s): %7d records in %8s  shuffle %5.1f MiB  skew %.2f\n",
+			nodes, report.Records, c.Elapsed.Round(time.Millisecond),
+			float64(c.ShuffleBytes)/(1<<20), c.PartitionSkew)
+	}
+
+	// Seed the paper-scale calibration's storage side from the bandwidth
+	// and latency the runs above actually measured, instead of the
+	// hardcoded constants.
+	params := simulate.DefaultPaperParams()
+	if lat, mbps, n := profiled.ReadProfile(); n > 0 {
+		params = simulate.ParamsFromProfile(params, lat, mbps, n)
 	}
 
 	fmt.Println("\npaper-scale projection (Fig. 7 discrete-event model):")
-	params := simulate.DefaultPaperParams()
-	points, err := simulate.Fig7(params, []int{1, 8, 16, 32, 60, 80, 100})
+	points, err := simulate.Fig7(simulate.DefaultPaperParams(), []int{1, 8, 16, 32, 60, 80, 100})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,6 +105,15 @@ func main() {
 		fmt.Printf("  %3d nodes %8.3f Gbases/s %6.1f s/genome %s\n", p.Nodes, p.BasesPerSec/1e9, p.Seconds, bar)
 	}
 	fmt.Println("\nthe 32-node point is the paper's headline: ~1.35 Gbases/s, a genome in ~16.7 s")
+
+	fmt.Println("\npaper-scale distributed fused pipeline (three-phase DES, profile-seeded):")
+	dp, err := simulate.DistScaling(params, []int{1, 8, 16, 32, 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range dp {
+		fmt.Printf("  %3d nodes %8.3f Gbases/s %6.1f s/genome\n", p.Nodes, p.BasesPerSec/1e9, p.Seconds)
+	}
 }
 
 func chunksOf(r *persona.ClusterReport) int {

@@ -54,6 +54,11 @@ type Config struct {
 	// completes before dying mid-run (failure injection for recovery
 	// tests; the run completes on the surviving workers).
 	NodeFaults map[int]int
+	// FaultPhase scopes NodeFaults on a distributed pipeline run: the node
+	// dies on receiving its (n+1)-th task of this phase (0 = map,
+	// 1 = shuffle, 2 = reduce), which is how a chaos test kills a worker
+	// deterministically mid-shuffle. Ignored by Align.
+	FaultPhase int
 	// SkipColumnCheck registers the results column without re-probing every
 	// chunk blob. Set by callers (the client Session) that verified the
 	// column on a previous run of the same dataset, so repeat jobs skip
@@ -68,6 +73,10 @@ type NodeReport struct {
 	Reads   int64
 	Bases   int64
 	Elapsed time.Duration
+	// ShuffleBytes is what this node wrote during a distributed pipeline's
+	// shuffle phase (pieces and halos; 0 on Align runs). Re-executed tasks
+	// count here, so node totals can exceed the report's first-win total.
+	ShuffleBytes int64
 	// Failed marks a worker that died mid-run (its chunks were re-dealt
 	// to the survivors); Err is its final error.
 	Failed bool
@@ -90,6 +99,13 @@ type Report struct {
 	Degraded    bool
 	FailedNodes int
 	Reassigned  int64
+	// Distributed-pipeline runs only: ShuffleBytes is the cross-node
+	// shuffle's total encoded piece+halo traffic (first-win task results),
+	// Partitions the reduce fan-in, and PartitionSkew the largest
+	// partition's row count over the mean (1.0 = perfectly balanced).
+	ShuffleBytes  int64
+	Partitions    int
+	PartitionSkew float64
 }
 
 // runFatal classifies a node error as run-fatal: permanent storage errors
@@ -335,11 +351,11 @@ func runNode(ctx context.Context, node int, manifestAddr string, store storage.S
 		}
 		basesChunk, err := agd.DecodeChunk(blob)
 		if err != nil {
-			return rep, fmt.Errorf("chunk %q: %w", blobName, err)
+			return rep, fmt.Errorf("cluster: decode chunk %q: %w", blobName, err)
 		}
 		n := basesChunk.NumRecords()
 		if n != int(m.Chunks[chunkIdx].Records) {
-			return rep, fmt.Errorf("chunk %q has %d records, manifest says %d",
+			return rep, fmt.Errorf("cluster: chunk %q has %d records, manifest says %d",
 				blobName, n, m.Chunks[chunkIdx].Records)
 		}
 

@@ -1,0 +1,217 @@
+package cluster
+
+// PhaseServer protocol tests: phase barriers, held phases, payload acks,
+// first-wins idempotence, fleet-spread dealing and dead-worker reassignment.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func dialPhase(t *testing.T, srv *PhaseServer, worker int) *ManifestClient {
+	t.Helper()
+	c, err := DialManifestWorker(srv.Addr(), worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestPhaseBarrier: phase 1 tasks are withheld until every phase 0 task is
+// acked, and DONE follows the last ack.
+func TestPhaseBarrier(t *testing.T) {
+	srv, err := NewPhaseServer([]int{2, 1}, nil, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := dialPhase(t, srv, 0)
+
+	for want := 0; want < 2; want++ {
+		p, i, ok, err := c.NextTask(nil)
+		if err != nil || !ok || p != 0 {
+			t.Fatalf("task %d: phase=%d ok=%v err=%v, want phase 0", want, p, ok, err)
+		}
+		if err := c.AckTask(p, i, fmt.Sprintf("pay%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, i, ok, err := c.NextTask(nil)
+	if err != nil || !ok || p != 1 || i != 0 {
+		t.Fatalf("after barrier: phase=%d idx=%d ok=%v err=%v, want phase 1 task 0", p, i, ok, err)
+	}
+	if err := c.AckTask(1, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := c.NextTask(nil); ok || err != nil {
+		t.Fatalf("after all phases: ok=%v err=%v, want DONE", ok, err)
+	}
+	if !srv.AllDone() {
+		t.Error("AllDone = false after draining every phase")
+	}
+	if got := srv.Payloads(0); got[0] != "pay0" || got[1] != "pay1" {
+		t.Errorf("phase 0 payloads = %v", got)
+	}
+}
+
+// TestHeldPhaseAndCuts: a held phase deals nothing until Open, and CUTS
+// polls WAIT until SetCuts publishes.
+func TestHeldPhaseAndCuts(t *testing.T) {
+	srv, err := NewPhaseServer([]int{0, 1}, []int{1}, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := dialPhase(t, srv, 0)
+
+	stop := make(chan struct{})
+	close(stop)
+	// Held: the only incomplete phase answers WAIT, so a closed stop channel
+	// makes NextTask return not-ok without error.
+	if _, _, ok, err := c.NextTask(stop); ok || err != nil {
+		t.Fatalf("held phase dealt a task (ok=%v err=%v)", ok, err)
+	}
+	if _, ok, err := c.Cuts(stop); ok || err != nil {
+		t.Fatalf("unset cuts served (ok=%v err=%v)", ok, err)
+	}
+	srv.SetCuts("abc123")
+	srv.Open(1)
+	if pay, ok, err := c.Cuts(nil); err != nil || !ok || pay != "abc123" {
+		t.Fatalf("cuts = %q ok=%v err=%v", pay, ok, err)
+	}
+	if p, _, ok, err := c.NextTask(nil); err != nil || !ok || p != 1 {
+		t.Fatalf("opened phase: phase=%d ok=%v err=%v", p, ok, err)
+	}
+}
+
+// TestTackFirstWins: double-acking a task keeps the first payload and
+// counts the task once.
+func TestTackFirstWins(t *testing.T) {
+	srv, err := NewPhaseServer([]int{1}, nil, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := dialPhase(t, srv, 0)
+	if _, _, ok, err := c.NextTask(nil); !ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if err := c.AckTask(0, 0, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AckTask(0, 0, "second"); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Payloads(0); got[0] != "first" {
+		t.Errorf("payload = %q, want first-wins", got[0])
+	}
+	if !srv.AllDone() {
+		t.Error("AllDone = false")
+	}
+}
+
+// TestPhaseSpreadsFreshTasks: with two live workers, the second fresh task
+// of a phase is reserved for the worker that has none yet — the first
+// worker is told WAIT rather than draining the phase.
+func TestPhaseSpreadsFreshTasks(t *testing.T) {
+	srv, err := NewPhaseServer([]int{2}, nil, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c0 := dialPhase(t, srv, 0)
+	c1 := dialPhase(t, srv, 1)
+
+	// Both workers announce themselves (BEAT), so both are live and
+	// undealt.
+	if err := c0.Beat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Beat(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := c0.NextTask(nil); !ok || err != nil {
+		t.Fatalf("worker 0 first deal: ok=%v err=%v", ok, err)
+	}
+	// Worker 0's second request must WAIT: the last fresh task is reserved
+	// for live worker 1.
+	stop := make(chan struct{})
+	close(stop)
+	if _, _, ok, err := c0.NextTask(stop); ok || err != nil {
+		t.Fatalf("worker 0 drained the reserved task (ok=%v err=%v)", ok, err)
+	}
+	if _, i, ok, err := c1.NextTask(nil); !ok || err != nil {
+		t.Fatalf("worker 1 reserved deal: ok=%v err=%v", ok, err)
+	} else if err := c1.AckTask(0, i, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhaseDeadWorkerReassigned: a worker that takes a task and stops
+// beating has its lease re-dealt to the survivor; MaxAttempts exhaustion
+// aborts the run for everyone.
+func TestPhaseDeadWorkerReassigned(t *testing.T) {
+	srv, err := NewPhaseServer([]int{1}, nil, ServerOptions{
+		LeaseTimeout: 50 * time.Millisecond,
+		BeatTimeout:  50 * time.Millisecond,
+		MaxAttempts:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	dead := dialPhase(t, srv, 0)
+	if _, _, ok, err := dead.NextTask(nil); !ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// The dead worker never acks and never beats again; the survivor polls
+	// until the lease expires.
+	alive := dialPhase(t, srv, 1)
+	deadline := time.After(2 * time.Second)
+	for {
+		p, i, ok, err := alive.NextTask(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			if p != 0 || i != 0 {
+				t.Fatalf("reassigned task = (%d, %d)", p, i)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("lease never reassigned")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if srv.Reassigned() == 0 {
+		t.Error("Reassigned = 0")
+	}
+	if err := alive.AckTask(0, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhaseAbort: an aborted run poisons TASK and CUTS with ErrAborted.
+func TestPhaseAbort(t *testing.T) {
+	srv, err := NewPhaseServer([]int{1}, nil, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	srv.Abort("cut selection failed")
+	c := dialPhase(t, srv, 0)
+	if _, _, _, err := c.NextTask(nil); !errors.Is(err, ErrAborted) {
+		t.Errorf("NextTask err = %v, want ErrAborted", err)
+	}
+	if _, _, err := c.Cuts(nil); !errors.Is(err, ErrAborted) {
+		t.Errorf("Cuts err = %v, want ErrAborted", err)
+	}
+	if srv.AllDone() {
+		t.Error("AllDone = true on an aborted run")
+	}
+}

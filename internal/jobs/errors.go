@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"persona/internal/agd"
+	"persona/internal/cluster"
 	"persona/internal/storage"
 )
 
@@ -41,6 +42,11 @@ func IsTransient(err error) bool {
 	if errors.Is(err, ErrBadSpec) || errors.Is(err, ErrUnknownJob) || errors.Is(err, ErrNotDone) {
 		return false
 	}
+	// A cluster abort means the run exhausted its per-chunk attempt budget
+	// across workers — retrying the whole job would replay the same failures.
+	if errors.Is(err, cluster.ErrAborted) {
+		return false
+	}
 	return storage.IsTransient(err)
 }
 
@@ -67,6 +73,8 @@ func HTTPStatus(err error) (status int, retryAfter time.Duration) {
 		return 400, 0
 	case errors.Is(err, agd.ErrNotFound):
 		return 404, 0
+	case errors.Is(err, cluster.ErrAborted):
+		return 500, 0
 	case IsTransient(err):
 		return 503, 2 * time.Second
 	default:

@@ -72,6 +72,10 @@ type Spec struct {
 	// EdgeDepth overrides the pumped scheduler's bounded-queue depth
 	// (0 = pipeline default).
 	EdgeDepth int `json:"edge_depth,omitempty"`
+	// Nodes >= 1 runs the pipeline distributed across that many in-process
+	// worker nodes (the spec must then include a sort — the shuffle is the
+	// sort). 0 keeps the single-node scheduler.
+	Nodes int `json:"nodes,omitempty"`
 }
 
 // needsAlignment reports whether any requested stage requires a results
@@ -102,6 +106,12 @@ func (sp Spec) Validate() error {
 	}
 	if sp.DeadlineMS < 0 {
 		return fmt.Errorf("spec: negative deadline: %w", ErrBadSpec)
+	}
+	if sp.Nodes < 0 {
+		return fmt.Errorf("spec: negative nodes: %w", ErrBadSpec)
+	}
+	if sp.Nodes >= 1 && sp.Sort == "" {
+		return fmt.Errorf("spec: distributed job needs a sort: %w", ErrBadSpec)
 	}
 	return nil
 }

@@ -107,6 +107,9 @@ type Stats struct {
 	// session runs without a cache) — how much of the fleet's read traffic
 	// repeat jobs are absorbing.
 	Cache *persona.CacheStats `json:"cache,omitempty"`
+	// Cluster is the most recent distributed job's cluster report (nil until
+	// a Nodes >= 1 job completes a run).
+	Cluster *persona.ClusterReport `json:"cluster,omitempty"`
 }
 
 // RecoveryReport summarizes a journal replay at boot.
@@ -151,6 +154,7 @@ type Manager struct {
 	draining    bool
 	tenants     map[string]*TenantStats
 	dispatchLog []string
+	lastCluster *persona.ClusterReport
 
 	wg sync.WaitGroup
 }
@@ -463,10 +467,18 @@ func (m *Manager) execute(ctx context.Context, prog *persona.Progress, rec Recor
 	if spec.EdgeDepth > 0 {
 		p.EdgeDepth(spec.EdgeDepth)
 	}
+	if spec.Nodes >= 1 {
+		p.Distributed(spec.Nodes)
+	}
 
 	report, err := p.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("run %q: %w", rec.ID, err)
+	}
+	if report.Cluster != nil {
+		m.mu.Lock()
+		m.lastCluster = report.Cluster
+		m.mu.Unlock()
 	}
 	res := &ResultMeta{
 		Records: report.Records,
@@ -668,6 +680,7 @@ func (m *Manager) Stats() Stats {
 	if cs, ok := m.cfg.Session.CacheStats(); ok {
 		s.Cache = &cs
 	}
+	s.Cluster = m.lastCluster
 	return s
 }
 

@@ -252,6 +252,93 @@ func MarkStream(in *agd.GroupStream, pipelining int) (*agd.GroupStream, *Stats, 
 	return out, stats, nil
 }
 
+// Marker is the row-at-a-time, seedable form of the marking pass, used by
+// the distributed pipeline's per-partition reduce: partitions after the
+// first pre-load their signature set from a halo of earlier rows (Observe),
+// then mark their own range in order (MarkView) — first-wins marking means
+// seeding is membership-only, so halo order does not matter. One Marker is
+// single-goroutine state, exactly like the sequential map in Mark.
+type Marker struct {
+	// Stats accumulates over MarkView calls; Observe does not count.
+	Stats Stats
+
+	seen  map[signature]struct{}
+	cigar align.Cigar
+}
+
+// NewMarker returns an empty marker; capacity hints the expected number of
+// distinct signatures.
+func NewMarker(capacity int) *Marker {
+	return &Marker{seen: make(map[signature]struct{}, capacity)}
+}
+
+// Observe seeds the signature set from one encoded results record without
+// marking or counting it. Unmapped rows are ignored, as marking ignores
+// them.
+func (mk *Marker) Observe(rec []byte) error {
+	v, err := agd.DecodeResultView(rec)
+	if err != nil {
+		return err
+	}
+	if v.IsUnmapped() {
+		return nil
+	}
+	var sig signature
+	sig, mk.cigar, err = signatureOf(&v, mk.cigar)
+	if err != nil {
+		return err
+	}
+	mk.seen[sig] = struct{}{}
+	return nil
+}
+
+// MarkView marks one decoded result in place: the first row of each
+// signature inserts it, every later one gains FlagDuplicate — the same rule
+// markChunk applies, over a caller-decoded view.
+func (mk *Marker) MarkView(v *agd.ResultView) error {
+	mk.Stats.Reads++
+	if v.IsUnmapped() {
+		return nil
+	}
+	var sig signature
+	var err error
+	sig, mk.cigar, err = signatureOf(v, mk.cigar)
+	if err != nil {
+		return err
+	}
+	if _, dup := mk.seen[sig]; dup {
+		v.Flags |= agd.FlagDuplicate
+		mk.Stats.Duplicates++
+	} else {
+		mk.seen[sig] = struct{}{}
+	}
+	return nil
+}
+
+// Span returns the absolute distance between an encoded result record's
+// signature position and its aligned location (0 for unmapped rows). The
+// maximum span over a location-sorted range bounds how far a signature can
+// reach across a partition cut, which sizes the shuffle's halo.
+func (mk *Marker) Span(rec []byte) (int64, error) {
+	v, err := agd.DecodeResultView(rec)
+	if err != nil {
+		return 0, err
+	}
+	if v.IsUnmapped() {
+		return 0, nil
+	}
+	var pos int64
+	pos, mk.cigar, err = unclippedPos(&v, mk.cigar)
+	if err != nil {
+		return 0, err
+	}
+	d := pos - v.Location
+	if d < 0 {
+		d = -d
+	}
+	return d, nil
+}
+
 // signatureOf computes a read's duplication signature, parsing its CIGAR
 // into scratch (returned for reuse).
 func signatureOf(v *agd.ResultView, scratch align.Cigar) (signature, align.Cigar, error) {

@@ -1,0 +1,193 @@
+package shuffle
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// summarize fabricates per-run summaries the way map tasks do: each run
+// holds a sorted slice of keys and contributes SampleCount equi-spaced
+// samples.
+func summarize(runs [][]uint64) []RunSummary {
+	out := make([]RunSummary, len(runs))
+	for i, keys := range runs {
+		s := RunSummary{Rows: len(keys)}
+		if len(keys) > 0 {
+			step := len(keys) / SampleCount
+			if step < 1 {
+				step = 1
+			}
+			for r := 0; r < len(keys); r += step {
+				s.Samples = append(s.Samples, Sample{Key: keys[r]})
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// partition counts how population keys split across the splitters (equal
+// keys go right of their cut, matching agdsort.CutRun).
+func partition(keys []uint64, cuts Cuts, p int) []int64 {
+	rows := make([]int64, p)
+	for _, k := range keys {
+		part := 0
+		for _, sp := range cuts.Splitters {
+			if k >= sp.Key {
+				part++
+			}
+		}
+		rows[part]++
+	}
+	return rows
+}
+
+// TestSelectCutsSkewProperty: over fixed-seed uniform, clustered and
+// exponential-ish key populations split into runs, the chosen splitters
+// must keep partition skew bounded whenever keys are distinct enough to
+// allow balance.
+func TestSelectCutsSkewProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func() uint64{
+		"uniform":   func() uint64 { return uint64(rng.Intn(1 << 30)) },
+		"clustered": func() uint64 { return uint64(rng.Intn(64))*1e6 + uint64(rng.Intn(1000)) },
+		"heavytail": func() uint64 { return uint64(rng.ExpFloat64() * 1e6) },
+	}
+	for name, draw := range distributions {
+		for _, p := range []int{2, 3, 4, 8} {
+			const n, nRuns = 8000, 5
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = draw()
+			}
+			runs := make([][]uint64, nRuns)
+			for i, k := range keys {
+				runs[i%nRuns] = append(runs[i%nRuns], k)
+			}
+			for _, r := range runs {
+				sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+			}
+			cuts, err := SelectCuts(summarize(runs), p, false)
+			if err != nil {
+				t.Fatalf("%s/p=%d: %v", name, p, err)
+			}
+			if len(cuts.Splitters) != p-1 {
+				t.Fatalf("%s/p=%d: %d splitters", name, p, len(cuts.Splitters))
+			}
+			for i := 1; i < len(cuts.Splitters); i++ {
+				if cuts.Splitters[i].Key < cuts.Splitters[i-1].Key {
+					t.Fatalf("%s/p=%d: splitters not sorted", name, p)
+				}
+			}
+			rows := partition(keys, cuts, p)
+			var total int64
+			for _, r := range rows {
+				total += r
+			}
+			if total != n {
+				t.Fatalf("%s/p=%d: partitions hold %d rows, want %d", name, p, total, n)
+			}
+			// Equi-depth sampling at 64 samples/run keeps the largest
+			// partition within ~2x of the mean on these populations.
+			if skew := Skew(rows); skew > 2.0 {
+				t.Errorf("%s/p=%d: skew %.2f > 2.0 (rows %v)", name, p, skew, rows)
+			}
+		}
+	}
+}
+
+// TestSelectCutsConstantKeys: indistinguishable keys collapse every
+// splitter onto the same value — legal (all rows land right of the cuts),
+// just maximally skewed.
+func TestSelectCutsConstantKeys(t *testing.T) {
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = 7
+	}
+	cuts, err := SelectCuts(summarize([][]uint64{keys}), 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := partition(keys, cuts, 4)
+	if rows[3] != 1000 {
+		t.Errorf("constant keys should all land in the last partition, got %v", rows)
+	}
+	if skew := Skew(rows); skew != 4.0 {
+		t.Errorf("skew = %v, want 4.0 (one partition holds everything)", skew)
+	}
+}
+
+// TestSelectCutsHalo: halo width is 2*maxSpan+1 for marking pipelines and
+// absent otherwise.
+func TestSelectCutsHalo(t *testing.T) {
+	sums := []RunSummary{{Rows: 10, Samples: []Sample{{Key: 5}}, MaxSpan: 40}}
+	cuts, err := SelectCuts(sums, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cuts.Halo != 81 {
+		t.Errorf("Halo = %d, want 81", cuts.Halo)
+	}
+	cuts, err = SelectCuts(sums, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cuts.Halo != 0 {
+		t.Errorf("Halo = %d, want 0 without markdup", cuts.Halo)
+	}
+}
+
+// TestSelectCutsErrors: zero partitions and empty sampling are rejected.
+func TestSelectCutsErrors(t *testing.T) {
+	if _, err := SelectCuts(nil, 0, false); err == nil {
+		t.Error("p=0 did not error")
+	}
+	if _, err := SelectCuts([]RunSummary{{Rows: 0}}, 2, false); err == nil {
+		t.Error("zero rows did not error")
+	}
+}
+
+// TestEncodeDecodeRoundTrip: payloads survive the line protocol as single
+// space-free tokens.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := RunSummary{Rows: 3, Samples: []Sample{{Key: 9, Full: []byte("read/1\x00x")}}, MaxSpan: 12}
+	tok, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range tok {
+		if c == ' ' || c == '\n' {
+			t.Fatalf("token contains whitespace: %q", tok)
+		}
+	}
+	var out RunSummary
+	if err := Decode(tok, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows != in.Rows || out.MaxSpan != in.MaxSpan || len(out.Samples) != 1 ||
+		out.Samples[0].Key != 9 || string(out.Samples[0].Full) != "read/1\x00x" {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+	if err := Decode("!!!not-base64!!!", &out); err == nil {
+		t.Error("bad token did not error")
+	}
+}
+
+// TestSkew covers the imbalance measure's edges.
+func TestSkew(t *testing.T) {
+	cases := []struct {
+		rows []int64
+		want float64
+	}{
+		{nil, 0},
+		{[]int64{0, 0}, 0},
+		{[]int64{10, 10}, 1.0},
+		{[]int64{30, 10}, 1.5},
+	}
+	for _, c := range cases {
+		if got := Skew(c.rows); got != c.want {
+			t.Errorf("Skew(%v) = %v, want %v", c.rows, got, c.want)
+		}
+	}
+}

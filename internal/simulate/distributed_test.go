@@ -1,0 +1,76 @@
+package simulate
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParamsFromProfileUnmeasured(t *testing.T) {
+	base := DefaultPaperParams()
+	got := ParamsFromProfile(base, 5*time.Millisecond, 120, 0)
+	if got != base {
+		t.Error("zero samples should leave the calibration untouched")
+	}
+	got = ParamsFromProfile(base, 5*time.Millisecond, 0, 10)
+	if got != base {
+		t.Error("zero throughput should leave the calibration untouched")
+	}
+}
+
+func TestParamsFromProfileSeeds(t *testing.T) {
+	base := DefaultPaperParams()
+	// Twice the paper's per-pipe bandwidth: every storage-side rate doubles,
+	// compute rates stay put, and the measured latency joins the ramp.
+	got := ParamsFromProfile(base, 20*time.Millisecond, 2*base.PipeBW/1e6, 64)
+	if got.PipeBW != 2*base.PipeBW {
+		t.Errorf("PipeBW = %g, want %g", got.PipeBW, 2*base.PipeBW)
+	}
+	if got.CephReadBW != 2*base.CephReadBW || got.CephWriteBW != 2*base.CephWriteBW || got.DiskBW != 2*base.DiskBW {
+		t.Errorf("aggregates not scaled: read %g write %g disk %g", got.CephReadBW, got.CephWriteBW, got.DiskBW)
+	}
+	if want := base.StartupSeconds + 0.02; got.StartupSeconds != want {
+		t.Errorf("StartupSeconds = %g, want %g", got.StartupSeconds, want)
+	}
+	if got.NodeRate != base.NodeRate {
+		t.Errorf("NodeRate changed: %g", got.NodeRate)
+	}
+}
+
+func TestSimulateDistPipelineScaling(t *testing.T) {
+	p := DefaultPaperParams()
+	points, err := DistScaling(p, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Seconds >= points[i-1].Seconds {
+			t.Errorf("no speedup from %d to %d nodes: %.1fs -> %.1fs",
+				points[i-1].Nodes, points[i].Nodes, points[i-1].Seconds, points[i].Seconds)
+		}
+	}
+	// At few nodes the run is alignment-bound, so doubling nodes should
+	// nearly halve the makespan (allow 25% slack for the storage phases).
+	if sp := points[0].Seconds / points[1].Seconds; sp < 1.5 {
+		t.Errorf("1→2 node speedup = %.2f, want near-linear", sp)
+	}
+
+	res, err := SimulateDistPipeline(DistPipelineConfig{Nodes: 4, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapSeconds <= 0 || res.ShuffleSeconds <= 0 || res.ReduceSeconds <= 0 {
+		t.Errorf("phase times must be positive: map %.1f shuffle %.1f reduce %.1f",
+			res.MapSeconds, res.ShuffleSeconds, res.ReduceSeconds)
+	}
+	if res.MapSeconds < res.ShuffleSeconds {
+		t.Errorf("at paper calibration the map (alignment) phase should dominate: map %.1f < shuffle %.1f",
+			res.MapSeconds, res.ShuffleSeconds)
+	}
+	if res.ShuffleBytes != p.AGDReadBytes+p.AGDWriteBytes {
+		t.Errorf("ShuffleBytes = %g", res.ShuffleBytes)
+	}
+
+	if _, err := SimulateDistPipeline(DistPipelineConfig{Nodes: 0, Params: p}); err == nil {
+		t.Error("Nodes=0 did not error")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"persona/internal/agd"
 	"persona/internal/agdsort"
 	"persona/internal/align/snap"
+	"persona/internal/cluster"
 	"persona/internal/core"
 	"persona/internal/dataflow"
 	"persona/internal/filter"
@@ -52,6 +53,8 @@ type Pipeline struct {
 	tempPrefix string
 	tmpSeq     atomic.Uint64
 	progress   *Progress
+	nodes      int                   // >= 1: run distributed (see Distributed)
+	distTune   func(*cluster.Config) // test hook: adjust the cluster config
 }
 
 // DefaultEdgeDepth is the default bounded-queue depth, in row groups, of
@@ -296,6 +299,10 @@ type PipelineReport struct {
 	// is the bounded-queue depth its edges ran with (0 when serial).
 	Pumped    bool
 	EdgeDepth int
+	// Cluster carries the distributed run's cluster report (nil on
+	// single-node runs). Its ShuffleBytes, Partitions and PartitionSkew
+	// describe the cross-node range shuffle.
+	Cluster *ClusterReport
 }
 
 // validate checks the stage graph shape and column flow before anything
@@ -606,6 +613,9 @@ func (p *Pipeline) poolWindow(i, depth int) int {
 func (p *Pipeline) Run(ctx context.Context) (*PipelineReport, error) {
 	if len(p.stages) < 2 {
 		return nil, fmt.Errorf("persona: pipeline has no sink (end with Export* or Write)")
+	}
+	if p.nodes >= 1 {
+		return p.runDistributed(ctx)
 	}
 	if p.serial {
 		return p.runSerial(ctx)
